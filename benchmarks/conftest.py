@@ -1,0 +1,16 @@
+"""Benchmark-suite configuration.
+
+Experiment tables print at the end of each benchmark module so that
+``pytest benchmarks/ --benchmark-only -s`` shows the regenerated
+figures/tables alongside the timing statistics.  Without ``-s`` the
+tables land in the captured output of the printing test.
+"""
+
+import pytest
+
+
+def print_report(title: str, text: str) -> None:
+    """Print one experiment report with a visible banner."""
+    banner = f"\n{'#' * 72}\n# {title}\n{'#' * 72}"
+    print(banner)
+    print(text)

@@ -1,0 +1,58 @@
+"""Benchmark target for E3 — estimation accuracy per configuration.
+
+The paper's central quantitative claim, generalized beyond Figure 12:
+wrapper-exported cost information makes the mediator's estimates track
+reality.  Asserts the accuracy ordering
+``blended <= calibrated < generic`` on mean relative error over the
+federation workload.
+
+The timed benchmark measures one end-to-end query (optimize + execute)
+under the blended configuration.
+"""
+
+import pytest
+
+from repro.bench.accuracy import run_accuracy
+from repro.bench.federation import build_engines, build_mediator
+
+from conftest import print_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_accuracy()
+
+
+class TestAccuracy:
+    def test_calibration_improves_on_generic(self, report):
+        assert (
+            report.summary("calibrated").mean_relative_error
+            < 0.5 * report.summary("generic").mean_relative_error
+        )
+
+    def test_blended_is_best(self, report):
+        blended = report.summary("blended").mean_relative_error
+        assert blended <= report.summary("calibrated").mean_relative_error * 1.001
+        assert blended < report.summary("generic").mean_relative_error
+
+    def test_blended_median_error_small(self, report):
+        assert report.summary("blended").median_relative_error < 0.25
+
+    def test_generic_error_is_large(self, report):
+        """Without statistics the standard values miss by multiples —
+        the problem statement of §1."""
+        assert report.summary("generic").mean_relative_error > 1.0
+
+
+def test_print_accuracy_tables(report):
+    print_report("E3 — accuracy summary", report.table())
+    print_report("E3 — per-query detail", report.detail_table())
+
+
+@pytest.mark.benchmark(group="accuracy")
+def test_benchmark_end_to_end_query(benchmark):
+    engines = build_engines()
+    mediator = build_mediator("blended", engines)
+    sql = "SELECT * FROM AtomicParts WHERE Id = 4321"
+    result = benchmark(lambda: mediator.query(sql))
+    assert result.count == 1

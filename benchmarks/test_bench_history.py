@@ -1,0 +1,64 @@
+"""Benchmark target for E5 — §4.3.1 historical costs.
+
+Asserts:
+
+* after one execution, the estimate of an identical subquery is exact
+  (query-scope rules carry "real costs, not estimates");
+* pure query-scope recording barely helps subqueries whose constants
+  differ (the limitation the paper points out);
+* parameter adjustment generalizes: adjusted coefficients cut the error
+  on unseen constants well below the base model's.
+
+The timed benchmark measures a blended estimate against a repository
+holding recorded history (query-scope lookup cost).
+"""
+
+import pytest
+
+from repro.bench.history_bench import (
+    build_mediator,
+    run_convergence,
+    run_generalization,
+    run_history,
+)
+
+from conftest import print_report
+
+
+@pytest.fixture(scope="module")
+def generalization():
+    return run_generalization()
+
+
+class TestHistory:
+    def test_identical_subquery_converges(self):
+        rows = run_convergence(repetitions=3)
+        first_error = rows[0][1]
+        later_errors = [error for _execution, error in rows[1:]]
+        assert first_error > 0.05
+        assert all(error < 1e-6 for error in later_errors)
+
+    def test_query_scope_barely_generalizes(self, generalization):
+        base, recorded, _adjusted = generalization
+        # Most of the base error remains on unseen constants.
+        assert recorded > 0.5 * base
+
+    def test_adjustment_generalizes(self, generalization):
+        base, _recorded, adjusted = generalization
+        assert adjusted < 0.6 * base
+
+
+def test_print_history_tables():
+    result = run_history()
+    print_report("E5a — convergence", result.convergence_table())
+    print_report("E5b — generalization", result.generalization_table())
+
+
+@pytest.mark.benchmark(group="history")
+def test_benchmark_estimate_with_recorded_history(benchmark):
+    mediator = build_mediator(record_history=True)
+    sql = "SELECT * FROM AtomicParts WHERE Id <= 77"
+    mediator.query(sql)  # record once
+    spec = mediator.parse(sql)
+    result = benchmark(lambda: mediator.optimizer.optimize(spec))
+    assert result.estimated_total_ms > 0

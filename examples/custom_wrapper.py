@@ -1,0 +1,100 @@
+"""Writing your own wrapper: the cost communication language in practice.
+
+This example builds a wrapper for a skewed product catalog and walks the
+full spectrum of §3:
+
+1. export statistics only — the mediator's generic model misprices a
+   selection on the skewed attribute;
+2. export a cost rule written in the cost language (Figure 9 syntax),
+   using a wrapper-defined *function* backed by an equi-depth histogram
+   (the "ad-hoc function defined by the wrapper implementor, that could
+   handle, for example, histogram statistics" of §3.3.2);
+3. show the mediator choosing the wrapper's formula over the generic one,
+   and the resulting estimate tracking the measured time.
+
+Run:  python examples/custom_wrapper.py
+"""
+
+from repro import Mediator
+from repro.core.selectivity import EquiDepthHistogram
+from repro.sources.clock import CostProfile, SimClock
+from repro.sources.storage_engine import StorageEngine
+from repro.wrappers.base import StorageWrapper
+
+#: 90 % of products sit in category 0; the rest spread over 1..9.
+SKEWED_ROWS = [
+    {"pid": i, "category": 0 if i % 10 else (i // 10) % 9 + 1, "price": i % 500}
+    for i in range(2000)
+]
+
+
+class CatalogWrapper(StorageWrapper):
+    """A wrapper whose implementor knows the category skew."""
+
+    def __init__(self, export_rules: bool) -> None:
+        engine = StorageEngine(SimClock(CostProfile(io_ms=15.0, cpu_ms_per_object=2.0)))
+        engine.create_collection(
+            "Products",
+            SKEWED_ROWS,
+            object_size=64,
+            indexed_attributes=["pid"],
+            placement="sequential",
+        )
+        super().__init__("catalog", engine)
+        self._export_rules = export_rules
+        self.histogram = EquiDepthHistogram.build(
+            [float(row["category"]) for row in SKEWED_ROWS], bucket_count=10
+        )
+
+    def cost_rules_cdl(self):
+        if not self._export_rules:
+            return None
+        pages = self.engine.page_count("Products")
+        # A selection on category always scans the file; the *cardinality*
+        # is what the histogram fixes.  category_sel is a Python function
+        # shipped alongside the rules (cost_functions below).
+        return f"""
+        var IO = 15.0;
+        var PerObject = 2.0;
+        var Eval = 0.5;
+        costrule select(Products, category = V) {{
+            CountObject = Products.CountObject * category_sel(V);
+            TotalSize = CountObject * Products.ObjectSize;
+            TotalTime = IO * {pages}
+                        + Products.CountObject * (PerObject + Eval);
+        }}
+        """
+
+    def cost_functions(self):
+        return {"category_sel": lambda v: self.histogram.selectivity_eq(float(v))}
+
+
+def run(export_rules: bool) -> None:
+    label = "WITH wrapper rules" if export_rules else "statistics only"
+    mediator = Mediator()
+    mediator.register(CatalogWrapper(export_rules))
+    print(f"\n--- {label} ---")
+    for category in (0, 5):
+        sql = f"SELECT * FROM Products WHERE category = {category}"
+        optimized = mediator.plan(sql)
+        estimate = optimized.estimate.estimate_for(
+            next(n for n in optimized.plan.walk() if n.operator_name == "select")
+        )
+        result = mediator.query(sql)
+        print(
+            f"category={category}: estimated rows "
+            f"{estimate.count_object:8.1f}, actual rows {result.count:5d}; "
+            f"estimated {result.estimated_ms:9.1f} ms, "
+            f"measured {result.elapsed_ms:9.1f} ms"
+        )
+
+
+def main() -> None:
+    # The uniform assumption says every category keeps 1/10 of the rows;
+    # reality is 90 % / ~1 %.  The histogram-backed rule fixes it.
+    run(export_rules=False)
+    run(export_rules=True)
+
+
+if __name__ == "__main__":
+    main()

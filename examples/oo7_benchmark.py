@@ -1,0 +1,53 @@
+"""Run the OO7-style query workload [CDN93] through the mediator.
+
+Loads the full OO7 database (tiny or small scale) behind the object-store
+wrapper and executes the adapted OO7 query set (exact-match lookups Q1,
+range selections Q2/Q3, the full ordered scan Q7, document/assembly joins
+Q4/Q5, and the part–document join count Q8), printing per-query estimated
+vs measured response times and checking each answer against its expected
+row count.
+
+Run:  python examples/oo7_benchmark.py [--small]
+"""
+
+import sys
+
+from repro import Mediator, ObjectStoreWrapper
+from repro.oo7 import SMALL, TINY, load_database
+from repro.oo7.workload import build_workload
+
+SEED = 7
+
+
+def main() -> None:
+    config = SMALL if "--small" in sys.argv else TINY
+    print(
+        f"loading OO7 '{config.name}' "
+        f"({config.num_atomic_parts} atomic parts) ..."
+    )
+    mediator = Mediator()
+    mediator.register(ObjectStoreWrapper("oo7", load_database(config, SEED)))
+    workload = build_workload(config, SEED)
+
+    print(f"\n{'query':<6} {'rows':>7} {'expected':>8} "
+          f"{'estimated (ms)':>15} {'measured (ms)':>14}  ok")
+    total_estimated = total_measured = 0.0
+    for query in workload:
+        optimized = mediator.plan(query.sql)
+        result = mediator.query(query.sql)
+        ok = "yes" if result.count == query.expected_rows else "NO"
+        print(
+            f"{query.label:<6} {result.count:>7} {query.expected_rows:>8} "
+            f"{optimized.estimated_total_ms:>15,.0f} "
+            f"{result.elapsed_ms:>14,.0f}  {ok}"
+        )
+        total_estimated += optimized.estimated_total_ms
+        total_measured += result.elapsed_ms
+    print(
+        f"{'TOTAL':<6} {'':>7} {'':>8} {total_estimated:>15,.0f} "
+        f"{total_measured:>14,.0f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

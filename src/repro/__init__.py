@@ -1,0 +1,58 @@
+"""repro — a reproduction of "Leveraging Mediator Cost Models with
+Heterogeneous Data Sources" (Naacke, Gardarin, Tomasic; INRIA RR-3143 /
+ICDE 1998), the DISCO extensible mediator cost model.
+
+Quickstart::
+
+    from repro import Mediator, ObjectStoreWrapper
+    from repro.oo7 import TINY, load_database
+
+    mediator = Mediator()
+    mediator.register(ObjectStoreWrapper("oo7", load_database(TINY)))
+    result = mediator.query("SELECT * FROM AtomicParts WHERE Id = 7")
+    print(result.rows, result.elapsed_ms)
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and EXPERIMENTS.md for the paper-vs-measured results.
+"""
+
+from repro.core.estimator import CostEstimator, EstimatorOptions
+from repro.core.generic import CoefficientSet, GenericCoefficients
+from repro.core.scopes import RuleRepository, Scope
+from repro.core.statistics import AttributeStats, CollectionStats, StatisticsCatalog
+from repro.errors import ReproError
+from repro.mediator.mediator import Mediator, QueryResult
+from repro.mediator.optimizer import OptimizerOptions
+from repro.mediator.queryspec import QuerySpec
+from repro.wrappers import (
+    FlatFileWrapper,
+    ObjectStoreWrapper,
+    RelationalWrapper,
+    WebSourceWrapper,
+    Wrapper,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeStats",
+    "CoefficientSet",
+    "CollectionStats",
+    "CostEstimator",
+    "EstimatorOptions",
+    "FlatFileWrapper",
+    "GenericCoefficients",
+    "Mediator",
+    "ObjectStoreWrapper",
+    "OptimizerOptions",
+    "QueryResult",
+    "QuerySpec",
+    "RelationalWrapper",
+    "ReproError",
+    "RuleRepository",
+    "Scope",
+    "StatisticsCatalog",
+    "WebSourceWrapper",
+    "Wrapper",
+    "__version__",
+]

@@ -1,0 +1,105 @@
+"""Fluent helpers to build logical plans in tests and examples.
+
+The mediator usually produces plans from SQL; these helpers make it
+pleasant to write plans directly, e.g.::
+
+    plan = (
+        scan("Employee")
+        .where(eq("salary", 10))
+        .keep("name", "salary")
+        .submit_to("hr_wrapper")
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.algebra.expressions import Comparison, Predicate, attr, eq
+from repro.algebra.logical import (
+    Aggregate,
+    AggregateSpec,
+    Distinct,
+    Join,
+    PlanNode,
+    Project,
+    Scan,
+    Select,
+    Sort,
+    Submit,
+    Union,
+)
+
+
+class PlanBuilder:
+    """Wraps a :class:`PlanNode` and offers chainable construction."""
+
+    def __init__(self, node: PlanNode) -> None:
+        self.node = node
+
+    # -- unary operators ------------------------------------------------------
+
+    def where(self, predicate: Predicate) -> "PlanBuilder":
+        return PlanBuilder(Select(self.node, predicate))
+
+    def where_eq(self, attribute: str, value: Any) -> "PlanBuilder":
+        return self.where(eq(attribute, value))
+
+    def keep(self, *attributes: str) -> "PlanBuilder":
+        return PlanBuilder(Project(self.node, attributes))
+
+    def order_by(self, *keys: str, descending: bool = False) -> "PlanBuilder":
+        return PlanBuilder(Sort(self.node, keys, descending))
+
+    def distinct(self) -> "PlanBuilder":
+        return PlanBuilder(Distinct(self.node))
+
+    def aggregate(
+        self,
+        group_by: Sequence[str] = (),
+        aggregates: Sequence[AggregateSpec] = (),
+    ) -> "PlanBuilder":
+        return PlanBuilder(Aggregate(self.node, group_by, aggregates))
+
+    def submit_to(self, wrapper: str) -> "PlanBuilder":
+        return PlanBuilder(Submit(self.node, wrapper))
+
+    # -- binary operators -------------------------------------------------------
+
+    def join(
+        self,
+        other: "PlanBuilder | PlanNode",
+        left_attr: str,
+        right_attr: str,
+        left_collection: str | None = None,
+        right_collection: str | None = None,
+    ) -> "PlanBuilder":
+        right_node = other.node if isinstance(other, PlanBuilder) else other
+        predicate = Comparison(
+            "=",
+            attr(left_attr, left_collection),
+            attr(right_attr, right_collection),
+        )
+        return PlanBuilder(Join(self.node, right_node, predicate))
+
+    def union(self, other: "PlanBuilder | PlanNode") -> "PlanBuilder":
+        right_node = other.node if isinstance(other, PlanBuilder) else other
+        return PlanBuilder(Union(self.node, right_node))
+
+    # -- unwrap -----------------------------------------------------------------
+
+    def build(self) -> PlanNode:
+        return self.node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PlanBuilder({self.node.describe()})"
+
+
+def scan(collection: str) -> PlanBuilder:
+    """Start a plan from a base-collection scan."""
+    return PlanBuilder(Scan(collection))
+
+
+def count_star(alias: str = "count") -> AggregateSpec:
+    """``COUNT(*) AS alias`` aggregate spec."""
+    return AggregateSpec("count", None, alias)

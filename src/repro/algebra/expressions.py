@@ -1,0 +1,278 @@
+"""Scalar expressions and predicates used by the mediator algebra.
+
+The algebra of §2.2 manipulates predicates in selections and joins.  The
+paper's cost-rule grammar (Figure 9) restricts rule-head predicates to
+``attribute = value`` and ``attribute = attribute``; real queries also use
+ranges, so the expression language here supports the six comparison
+operators plus boolean connectives, and the rule matcher maps each
+predicate back onto the grammar's shapes.
+
+Rows flowing through the engine are plain ``dict``s mapping attribute
+names to Python values.  Joins qualify colliding names as
+``collection.attribute``; :class:`AttributeRef` resolution therefore tries
+the qualified spelling first, then the bare name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+from repro.errors import PlanError
+
+Row = Mapping[str, Any]
+
+#: Comparison operators, in the spelling used by the SQL front end.
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+_NEGATED = {"=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+_FLIPPED = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+class Expression:
+    """Base class of scalar expressions."""
+
+    def evaluate(self, row: Row) -> Any:
+        raise NotImplementedError
+
+    def attributes(self) -> set[str]:
+        """Bare names of all attributes the expression reads."""
+        return set()
+
+
+@dataclass(frozen=True)
+class AttributeRef(Expression):
+    """A reference to an attribute, optionally qualified by collection."""
+
+    name: str
+    collection: str | None = None
+
+    @property
+    def qualified(self) -> str:
+        if self.collection:
+            return f"{self.collection}.{self.name}"
+        return self.name
+
+    def evaluate(self, row: Row) -> Any:
+        if self.collection is not None:
+            qualified = self.qualified
+            if qualified in row:
+                return row[qualified]
+        if self.name in row:
+            return row[self.name]
+        # Fall back to any qualified spelling of the bare name.
+        suffix = f".{self.name}"
+        for key, value in row.items():
+            if key.endswith(suffix):
+                return value
+        raise PlanError(f"row has no attribute {self.qualified!r}: {sorted(row)}")
+
+    def attributes(self) -> set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return self.qualified
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, row: Row) -> Any:
+        return self.value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+class Predicate(Expression):
+    """Base class of boolean-valued expressions."""
+
+    def evaluate(self, row: Row) -> bool:
+        raise NotImplementedError
+
+    def negate(self) -> "Predicate":
+        return Not(self)
+
+    def conjuncts(self) -> Iterator["Predicate"]:
+        """Iterate the top-level AND-ed factors (self if not an AND)."""
+        yield self
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``left op right`` for one of the six comparison operators."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise PlanError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, row: Row) -> bool:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return False
+        if self.op == "=":
+            return left == right
+        if self.op == "!=":
+            return left != right
+        if self.op == "<":
+            return left < right
+        if self.op == "<=":
+            return left <= right
+        if self.op == ">":
+            return left > right
+        return left >= right
+
+    def negate(self) -> Predicate:
+        return Comparison(_NEGATED[self.op], self.left, self.right)
+
+    def flipped(self) -> "Comparison":
+        """The same predicate with operands swapped (``a < b`` → ``b > a``)."""
+        return Comparison(_FLIPPED[self.op], self.right, self.left)
+
+    def attributes(self) -> set[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    # -- shape helpers used by rule matching and the optimizer ---------------
+
+    @property
+    def is_attr_value(self) -> bool:
+        """True for ``Attribute op Literal`` (Figure 9 ``<sel pred>`` shape)."""
+        return isinstance(self.left, AttributeRef) and isinstance(self.right, Literal)
+
+    @property
+    def is_value_attr(self) -> bool:
+        return isinstance(self.left, Literal) and isinstance(self.right, AttributeRef)
+
+    @property
+    def is_attr_attr(self) -> bool:
+        """True for ``Attribute op Attribute`` (Figure 9 ``<join pred>``)."""
+        return isinstance(self.left, AttributeRef) and isinstance(
+            self.right, AttributeRef
+        )
+
+    def normalized(self) -> "Comparison":
+        """Rewrite ``Literal op Attribute`` as ``Attribute op' Literal``."""
+        if self.is_value_attr:
+            return self.flipped()
+        return self
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Logical conjunction."""
+
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, row: Row) -> bool:
+        return self.left.evaluate(row) and self.right.evaluate(row)
+
+    def conjuncts(self) -> Iterator[Predicate]:
+        yield from self.left.conjuncts()
+        yield from self.right.conjuncts()
+
+    def attributes(self) -> set[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Logical disjunction."""
+
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, row: Row) -> bool:
+        return self.left.evaluate(row) or self.right.evaluate(row)
+
+    def attributes(self) -> set[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def __str__(self) -> str:
+        return f"({self.left} OR {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Logical negation."""
+
+    operand: Predicate
+
+    def evaluate(self, row: Row) -> bool:
+        return not self.operand.evaluate(row)
+
+    def negate(self) -> Predicate:
+        return self.operand
+
+    def attributes(self) -> set[str]:
+        return self.operand.attributes()
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """The always-true predicate (empty WHERE clause)."""
+
+    def evaluate(self, row: Row) -> bool:
+        return True
+
+    def conjuncts(self) -> Iterator[Predicate]:
+        return iter(())
+
+    def __str__(self) -> str:
+        return "TRUE"
+
+
+def conjunction(predicates: list[Predicate]) -> Predicate:
+    """Combine a list of predicates with AND (TruePredicate when empty)."""
+    live = [p for p in predicates if not isinstance(p, TruePredicate)]
+    if not live:
+        return TruePredicate()
+    result = live[0]
+    for predicate in live[1:]:
+        result = And(result, predicate)
+    return result
+
+
+def attr(name: str, collection: str | None = None) -> AttributeRef:
+    """Shorthand constructor for an attribute reference."""
+    return AttributeRef(name=name, collection=collection)
+
+
+def lit(value: Any) -> Literal:
+    """Shorthand constructor for a literal."""
+    return Literal(value)
+
+
+def eq(attribute: AttributeRef | str, value: Any) -> Comparison:
+    """Shorthand for the Figure 9 select-predicate shape ``A = v``."""
+    if isinstance(attribute, str):
+        attribute = attr(attribute)
+    right = value if isinstance(value, Expression) else lit(value)
+    return Comparison("=", attribute, right)
+
+
+def between(attribute: AttributeRef | str, low: Any, high: Any) -> Predicate:
+    """``low <= A AND A <= high`` as a conjunction of comparisons."""
+    if isinstance(attribute, str):
+        attribute = attr(attribute)
+    return And(
+        Comparison(">=", attribute, lit(low)),
+        Comparison("<=", attribute, lit(high)),
+    )

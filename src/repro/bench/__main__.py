@@ -1,0 +1,95 @@
+"""Run every experiment and print all tables: ``python -m repro.bench``.
+
+Options:
+    --fast   use reduced scales (TINY OO7, fewer repetitions)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.accuracy import run_accuracy
+from repro.bench.bindjoin_bench import run_bindjoin_experiment
+from repro.bench.clustering import run_clustering
+from repro.bench.fig12 import run_fig12
+from repro.bench.history_bench import run_history
+from repro.bench.overhead import run_overhead
+from repro.bench.plan_quality import run_plan_quality
+from repro.oo7 import PAPER, SMALL, TINY
+
+
+def banner(title: str) -> None:
+    print()
+    print("#" * 72)
+    print(f"# {title}")
+    print("#" * 72)
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    oo7_config = SMALL if fast else PAPER
+
+    banner("Figure 12 (§5) — index scan: experiment / calibration / Yao rule")
+    fig12 = run_fig12(config=oo7_config)
+    print(fig12.table())
+    print()
+    print(fig12.error_table())
+
+    banner("E2 — plan quality per cost-model configuration")
+    quality = run_plan_quality(config=TINY if fast else SMALL)
+    print(quality.table())
+    print(
+        f"\nblended vs generic total speedup: "
+        f"{quality.speedup_blended_vs_generic():.2f}x"
+    )
+
+    banner("E3 — estimation accuracy per configuration")
+    accuracy = run_accuracy(config=TINY if fast else SMALL)
+    print(accuracy.table())
+    print()
+    print(accuracy.detail_table())
+
+    banner("E4 — rule-machinery overhead and ablations")
+    overhead = run_overhead(
+        rule_counts=(10, 100) if fast else (10, 50, 200, 1000),
+        repetitions=20 if fast else 100,
+    )
+    print(overhead.dispatch_table())
+    print()
+    print(overhead.pruning_table())
+    print()
+    print(overhead.propagation_table())
+    print()
+    print(overhead.conflict_table())
+
+    banner("E5 — historical costs (§4.3.1)")
+    history = run_history(config=TINY)
+    print(history.convergence_table())
+    print()
+    print(history.generalization_table())
+
+    banner("E7 — bind joins (§7 ADT motivation)")
+    bindjoin = run_bindjoin_experiment(
+        key_counts=(10, 100) if fast else (10, 50, 200, 1000)
+    )
+    print(bindjoin.table())
+    print(
+        f"\nmax bind-join speedup: {bindjoin.max_speedup():.0f}x; "
+        f"optimizer correct everywhere: {bindjoin.all_choices_correct}"
+    )
+
+    banner("E6 — clustering (§7)")
+    clustering = run_clustering(count=1400 if fast else 7000)
+    print(clustering.table())
+    print(
+        "\nmean rel err — scattered rule "
+        f"{clustering.scattered_rule_error.mean_relative_error:.3f}, "
+        f"clustered rule "
+        f"{clustering.clustered_rule_error.mean_relative_error:.3f}, "
+        f"single calibrated model on clustered "
+        f"{clustering.calibration_error_on_clustered.mean_relative_error:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

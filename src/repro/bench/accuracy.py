@@ -1,0 +1,66 @@
+"""Experiment E3 — estimation accuracy under the three configurations.
+
+For every workload query and configuration, compare the optimizer's
+estimated ``TotalTime`` of the chosen plan with its measured execution
+time.  The paper's mechanism predicts a strict accuracy ordering:
+``blended`` (wrapper rules) < ``calibrated`` (fitted coefficients) <
+``generic`` (standard values) in relative error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.federation import (
+    MODELS,
+    FederationExperiment,
+    run_federation_experiment,
+)
+from repro.bench.harness import ERROR_HEADERS, ErrorSummary, format_table
+
+
+@dataclass
+class AccuracyReport:
+    experiment: FederationExperiment
+
+    def summary(self, model: str) -> ErrorSummary:
+        return ErrorSummary.from_pairs(
+            (r.estimated_ms, r.actual_ms) for r in self.experiment.for_model(model)
+        )
+
+    def table(self) -> str:
+        return format_table(
+            ERROR_HEADERS,
+            [self.summary(model).row(model) for model in MODELS],
+            title="E3 — estimated vs actual TotalTime of chosen plans",
+        )
+
+    def detail_table(self) -> str:
+        labels = [r.label for r in self.experiment.for_model(MODELS[0])]
+        rows = []
+        for label in labels:
+            row: list[object] = [label]
+            for model in MODELS:
+                record = self.experiment.record_for(model, label)
+                row.append(record.estimated_ms)
+                row.append(record.actual_ms)
+            rows.append(row)
+        headers = ["query"]
+        for model in MODELS:
+            headers += [f"{model} est", f"{model} act"]
+        return format_table(headers, rows, title="E3 — per-query detail (ms)")
+
+
+def run_accuracy(**kwargs) -> AccuracyReport:
+    return AccuracyReport(run_federation_experiment(**kwargs))
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    report = run_accuracy()
+    print(report.table())
+    print()
+    print(report.detail_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

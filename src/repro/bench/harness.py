@@ -1,0 +1,98 @@
+"""Shared experiment-reporting utilities for the benchmark suite.
+
+Every experiment module produces typed result records; this module turns
+them into the aligned text tables the ``benchmarks/`` targets print and
+``EXPERIMENTS.md`` records.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table.
+
+    Floats print with 1 decimal; everything else via ``str``.
+    """
+    rendered_rows = [
+        [_cell(value) for value in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if 0 < abs(value) < 1:
+            return f"{value:.3g}"
+        return f"{value:.1f}"
+    return str(value)
+
+
+@dataclass
+class ErrorSummary:
+    """Relative-error statistics of a series of (estimated, actual) pairs."""
+
+    count: int
+    mean_relative_error: float
+    median_relative_error: float
+    max_relative_error: float
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[tuple[float, float]]
+    ) -> "ErrorSummary":
+        errors = sorted(
+            abs(estimated - actual) / actual
+            for estimated, actual in pairs
+            if actual > 0
+        )
+        if not errors:
+            return cls(0, math.nan, math.nan, math.nan)
+        middle = len(errors) // 2
+        if len(errors) % 2:
+            median = errors[middle]
+        else:
+            median = (errors[middle - 1] + errors[middle]) / 2
+        return cls(
+            count=len(errors),
+            mean_relative_error=sum(errors) / len(errors),
+            median_relative_error=median,
+            max_relative_error=errors[-1],
+        )
+
+    def row(self, label: str) -> list[Any]:
+        return [
+            label,
+            self.count,
+            round(self.mean_relative_error, 3),
+            round(self.median_relative_error, 3),
+            round(self.max_relative_error, 3),
+        ]
+
+
+ERROR_HEADERS = ("model", "queries", "mean rel err", "median rel err", "max rel err")

@@ -1,0 +1,65 @@
+"""Experiment E2 — plan quality under the three cost-model configurations.
+
+The paper's motivating claim (§1, "we provide evidence of the benefits of
+this new approach"): better cost information lets the mediator pick
+better plans.  This experiment runs the federation workload under the
+``generic`` / ``calibrated`` / ``blended`` configurations and reports the
+*actual* execution time of each chosen plan — the end-to-end quantity the
+user experiences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.federation import (
+    MODELS,
+    FederationExperiment,
+    run_federation_experiment,
+)
+from repro.bench.harness import format_table
+
+
+@dataclass
+class PlanQualityReport:
+    experiment: FederationExperiment
+
+    def table(self) -> str:
+        labels = [r.label for r in self.experiment.for_model(MODELS[0])]
+        rows = []
+        for label in labels:
+            row: list[object] = [label]
+            for model in MODELS:
+                row.append(self.experiment.record_for(model, label).actual_ms)
+            rows.append(row)
+        total_row: list[object] = ["TOTAL"]
+        for model in MODELS:
+            total_row.append(self.experiment.total_actual(model))
+        rows.append(total_row)
+        return format_table(
+            ("query", *(f"{m} (ms)" for m in MODELS)),
+            rows,
+            title="E2 — actual execution time of the chosen plan",
+        )
+
+    def speedup_blended_vs_generic(self) -> float:
+        return self.experiment.total_actual("generic") / max(
+            1e-9, self.experiment.total_actual("blended")
+        )
+
+
+def run_plan_quality(**kwargs) -> PlanQualityReport:
+    return PlanQualityReport(run_federation_experiment(**kwargs))
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    report = run_plan_quality()
+    print(report.table())
+    print(
+        f"\nblended vs generic total speedup: "
+        f"{report.speedup_blended_vs_generic():.2f}x"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,44 @@
+"""The cost communication language (§3).
+
+Wrappers describe their data sources — interfaces, statistics, wrapper
+variables/functions, and cost rules — in this language; the mediator
+compiles the document at registration time and blends the rules into its
+cost model.
+
+Public API::
+
+    from repro.cdl import parse_document, compile_source, CompiledCostInfo
+"""
+
+from repro.cdl.cdl_ast import (
+    AttributeDecl,
+    AttributeStatsDecl,
+    Document,
+    ExtentStats,
+    FunctionDef,
+    InterfaceDef,
+    OperationDecl,
+    RuleDef,
+    VarDecl,
+)
+from repro.cdl.compiler import CompiledCostInfo, compile_document, compile_source
+from repro.cdl.lexer import Token, tokenize
+from repro.cdl.parser import parse_document
+
+__all__ = [
+    "AttributeDecl",
+    "AttributeStatsDecl",
+    "CompiledCostInfo",
+    "Document",
+    "ExtentStats",
+    "FunctionDef",
+    "InterfaceDef",
+    "OperationDecl",
+    "RuleDef",
+    "Token",
+    "VarDecl",
+    "compile_document",
+    "compile_source",
+    "parse_document",
+    "tokenize",
+]

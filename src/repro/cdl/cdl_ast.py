@@ -1,0 +1,144 @@
+"""AST node definitions for the cost communication language.
+
+A parsed document (:class:`Document`) carries everything a wrapper exports
+at registration time (§2.1 Step 2): interface definitions with statistics
+(Figures 3–6), wrapper variables and functions (§3.3.1), and cost rules
+(Figures 8, 9, 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+#: Literal values appearing in CDL source.
+LiteralValue = Union[float, int, str, bool]
+
+
+@dataclass(frozen=True)
+class AttributeDecl:
+    """``attribute <type> <name>;`` inside an interface (Figure 3)."""
+
+    name: str
+    type_name: str
+
+
+@dataclass(frozen=True)
+class OperationDecl:
+    """``<return-type> <name>(<params>);`` inside an interface.
+
+    Parameters are kept as raw ``(direction, type, name)`` triples; the
+    mediator only needs the operation names for capability reporting.
+    """
+
+    name: str
+    return_type: str
+    parameters: tuple[tuple[str, str, str], ...] = ()
+
+
+@dataclass
+class ExtentStats:
+    """``cardinality extent(CountObject = ..., TotalSize = ...,
+    ObjectSize = ...);`` — the declarative realization of the paper's
+    ``extent`` method (Figures 4–6)."""
+
+    count_object: int
+    total_size: int | None = None
+    object_size: int | None = None
+
+
+@dataclass
+class AttributeStatsDecl:
+    """``cardinality attribute(<name>, Indexed = ..., CountDistinct = ...,
+    Min = ..., Max = ...);`` — the declarative ``attribute`` method."""
+
+    attribute: str
+    indexed: bool = False
+    count_distinct: int | None = None
+    min_value: LiteralValue | None = None
+    max_value: LiteralValue | None = None
+
+
+@dataclass
+class InterfaceDef:
+    """One ``interface <Name> { ... }`` block."""
+
+    name: str
+    attributes: list[AttributeDecl] = field(default_factory=list)
+    operations: list[OperationDecl] = field(default_factory=list)
+    extent: ExtentStats | None = None
+    attribute_stats: list[AttributeStatsDecl] = field(default_factory=list)
+
+    def attribute_names(self) -> list[str]:
+        return [a.name for a in self.attributes]
+
+
+@dataclass(frozen=True)
+class HeadArg:
+    """One argument of a rule head before binding resolution.
+
+    ``kind`` is ``'name'`` for an identifier and ``'literal'`` for a
+    quoted string or number.  Whether a name is a bound collection /
+    attribute or a free variable is decided by the compiler against the
+    document's interfaces (see :mod:`repro.cdl.compiler`).
+    """
+
+    kind: str
+    value: LiteralValue
+
+
+@dataclass(frozen=True)
+class HeadPredicate:
+    """``<lhs> <op> <rhs>`` in a rule head (sel pred or join pred)."""
+
+    left: HeadArg
+    op: str
+    right: HeadArg
+
+
+@dataclass
+class RuleDef:
+    """``costrule <operator>(<args>) { <formulas> }``."""
+
+    operator: str
+    collections: list[HeadArg]
+    predicate: HeadPredicate | None
+    formulas: list[str]  # raw "Target = expr" texts, compiled later
+    line: int = 0
+
+
+@dataclass
+class VarDecl:
+    """``var <Name> = <literal>;`` — a wrapper parameter (e.g. PageSize)."""
+
+    name: str
+    value: LiteralValue
+
+
+@dataclass
+class FunctionDef:
+    """``function <name>(<params>) = <expression>;`` — a pure wrapper
+    function usable from cost formulas."""
+
+    name: str
+    parameters: list[str]
+    body: str
+
+
+@dataclass
+class Document:
+    """A complete parsed CDL document."""
+
+    interfaces: list[InterfaceDef] = field(default_factory=list)
+    rules: list[RuleDef] = field(default_factory=list)
+    variables: list[VarDecl] = field(default_factory=list)
+    functions: list[FunctionDef] = field(default_factory=list)
+
+    def interface(self, name: str) -> InterfaceDef | None:
+        for item in self.interfaces:
+            if item.name == name:
+                return item
+        return None
+
+    def collection_names(self) -> set[str]:
+        return {item.name for item in self.interfaces}

@@ -1,0 +1,173 @@
+"""Tokenizer for the cost communication language (§3).
+
+The language is a subset of CORBA IDL (Figure 3) extended with the
+``cardinality`` section of Figure 5 and the cost-rule grammar of Figure 9,
+plus ``var``/``function`` declarations (§3.3.1: "wrapper implementors may
+define their own local variables or functions").  ``//`` line comments and
+``/* */`` block comments are supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CdlSyntaxError
+
+#: Keywords of the language (case-sensitive, like IDL).
+KEYWORDS = frozenset(
+    {
+        "interface",
+        "attribute",
+        "cardinality",
+        "extent",
+        "costrule",
+        "var",
+        "function",
+        "in",
+        "out",
+        "true",
+        "false",
+    }
+)
+
+#: Multi-character punctuation, longest first.
+_MULTI_PUNCT = ("<=", ">=", "!=")
+_SINGLE_PUNCT = set("{}(),;=.+-*/<>")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str  # 'ident', 'keyword', 'number', 'string', or the punct itself
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind!r}, {self.text!r} @{self.line}:{self.column})"
+
+
+class Lexer:
+    """Converts CDL source text into a token list ending in an 'eof' token."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def error(self, message: str) -> CdlSyntaxError:
+        return CdlSyntaxError(message, self.line, self.column)
+
+    def tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                tokens.append(Token("eof", "", self.line, self.column))
+                return tokens
+            tokens.append(self._next_token())
+
+    # -- internals ------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for char in text:
+            if char == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char.isspace():
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self.error("unterminated block comment")
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, column = self.line, self.column
+        char = self._peek()
+        if char.isalpha() or char == "_":
+            return self._ident(line, column)
+        if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+            return self._number(line, column)
+        if char in ("'", '"'):
+            return self._string(line, column)
+        for punct in _MULTI_PUNCT:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(punct, punct, line, column)
+        if char in _SINGLE_PUNCT:
+            self._advance()
+            return Token(char, char, line, column)
+        raise self.error(f"unexpected character {char!r}")
+
+    def _ident(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self.pos < len(self.source) and (
+            self._peek().isalnum() or self._peek() == "_"
+        ):
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = "keyword" if text in KEYWORDS else "ident"
+        return Token(kind, text, line, column)
+
+    def _number(self, line: int, column: int) -> Token:
+        start = self.pos
+        seen_dot = False
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char.isdigit():
+                self._advance()
+            elif char == "." and not seen_dot and self._peek(1).isdigit():
+                seen_dot = True
+                self._advance()
+            elif char in "eE" and self._peek(1).isdigit():
+                self._advance(2)
+            elif char in "eE" and self._peek(1) in "+-" and self._peek(2).isdigit():
+                self._advance(3)
+            else:
+                break
+        return Token("number", self.source[start : self.pos], line, column)
+
+    def _string(self, line: int, column: int) -> Token:
+        quote = self._advance()
+        start = self.pos
+        while self.pos < len(self.source) and self._peek() != quote:
+            if self._peek() == "\n":
+                raise self.error("newline inside string literal")
+            self._advance()
+        if self.pos >= len(self.source):
+            raise self.error("unterminated string literal")
+        text = self.source[start : self.pos]
+        self._advance()  # closing quote
+        return Token("string", text, line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize CDL source text."""
+    return Lexer(source).tokenize()

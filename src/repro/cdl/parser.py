@@ -1,0 +1,356 @@
+"""Recursive-descent parser for the cost communication language.
+
+Implements the extended interface-body BNF of Figure 5 plus the cost-rule
+grammar of Figure 9.  Differences from the paper's figures, all
+conservative and documented:
+
+* The ``cardinality`` methods are *declarative*: instead of IDL method
+  signatures whose implementations (Figure 6) return the values, the
+  document states the values directly —
+  ``cardinality extent(CountObject = 10000, ...)``.  This carries exactly
+  the same information across the same interface boundary.
+* Rule-head predicates accept all six comparison operators, not only
+  ``=`` (needed to express range-selection rules like Figure 13's).
+* ``var`` and ``function`` declarations realize §3.3.1's wrapper-defined
+  variables and functions within the language itself.
+
+Formula bodies are captured as raw text and compiled by
+:mod:`repro.core.formulas` (one parser for formulas everywhere).
+"""
+
+from __future__ import annotations
+
+from repro.cdl.cdl_ast import (
+    AttributeDecl,
+    AttributeStatsDecl,
+    Document,
+    ExtentStats,
+    FunctionDef,
+    HeadArg,
+    HeadPredicate,
+    InterfaceDef,
+    LiteralValue,
+    OperationDecl,
+    RuleDef,
+    VarDecl,
+)
+from repro.cdl.lexer import Token, tokenize
+from repro.errors import CdlSyntaxError
+
+_COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class Parser:
+    """Parses one CDL document."""
+
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _next(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> CdlSyntaxError:
+        token = token or self._peek()
+        return CdlSyntaxError(message, token.line, token.column)
+
+    def _expect(self, kind: str, what: str = "") -> Token:
+        token = self._next()
+        if token.kind != kind:
+            raise self._error(
+                f"expected {what or kind!r} but found {token.text!r}", token
+            )
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._next()
+        if token.kind != "keyword" or token.text != word:
+            raise self._error(f"expected {word!r} but found {token.text!r}", token)
+        return token
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token.kind == "keyword" and token.text == word
+
+    def _ident(self, what: str = "identifier") -> str:
+        token = self._next()
+        # Statistic names like CountObject are plain identifiers; keywords
+        # such as `attribute` are valid member names in stats positions, so
+        # accept both identifier and keyword tokens where a name is needed.
+        if token.kind not in ("ident", "keyword"):
+            raise self._error(f"expected {what} but found {token.text!r}", token)
+        return token.text
+
+    # -- entry point ------------------------------------------------------------
+
+    def parse_document(self) -> Document:
+        document = Document()
+        while self._peek().kind != "eof":
+            if self._at_keyword("interface"):
+                document.interfaces.append(self._interface())
+            elif self._at_keyword("costrule"):
+                document.rules.append(self._costrule())
+            elif self._at_keyword("var"):
+                document.variables.append(self._var_decl())
+            elif self._at_keyword("function"):
+                document.functions.append(self._function_def())
+            else:
+                raise self._error(
+                    f"expected a declaration but found {self._peek().text!r}"
+                )
+        return document
+
+    # -- interfaces --------------------------------------------------------------
+
+    def _interface(self) -> InterfaceDef:
+        self._expect_keyword("interface")
+        name = self._ident("interface name")
+        self._expect("{")
+        interface = InterfaceDef(name=name)
+        while self._peek().kind != "}":
+            if self._at_keyword("attribute"):
+                self._next()
+                type_name = self._ident("attribute type")
+                attr_name = self._ident("attribute name")
+                self._expect(";")
+                interface.attributes.append(AttributeDecl(attr_name, type_name))
+            elif self._at_keyword("cardinality"):
+                self._next()
+                self._cardinality(interface)
+            else:
+                interface.operations.append(self._operation())
+        self._expect("}")
+        return interface
+
+    def _operation(self) -> OperationDecl:
+        return_type = self._ident("operation return type")
+        name = self._ident("operation name")
+        self._expect("(")
+        parameters: list[tuple[str, str, str]] = []
+        if self._peek().kind != ")":
+            parameters.append(self._parameter())
+            while self._peek().kind == ",":
+                self._next()
+                parameters.append(self._parameter())
+        self._expect(")")
+        self._expect(";")
+        return OperationDecl(name, return_type, tuple(parameters))
+
+    def _parameter(self) -> tuple[str, str, str]:
+        direction = "in"
+        if self._at_keyword("in") or self._at_keyword("out"):
+            direction = self._next().text
+        type_name = self._ident("parameter type")
+        name = self._ident("parameter name")
+        return (direction, type_name, name)
+
+    def _cardinality(self, interface: InterfaceDef) -> None:
+        token = self._peek()
+        if self._at_keyword("extent"):
+            self._next()
+            interface.extent = self._extent_stats()
+        elif self._at_keyword("attribute"):
+            self._next()
+            interface.attribute_stats.append(self._attribute_stats())
+        else:
+            raise self._error(
+                f"cardinality section must be 'extent' or 'attribute', "
+                f"found {token.text!r}",
+                token,
+            )
+
+    def _extent_stats(self) -> ExtentStats:
+        values = self._assignment_list()
+        self._expect(";")
+        if "CountObject" not in values:
+            raise self._error("extent statistics require CountObject")
+        count_object = int(values["CountObject"])  # type: ignore[arg-type]
+        total_size = values.get("TotalSize")
+        object_size = values.get("ObjectSize")
+        return ExtentStats(
+            count_object=count_object,
+            total_size=None if total_size is None else int(total_size),  # type: ignore[arg-type]
+            object_size=None if object_size is None else int(object_size),  # type: ignore[arg-type]
+        )
+
+    def _attribute_stats(self) -> AttributeStatsDecl:
+        self._expect("(")
+        attribute = self._ident("attribute name")
+        values: dict[str, LiteralValue] = {}
+        while self._peek().kind == ",":
+            self._next()
+            key = self._ident("statistic name")
+            self._expect("=")
+            values[key] = self._literal()
+        self._expect(")")
+        self._expect(";")
+        unknown = set(values) - {"Indexed", "CountDistinct", "Min", "Max"}
+        if unknown:
+            raise self._error(f"unknown attribute statistics {sorted(unknown)}")
+        count_distinct = values.get("CountDistinct")
+        return AttributeStatsDecl(
+            attribute=attribute,
+            indexed=bool(values.get("Indexed", False)),
+            count_distinct=None if count_distinct is None else int(count_distinct),  # type: ignore[arg-type]
+            min_value=values.get("Min"),
+            max_value=values.get("Max"),
+        )
+
+    def _assignment_list(self) -> dict[str, LiteralValue]:
+        self._expect("(")
+        values: dict[str, LiteralValue] = {}
+        if self._peek().kind != ")":
+            while True:
+                key = self._ident("statistic name")
+                self._expect("=")
+                values[key] = self._literal()
+                if self._peek().kind != ",":
+                    break
+                self._next()
+        self._expect(")")
+        return values
+
+    def _literal(self) -> LiteralValue:
+        token = self._next()
+        if token.kind == "number":
+            value = float(token.text)
+            return int(value) if value.is_integer() else value
+        if token.kind == "string":
+            return token.text
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            return token.text == "true"
+        if token.kind == "-" and self._peek().kind == "number":
+            number = self._next()
+            value = -float(number.text)
+            return int(value) if value.is_integer() else value
+        raise self._error(f"expected a literal but found {token.text!r}", token)
+
+    # -- variables and functions ------------------------------------------------------
+
+    def _var_decl(self) -> VarDecl:
+        self._expect_keyword("var")
+        name = self._ident("variable name")
+        self._expect("=")
+        value = self._literal()
+        self._expect(";")
+        return VarDecl(name, value)
+
+    def _function_def(self) -> FunctionDef:
+        self._expect_keyword("function")
+        name = self._ident("function name")
+        self._expect("(")
+        parameters: list[str] = []
+        if self._peek().kind != ")":
+            parameters.append(self._ident("parameter name"))
+            while self._peek().kind == ",":
+                self._next()
+                parameters.append(self._ident("parameter name"))
+        self._expect(")")
+        self._expect("=")
+        body = self._raw_expression_until(";")
+        self._expect(";")
+        return FunctionDef(name, parameters, body)
+
+    # -- cost rules ---------------------------------------------------------------------
+
+    def _costrule(self) -> RuleDef:
+        start = self._expect_keyword("costrule")
+        operator = self._ident("operator name")
+        self._expect("(")
+        collections: list[HeadArg] = []
+        predicate: HeadPredicate | None = None
+        if self._peek().kind != ")":
+            while True:
+                arg = self._head_arg()
+                if self._peek().kind in _COMPARISON_OPS:
+                    op = self._next().kind
+                    right = self._head_arg()
+                    predicate = HeadPredicate(arg, op, right)
+                    break
+                collections.append(arg)
+                if self._peek().kind != ",":
+                    break
+                self._next()
+        self._expect(")")
+        self._expect("{")
+        formulas: list[str] = []
+        while self._peek().kind != "}":
+            formulas.append(self._formula_text())
+        self._expect("}")
+        return RuleDef(
+            operator=operator,
+            collections=collections,
+            predicate=predicate,
+            formulas=formulas,
+            line=start.line,
+        )
+
+    def _head_arg(self) -> HeadArg:
+        token = self._peek()
+        if token.kind in ("number", "string") or (
+            token.kind == "keyword" and token.text in ("true", "false")
+        ):
+            return HeadArg("literal", self._literal())
+        if token.kind == "-":
+            return HeadArg("literal", self._literal())
+        name = self._ident("head argument")
+        # Dotted spellings like x1.id keep only the final attribute name.
+        while self._peek().kind == ".":
+            self._next()
+            name = self._ident("attribute name")
+        return HeadArg("name", name)
+
+    def _formula_text(self) -> str:
+        target = self._ident("formula target")
+        self._expect("=")
+        body = self._raw_expression_until(";")
+        self._expect(";")
+        return f"{target} = {body}"
+
+    def _raw_expression_until(self, terminator: str) -> str:
+        """Reassemble token texts (re-quoting strings) until ``terminator``."""
+        pieces: list[str] = []
+        depth = 0
+        while True:
+            token = self._peek()
+            if token.kind == "eof":
+                raise self._error(f"expected {terminator!r} before end of input")
+            if token.kind == terminator and depth == 0:
+                break
+            if token.kind == "(":
+                depth += 1
+            elif token.kind == ")":
+                if depth == 0:
+                    raise self._error("unbalanced ')' in formula")
+                depth -= 1
+            self._next()
+            if token.kind == "string":
+                pieces.append(f"'{token.text}'")
+            elif token.kind == ".":
+                # Glue path separators tightly so 'a . b' stays a path.
+                pieces.append(".")
+            else:
+                pieces.append(token.text)
+        text = ""
+        for piece in pieces:
+            if piece == "." or text.endswith("."):
+                text += piece
+            elif text:
+                text += " " + piece
+            else:
+                text = piece
+        return text
+
+
+def parse_document(source: str) -> Document:
+    """Parse CDL source text into a :class:`Document`."""
+    return Parser(source).parse_document()

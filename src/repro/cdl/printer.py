@@ -1,0 +1,113 @@
+"""Pretty-printer for CDL documents.
+
+Renders a parsed :class:`~repro.cdl.cdl_ast.Document` back to source text
+that re-parses to an equivalent document (round-trip property, checked by
+``tests/cdl/test_printer.py``).  Used by tooling that manipulates wrapper
+exports — e.g. an administrator dumping the registered cost information
+of a source for inspection or editing before re-registration (§2.1's
+administrative interface).
+"""
+
+from __future__ import annotations
+
+from repro.cdl.cdl_ast import (
+    AttributeStatsDecl,
+    Document,
+    ExtentStats,
+    FunctionDef,
+    HeadArg,
+    InterfaceDef,
+    LiteralValue,
+    RuleDef,
+    VarDecl,
+)
+
+
+def _literal(value: LiteralValue) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return f"'{value}'"
+    return repr(value)
+
+
+def _head_arg(arg: HeadArg) -> str:
+    if arg.kind == "literal":
+        return _literal(arg.value)
+    return str(arg.value)
+
+
+def print_extent(extent: ExtentStats) -> str:
+    parts = [f"CountObject = {extent.count_object}"]
+    if extent.total_size is not None:
+        parts.append(f"TotalSize = {extent.total_size}")
+    if extent.object_size is not None:
+        parts.append(f"ObjectSize = {extent.object_size}")
+    return f"    cardinality extent({', '.join(parts)});"
+
+
+def print_attribute_stats(decl: AttributeStatsDecl) -> str:
+    parts = [decl.attribute]
+    parts.append(f"Indexed = {_literal(decl.indexed)}")
+    if decl.count_distinct is not None:
+        parts.append(f"CountDistinct = {decl.count_distinct}")
+    if decl.min_value is not None:
+        parts.append(f"Min = {_literal(decl.min_value)}")
+    if decl.max_value is not None:
+        parts.append(f"Max = {_literal(decl.max_value)}")
+    return f"    cardinality attribute({', '.join(parts)});"
+
+
+def print_interface(interface: InterfaceDef) -> str:
+    lines = [f"interface {interface.name} {{"]
+    for attribute in interface.attributes:
+        lines.append(f"    attribute {attribute.type_name} {attribute.name};")
+    for operation in interface.operations:
+        params = ", ".join(
+            f"{direction} {type_name} {name}"
+            for direction, type_name, name in operation.parameters
+        )
+        lines.append(f"    {operation.return_type} {operation.name}({params});")
+    if interface.extent is not None:
+        lines.append(print_extent(interface.extent))
+    for decl in interface.attribute_stats:
+        lines.append(print_attribute_stats(decl))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_rule(rule_def: RuleDef) -> str:
+    args = [_head_arg(arg) for arg in rule_def.collections]
+    if rule_def.predicate is not None:
+        predicate = rule_def.predicate
+        args.append(
+            f"{_head_arg(predicate.left)} {predicate.op} {_head_arg(predicate.right)}"
+        )
+    lines = [f"costrule {rule_def.operator}({', '.join(args)}) {{"]
+    for formula in rule_def.formulas:
+        lines.append(f"    {formula};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_var(declaration: VarDecl) -> str:
+    return f"var {declaration.name} = {_literal(declaration.value)};"
+
+
+def print_function(definition: FunctionDef) -> str:
+    params = ", ".join(definition.parameters)
+    return f"function {definition.name}({params}) = {definition.body};"
+
+
+def print_document(document: Document) -> str:
+    """Render a whole document in declaration order by section."""
+    sections: list[str] = []
+    for interface in document.interfaces:
+        sections.append(print_interface(interface))
+    for declaration in document.variables:
+        sections.append(print_var(declaration))
+    for definition in document.functions:
+        sections.append(print_function(definition))
+    for rule_def in document.rules:
+        sections.append(print_rule(rule_def))
+    return "\n\n".join(sections) + ("\n" if sections else "")

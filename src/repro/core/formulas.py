@@ -1,0 +1,588 @@
+"""The cost formula expression language (§3.3.1, Figure 9).
+
+A formula body assigns one *result variable* (``TotalTime``, ``TimeFirst``,
+``TimeNext``, ``CountObject``, ``TotalSize``) the value of a mathematical
+expression.  Expressions may reference, by the Figure 7 path scheme:
+
+* statistics — ``Employee.CountObject``, ``C.A.CountDistinct`` (where
+  ``C``/``A`` are free variables bound during rule matching),
+* results already computed for the node — bare ``CountObject``,
+* results of a child node — ``C.TotalTime`` when ``C`` is bound to an
+  operator argument that is itself a subplan,
+* wrapper-defined variables (``PageSize``) and functions
+  (``selectivity(A, V)``), plus built-in math functions.
+
+Expressions are parsed once, at wrapper-registration time, into an AST and
+*compiled* into nested Python closures — the reproduction's stand-in for
+the paper's shipped bytecode (§2.4): parse cost is paid at registration,
+evaluation during optimization is a plain closure call.  No ``eval`` or
+``exec`` is ever used, so wrapper-supplied text cannot execute arbitrary
+code in the mediator.
+
+The grammar extends Figure 9's four binary operators with unary minus,
+comparison-free parenthesised expressions and n-ary function calls, which
+the paper itself uses in Figure 13 (``exp`` with one argument).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Protocol, Sequence
+
+from repro.core.statistics import Constant
+from repro.errors import FormulaError
+
+#: The result variables of the Figure 9 grammar.
+RESULT_VARIABLES = ("TotalTime", "TimeFirst", "TimeNext", "CountObject", "TotalSize")
+
+#: Derived result variables formulas may also read (not assign).
+DERIVED_VARIABLES = ("ObjectSize",)
+
+Value = float | str | bool
+
+# ---------------------------------------------------------------------------
+# Evaluation context protocol
+# ---------------------------------------------------------------------------
+
+
+class EvaluationContext(Protocol):
+    """What a compiled formula needs from its surroundings.
+
+    The cost estimator supplies a context per plan node; tests can use
+    :class:`MappingContext`.
+    """
+
+    def resolve_path(self, parts: tuple[str, ...]) -> Value:
+        """Resolve a dotted path (1, 2 or 3 components) to a value."""
+
+    def resolve_function(self, name: str) -> Callable[..., Value]:
+        """Resolve a function name to a callable."""
+
+
+class MappingContext:
+    """Dictionary-backed :class:`EvaluationContext` for tests and tools.
+
+    Paths are keyed by their dotted spelling (``"C.CountObject"``), and
+    functions come from an explicit mapping merged over the built-ins.
+    """
+
+    def __init__(
+        self,
+        values: Mapping[str, Value] | None = None,
+        functions: Mapping[str, Callable[..., Value]] | None = None,
+    ) -> None:
+        self._values = dict(values or {})
+        self._functions = dict(BUILTIN_FUNCTIONS)
+        if functions:
+            self._functions.update(functions)
+
+    def resolve_path(self, parts: tuple[str, ...]) -> Value:
+        key = ".".join(parts)
+        if key in self._values:
+            return self._values[key]
+        raise FormulaError(f"unbound reference {key!r}")
+
+    def resolve_function(self, name: str) -> Callable[..., Value]:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise FormulaError(f"unknown function {name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Built-in functions
+# ---------------------------------------------------------------------------
+
+
+def _clamp01(value: float) -> float:
+    return max(0.0, min(1.0, value))
+
+
+#: Functions available to every formula, mirroring "the entire library of
+#: code in the mediator ... is available to the wrapper implementor" (§2.4).
+BUILTIN_FUNCTIONS: dict[str, Callable[..., Value]] = {
+    "exp": math.exp,
+    "log": math.log,
+    "ln": math.log,
+    "log2": math.log2,
+    "sqrt": math.sqrt,
+    "abs": abs,
+    "ceil": lambda x: float(math.ceil(x)),
+    "floor": lambda x: float(math.floor(x)),
+    "min": min,
+    "max": max,
+    "pow": math.pow,
+    "clamp01": _clamp01,
+}
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of formula expression nodes."""
+
+    def compile(self) -> Callable[[EvaluationContext], Value]:
+        """Lower this node to a closure of one argument (the context)."""
+        raise NotImplementedError
+
+    def references(self) -> set[tuple[str, ...]]:
+        """All dotted paths the expression reads (for dependency analysis)."""
+        return set()
+
+    def function_names(self) -> set[str]:
+        """All function names the expression calls."""
+        return set()
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    """A numeric literal."""
+
+    value: float
+
+    def compile(self) -> Callable[[EvaluationContext], Value]:
+        value = float(self.value)
+        return lambda _ctx: value
+
+    def __str__(self) -> str:
+        if float(self.value).is_integer():
+            return str(int(self.value))
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class StringLit(Expr):
+    """A string literal (usable as a function argument)."""
+
+    value: str
+
+    def compile(self) -> Callable[[EvaluationContext], Value]:
+        value = self.value
+        return lambda _ctx: value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class PathRef(Expr):
+    """A dotted reference: variable, statistic path, or result variable."""
+
+    parts: tuple[str, ...]
+
+    def compile(self) -> Callable[[EvaluationContext], Value]:
+        parts = self.parts
+
+        def run(ctx: EvaluationContext) -> Value:
+            return ctx.resolve_path(parts)
+
+        return run
+
+    def references(self) -> set[tuple[str, ...]]:
+        return {self.parts}
+
+    def __str__(self) -> str:
+        return ".".join(self.parts)
+
+
+def _as_number(value: Value) -> float:
+    """Coerce an operand of arithmetic to a float."""
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, Constant):
+        return value.as_number()
+    if isinstance(value, str):
+        return Constant(value).as_number()
+    raise FormulaError(f"cannot use {value!r} as a number")
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary arithmetic operation: ``+ - * /``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def compile(self) -> Callable[[EvaluationContext], Value]:
+        left = self.left.compile()
+        right = self.right.compile()
+        op = self.op
+        if op == "+":
+            return lambda ctx: _as_number(left(ctx)) + _as_number(right(ctx))
+        if op == "-":
+            return lambda ctx: _as_number(left(ctx)) - _as_number(right(ctx))
+        if op == "*":
+            return lambda ctx: _as_number(left(ctx)) * _as_number(right(ctx))
+        if op == "/":
+
+            def divide(ctx: EvaluationContext) -> Value:
+                denominator = _as_number(right(ctx))
+                if denominator == 0:
+                    raise FormulaError(
+                        f"division by zero evaluating {self}"
+                    )
+                return _as_number(left(ctx)) / denominator
+
+            return divide
+        raise FormulaError(f"unknown operator {op!r}")
+
+    def references(self) -> set[tuple[str, ...]]:
+        return self.left.references() | self.right.references()
+
+    def function_names(self) -> set[str]:
+        return self.left.function_names() | self.right.function_names()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    """Unary minus."""
+
+    operand: Expr
+
+    def compile(self) -> Callable[[EvaluationContext], Value]:
+        operand = self.operand.compile()
+        return lambda ctx: -_as_number(operand(ctx))
+
+    def references(self) -> set[tuple[str, ...]]:
+        return self.operand.references()
+
+    def function_names(self) -> set[str]:
+        return self.operand.function_names()
+
+    def __str__(self) -> str:
+        return f"(-{self.operand})"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A function call with positional arguments."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+    def compile(self) -> Callable[[EvaluationContext], Value]:
+        compiled_args = tuple(arg.compile() for arg in self.args)
+        name = self.name
+
+        def run(ctx: EvaluationContext) -> Value:
+            function = ctx.resolve_function(name)
+            values = [arg(ctx) for arg in compiled_args]
+            try:
+                return function(*values)
+            except FormulaError:
+                raise
+            except Exception as exc:
+                raise FormulaError(
+                    f"function {name}({', '.join(map(repr, values))}) failed: {exc}"
+                ) from exc
+
+        return run
+
+    def references(self) -> set[tuple[str, ...]]:
+        refs: set[tuple[str, ...]] = set()
+        for arg in self.args:
+            refs |= arg.references()
+        return refs
+
+    def function_names(self) -> set[str]:
+        names = {self.name}
+        for arg in self.args:
+            names |= arg.function_names()
+        return names
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+# ---------------------------------------------------------------------------
+# Expression parser (recursive descent over the Figure 9 math grammar)
+# ---------------------------------------------------------------------------
+
+
+class _ExprTokenizer:
+    """Tokenizer for formula expressions."""
+
+    PUNCT = set("+-*/(),.")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.tokens: list[tuple[str, str]] = []
+        self._scan()
+        self.index = 0
+
+    def _scan(self) -> None:
+        text, length = self.text, len(self.text)
+        pos = 0
+        while pos < length:
+            char = text[pos]
+            if char.isspace():
+                pos += 1
+                continue
+            if char.isdigit() or (
+                char == "." and pos + 1 < length and text[pos + 1].isdigit()
+            ):
+                start = pos
+                seen_dot = False
+                while pos < length and (text[pos].isdigit() or text[pos] == "."):
+                    if text[pos] == ".":
+                        # A dot not followed by a digit is a path separator.
+                        if seen_dot or pos + 1 >= length or not text[pos + 1].isdigit():
+                            break
+                        seen_dot = True
+                    pos += 1
+                # exponent part
+                if pos < length and text[pos] in "eE":
+                    mark = pos
+                    pos += 1
+                    if pos < length and text[pos] in "+-":
+                        pos += 1
+                    if pos < length and text[pos].isdigit():
+                        while pos < length and text[pos].isdigit():
+                            pos += 1
+                    else:
+                        pos = mark
+                self.tokens.append(("number", text[start:pos]))
+                continue
+            if char.isalpha() or char == "_":
+                start = pos
+                while pos < length and (text[pos].isalnum() or text[pos] == "_"):
+                    pos += 1
+                self.tokens.append(("name", text[start:pos]))
+                continue
+            if char in ("'", '"'):
+                quote = char
+                pos += 1
+                start = pos
+                while pos < length and text[pos] != quote:
+                    pos += 1
+                if pos >= length:
+                    raise FormulaError(f"unterminated string literal in {text!r}")
+                self.tokens.append(("string", text[start:pos]))
+                pos += 1
+                continue
+            if char in self.PUNCT:
+                self.tokens.append((char, char))
+                pos += 1
+                continue
+            raise FormulaError(f"unexpected character {char!r} in formula {text!r}")
+        self.tokens.append(("eof", ""))
+
+    def peek(self) -> tuple[str, str]:
+        return self.tokens[self.index]
+
+    def next(self) -> tuple[str, str]:
+        token = self.tokens[self.index]
+        if token[0] != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, kind: str) -> tuple[str, str]:
+        token = self.next()
+        if token[0] != kind:
+            raise FormulaError(
+                f"expected {kind!r} but found {token[1]!r} in formula {self.text!r}"
+            )
+        return token
+
+
+class _ExprParser:
+    """``expr := term (('+'|'-') term)*``, ``term := unary (('*'|'/') unary)*``."""
+
+    def __init__(self, text: str) -> None:
+        self.tokens = _ExprTokenizer(text)
+        self.text = text
+
+    def parse(self) -> Expr:
+        expr = self._expr()
+        token = self.tokens.peek()
+        if token[0] != "eof":
+            raise FormulaError(
+                f"trailing input {token[1]!r} in formula {self.text!r}"
+            )
+        return expr
+
+    def _expr(self) -> Expr:
+        node = self._term()
+        while self.tokens.peek()[0] in ("+", "-"):
+            op = self.tokens.next()[0]
+            node = BinOp(op, node, self._term())
+        return node
+
+    def _term(self) -> Expr:
+        node = self._unary()
+        while self.tokens.peek()[0] in ("*", "/"):
+            op = self.tokens.next()[0]
+            node = BinOp(op, node, self._unary())
+        return node
+
+    def _unary(self) -> Expr:
+        if self.tokens.peek()[0] == "-":
+            self.tokens.next()
+            return Neg(self._unary())
+        if self.tokens.peek()[0] == "+":
+            self.tokens.next()
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        kind, value = self.tokens.next()
+        if kind == "number":
+            return Number(float(value))
+        if kind == "string":
+            return StringLit(value)
+        if kind == "(":
+            inner = self._expr()
+            self.tokens.expect(")")
+            return inner
+        if kind == "name":
+            if self.tokens.peek()[0] == "(":
+                self.tokens.next()
+                args: list[Expr] = []
+                if self.tokens.peek()[0] != ")":
+                    args.append(self._expr())
+                    while self.tokens.peek()[0] == ",":
+                        self.tokens.next()
+                        args.append(self._expr())
+                self.tokens.expect(")")
+                return Call(value, tuple(args))
+            parts = [value]
+            while self.tokens.peek()[0] == ".":
+                self.tokens.next()
+                parts.append(self.tokens.expect("name")[1])
+            if len(parts) > 3:
+                raise FormulaError(
+                    f"path {'.'.join(parts)!r} has more than three components"
+                )
+            return PathRef(tuple(parts))
+        raise FormulaError(f"unexpected token {value!r} in formula {self.text!r}")
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a formula expression into an AST."""
+    return _ExprParser(text).parse()
+
+
+# ---------------------------------------------------------------------------
+# Formula: one assignment "Result = expr"
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Formula:
+    """One assignment of a result variable (Figure 9: ``<formula>``).
+
+    ``target`` is the assigned variable.  Besides the five grammar results
+    a formula may assign a *local* variable (e.g. ``CountPage`` in the
+    Figure 13 rule) which later formulas of the same rule may read.
+    """
+
+    target: str
+    expression: Expr
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        self._compiled = self.expression.compile()
+        if not self.source:
+            self.source = f"{self.target} = {self.expression}"
+
+    @property
+    def is_result(self) -> bool:
+        """True when the target is one of the five grammar result variables."""
+        return self.target in RESULT_VARIABLES
+
+    def evaluate(self, ctx: EvaluationContext) -> Value:
+        """Run the compiled closure against a context."""
+        try:
+            return self._compiled(ctx)
+        except FormulaError as exc:
+            raise FormulaError(f"{exc} [in {self.source}]") from exc
+
+    def references(self) -> set[tuple[str, ...]]:
+        return self.expression.references()
+
+    def function_names(self) -> set[str]:
+        return self.expression.function_names()
+
+    def __str__(self) -> str:
+        return self.source
+
+
+class PythonFormula(Formula):
+    """A formula whose body is a Python callable instead of parsed text.
+
+    The mediator's *generic* cost model (§2.3) needs logic the wrapper
+    grammar deliberately leaves out — predicate-driven selectivity
+    derivation, "best of nested-loop and sort-merge" method choice — so
+    its default-scope rules carry native bodies.  Wrapper-exported rules
+    always come from parsed text; native bodies exist only mediator-side,
+    mirroring the paper where the generic model is mediator code while
+    wrapper formulas arrive through the cost language.
+
+    ``child_requirements`` declares which result variables of child nodes
+    the body reads, so the Step-1 required-variable propagation (§4.2)
+    works for native formulas exactly as reference analysis does for
+    parsed ones.
+    """
+
+    def __init__(
+        self,
+        target: str,
+        body: Callable[[EvaluationContext], Value],
+        source: str = "",
+        child_requirements: frozenset[str] = frozenset(),
+        own_requirements: frozenset[str] = frozenset(),
+    ) -> None:
+        self.target = target
+        self.expression = Number(0.0)  # placeholder, never evaluated
+        self._body = body
+        self.source = source or f"{target} = <native:{body.__name__}>"
+        self.child_requirements = frozenset(child_requirements)
+        self.own_requirements = frozenset(own_requirements)
+        self._compiled = body
+
+    def evaluate(self, ctx: EvaluationContext) -> Value:
+        try:
+            return self._body(ctx)
+        except FormulaError as exc:
+            raise FormulaError(f"{exc} [in {self.source}]") from exc
+
+    def references(self) -> set[tuple[str, ...]]:
+        """Native formulas express requirements via the two explicit sets;
+        they are surfaced here in path form for uniform analysis: child
+        requirements as ``("__child__", var)`` and own-node requirements
+        as ``(var,)``."""
+        refs: set[tuple[str, ...]] = {
+            ("__child__", variable) for variable in self.child_requirements
+        }
+        refs |= {(variable,) for variable in self.own_requirements}
+        return refs
+
+    def function_names(self) -> set[str]:
+        return set()
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse ``Target = expression`` into a :class:`Formula`."""
+    if "=" not in text:
+        raise FormulaError(f"formula {text!r} has no '=' assignment")
+    target, _, body = text.partition("=")
+    target = target.strip()
+    if not target.replace("_", "").isalnum() or target[0].isdigit():
+        raise FormulaError(f"invalid formula target {target!r}")
+    return Formula(target=target, expression=parse_expression(body), source=text.strip())
+
+
+def parse_formulas(texts: Sequence[str]) -> list[Formula]:
+    """Parse several ``Target = expression`` lines."""
+    return [parse_formula(text) for text in texts]

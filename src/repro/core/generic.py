@@ -1,0 +1,1038 @@
+"""The mediator's generic cost model (§2.3).
+
+"When no specific information are given by wrappers, the mediator
+estimates the cost of plans using a cost model ... for simplicity, the
+generic cost model does not separate CPU and IO costs, which are buried in
+global cost formulas parameters."
+
+The model distinguishes, exactly as the paper describes:
+
+* **unary operators** — two cases, *sequential scan* and *index scan*; the
+  relevant one is selected through the index-presence statistic and, per
+  §4.2 Step 3, by installing both formulas at the same matching level so
+  the cheaper estimate wins;
+* **binary operators** — three cases, *index join*, *nested loops* and
+  *sort-merge*: "When an index is existing, the index join formula is
+  selected, otherwise the best of the two others is chosen" — again
+  realized as three same-level rules racing to the lowest value;
+* selectivities derived from ``Min``/``Max``/``CountDistinct`` (§2.3), and
+  join cardinality from ``1 / max(CountDistinct(A), CountDistinct(B))``.
+
+Every rule is installed at **default scope**, so any wrapper-exported rule
+at wrapper/collection/predicate scope overrides it per variable — that is
+the leverage mechanism of the paper's title.  A parallel set with
+mediator-local coefficients is installed at **local scope** for operators
+the mediator executes itself (§4.1 footnote).
+
+The numeric coefficients live in :class:`GenericCoefficients`; the
+calibration procedure (:mod:`repro.core.calibration`) estimates them per
+source class, following [DKS92]/[GST96].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.algebra.expressions import (
+    And,
+    AttributeRef,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.algebra.logical import BindJoin, Join, PlanNode, Scan, Select
+from repro.core import selectivity as sel_mod
+from repro.core.formulas import PythonFormula, Value
+from repro.core.rules import (
+    CostRule,
+    OperatorPattern,
+    join_pattern,
+    scan_pattern,
+    select_pattern,
+    unary_pattern,
+    union_pattern,
+    var,
+)
+from repro.core.scopes import RuleRepository
+from repro.core.statistics import AttributeStats
+
+#: An "impossible" cost used by method formulas that do not apply (no
+#: index, wrong shape).  Under the lowest-value policy it simply loses.
+NOT_APPLICABLE = math.inf
+
+
+@dataclass
+class GenericCoefficients:
+    """The calibrated time parameters of the generic model (milliseconds).
+
+    Names follow the three-form scheme of §2.3 — overheads feed
+    ``TimeFirst``, per-object terms feed ``TimeNext``/``TotalTime``.
+    """
+
+    # unary operators
+    ms_scan_startup: float = 100.0
+    ms_per_object_scanned: float = 10.0
+    ms_index_startup: float = 50.0
+    ms_per_object_index: float = 12.0
+    ms_per_object_filter: float = 0.5
+    ms_per_object_project: float = 0.2
+    # binary operators
+    ms_per_pair_nested_loop: float = 0.2
+    ms_sort_factor: float = 0.8
+    ms_per_object_merge: float = 0.4
+    ms_per_probe_index_join: float = 26.0
+    ms_per_object_fetch: float = 10.0
+    # aggregates / sets
+    ms_per_object_hash: float = 0.6
+    # communication (submit)
+    ms_per_message: float = 150.0
+    ms_per_byte: float = 0.002
+    # generic output term
+    ms_per_object_output: float = 1.0
+
+    def scaled(self, factor: float) -> "GenericCoefficients":
+        """A uniformly scaled copy (useful for modelling faster devices)."""
+        values = {
+            name: getattr(self, name) * factor
+            for name in self.__dataclass_fields__
+        }
+        return GenericCoefficients(**values)
+
+
+#: Coefficients for operators executed by the mediator itself: pure
+#: in-memory processing, no device I/O.
+MEDIATOR_COEFFICIENTS = GenericCoefficients(
+    ms_scan_startup=1.0,
+    ms_per_object_scanned=0.05,
+    ms_index_startup=1.0,
+    ms_per_object_index=0.06,
+    ms_per_object_filter=0.02,
+    ms_per_object_project=0.01,
+    ms_per_pair_nested_loop=0.02,
+    ms_sort_factor=0.03,
+    ms_per_object_merge=0.02,
+    ms_per_probe_index_join=0.06,
+    ms_per_object_fetch=0.05,
+    ms_per_object_hash=0.03,
+    ms_per_message=150.0,
+    ms_per_byte=0.002,
+    ms_per_object_output=0.02,
+)
+
+
+class CoefficientSet:
+    """Per-source calibrated coefficients with a shared default.
+
+    The calibrating approach specializes the generic model "for a class of
+    systems"; each registered wrapper may get its own fitted coefficients
+    while unknown sources fall back to the defaults.
+    """
+
+    def __init__(self, default: GenericCoefficients | None = None) -> None:
+        self.default = default or GenericCoefficients()
+        self._per_source: dict[str, GenericCoefficients] = {}
+        self.mediator = MEDIATOR_COEFFICIENTS
+
+    def set_source(self, source: str, coefficients: GenericCoefficients) -> None:
+        self._per_source[source] = coefficients
+
+    def for_source(self, source: str | None) -> GenericCoefficients:
+        if source is None:
+            return self.mediator
+        return self._per_source.get(source, self.default)
+
+    def sources(self) -> list[str]:
+        return sorted(self._per_source)
+
+
+def _coeffs(ctx) -> GenericCoefficients:
+    """Coefficients applicable at the node a formula is evaluating."""
+    holder = ctx.coefficients
+    if isinstance(holder, CoefficientSet):
+        return holder.for_source(ctx.source)
+    if isinstance(holder, GenericCoefficients):
+        return holder
+    return GenericCoefficients()
+
+
+# ---------------------------------------------------------------------------
+# Predicate selectivity (native derivation, §2.3)
+# ---------------------------------------------------------------------------
+
+
+def _attribute_stats(ctx, attribute: AttributeRef) -> AttributeStats:
+    stats = ctx.attribute_stats(attribute.collection, attribute.name)
+    if stats is None:
+        stats = ctx.estimation.estimator.default_attribute_stats(attribute.name)
+    return stats
+
+
+def predicate_selectivity(ctx, predicate: Predicate) -> float:
+    """Estimate the fraction of input rows a predicate keeps.
+
+    Conjunctions multiply, disjunctions use inclusion–exclusion, negation
+    complements; comparisons use the uniform estimators of
+    :mod:`repro.core.selectivity` over the catalog statistics, with §6's
+    standard fallback values when statistics are missing.
+    """
+    if isinstance(predicate, TruePredicate):
+        return 1.0
+    if isinstance(predicate, And):
+        return predicate_selectivity(ctx, predicate.left) * predicate_selectivity(
+            ctx, predicate.right
+        )
+    if isinstance(predicate, Or):
+        left = predicate_selectivity(ctx, predicate.left)
+        right = predicate_selectivity(ctx, predicate.right)
+        return min(1.0, left + right - left * right)
+    if isinstance(predicate, Not):
+        return max(0.0, 1.0 - predicate_selectivity(ctx, predicate.operand))
+    if isinstance(predicate, Comparison):
+        return _comparison_selectivity(ctx, predicate.normalized())
+    return 1.0 / 3.0
+
+
+def _comparison_selectivity(ctx, comparison: Comparison) -> float:
+    if comparison.is_attr_attr:
+        # Attribute-to-attribute restriction inside one collection.
+        return 0.1
+    if not comparison.is_attr_value:
+        return 1.0 / 3.0
+    attribute = comparison.left
+    literal = comparison.right
+    assert isinstance(attribute, AttributeRef) and isinstance(literal, Literal)
+    stats = _attribute_stats(ctx, attribute)
+    op = comparison.op
+    if op == "=":
+        return sel_mod.equality_selectivity(stats)
+    if op == "!=":
+        return sel_mod.inequality_selectivity(stats)
+    if op in ("<", "<="):
+        return sel_mod.range_selectivity(
+            stats, None, literal.value, high_inclusive=(op == "<=")
+        )
+    return sel_mod.range_selectivity(
+        stats, literal.value, None, low_inclusive=(op == ">=")
+    )
+
+
+def _single_indexed_comparison(ctx, node: PlanNode) -> Comparison | None:
+    """The comparison enabling an index access path, if any.
+
+    Requires the select to sit directly on a Scan (the access-path shape)
+    and the restricted attribute to be exported as indexed.
+    """
+    if not isinstance(node, Select) or not isinstance(node.child, Scan):
+        return None
+    predicate = node.predicate
+    comparisons = [
+        c.normalized()
+        for c in predicate.conjuncts()
+        if isinstance(c, Comparison) and c.normalized().is_attr_value
+    ]
+    for comparison in comparisons:
+        attribute = comparison.left
+        assert isinstance(attribute, AttributeRef)
+        stats = ctx.attribute_stats(attribute.collection, attribute.name)
+        if stats is not None and stats.indexed:
+            return comparison
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Native formula helpers
+# ---------------------------------------------------------------------------
+
+
+def _native(
+    target: str,
+    body: Callable[..., Value],
+    label: str,
+    child_req: tuple[str, ...] = (),
+    own_req: tuple[str, ...] = (),
+) -> PythonFormula:
+    return PythonFormula(
+        target,
+        body,
+        source=f"{target} = <generic:{label}>",
+        child_requirements=frozenset(child_req),
+        own_requirements=frozenset(own_req),
+    )
+
+
+def _time_next_formula() -> PythonFormula:
+    """Catch-all ``TimeNext = (TotalTime - TimeFirst) / CountObject``."""
+
+    def time_next(ctx) -> Value:
+        total = ctx.own_value("TotalTime")
+        first = ctx.own_value("TimeFirst")
+        count = max(1.0, ctx.own_value("CountObject"))
+        return max(0.0, (total - first)) / count
+
+    return _native(
+        "TimeNext",
+        time_next,
+        "avg-per-tuple",
+        own_req=("TotalTime", "TimeFirst", "CountObject"),
+    )
+
+
+def _rule(pattern: OperatorPattern, formulas: list[PythonFormula], name: str) -> CostRule:
+    return CostRule(head=pattern, formulas=list(formulas), name=name)
+
+
+# ---------------------------------------------------------------------------
+# Rules per operator
+# ---------------------------------------------------------------------------
+
+
+def _scan_rules() -> list[CostRule]:
+    pattern = scan_pattern(var("C"))
+
+    def count_object(ctx) -> Value:
+        collection = ctx.match.bindings["C"]
+        return float(ctx.estimation.estimator.stats_for(collection).count_object)
+
+    def total_size(ctx) -> Value:
+        collection = ctx.match.bindings["C"]
+        return float(ctx.estimation.estimator.stats_for(collection).total_size)
+
+    def time_first(ctx) -> Value:
+        return _coeffs(ctx).ms_scan_startup
+
+    def total_time(ctx) -> Value:
+        coeffs = _coeffs(ctx)
+        count = ctx.own_value("CountObject")
+        return coeffs.ms_scan_startup + count * coeffs.ms_per_object_scanned
+
+    return [
+        _rule(
+            pattern,
+            [
+                _native("CountObject", count_object, "scan-card"),
+                _native("TotalSize", total_size, "scan-size"),
+                _native("TimeFirst", time_first, "scan-first"),
+                _native(
+                    "TotalTime", total_time, "seq-scan", own_req=("CountObject",)
+                ),
+                _time_next_formula(),
+            ],
+            name="generic-scan",
+        )
+    ]
+
+
+def _select_rules() -> list[CostRule]:
+    pattern = select_pattern(var("C"))
+
+    def count_object(ctx) -> Value:
+        selectivity = predicate_selectivity(ctx, ctx.node.predicate)
+        return ctx.child_value("CountObject") * selectivity
+
+    def total_size(ctx) -> Value:
+        return ctx.own_value("CountObject") * ctx.child_value("ObjectSize")
+
+    def time_first_seq(ctx) -> Value:
+        return ctx.child_value("TimeFirst")
+
+    def total_time_seq(ctx) -> Value:
+        coeffs = _coeffs(ctx)
+        return (
+            ctx.child_value("TotalTime")
+            + ctx.child_value("CountObject") * coeffs.ms_per_object_filter
+        )
+
+    def total_time_index(ctx) -> Value:
+        comparison = _single_indexed_comparison(ctx, ctx.node)
+        if comparison is None:
+            return NOT_APPLICABLE
+        coeffs = _coeffs(ctx)
+        selectivity = predicate_selectivity(ctx, ctx.node.predicate)
+        base_count = ctx.child_value("CountObject")
+        selected = selectivity * base_count
+        return coeffs.ms_index_startup + selected * coeffs.ms_per_object_index
+
+    def time_first_index(ctx) -> Value:
+        if _single_indexed_comparison(ctx, ctx.node) is None:
+            return NOT_APPLICABLE
+        return _coeffs(ctx).ms_index_startup
+
+    seq_rule = _rule(
+        pattern,
+        [
+            _native(
+                "CountObject", count_object, "select-card", child_req=("CountObject",)
+            ),
+            _native(
+                "TotalSize",
+                total_size,
+                "select-size",
+                child_req=("ObjectSize",),
+                own_req=("CountObject",),
+            ),
+            _native(
+                "TimeFirst", time_first_seq, "select-seq-first", child_req=("TimeFirst",)
+            ),
+            _native(
+                "TotalTime",
+                total_time_seq,
+                "seq-filter",
+                child_req=("TotalTime", "CountObject"),
+            ),
+            _time_next_formula(),
+        ],
+        name="generic-select-seq",
+    )
+    index_rule = _rule(
+        pattern,
+        [
+            _native(
+                "TotalTime",
+                total_time_index,
+                "index-scan",
+                child_req=("CountObject",),
+            ),
+            _native("TimeFirst", time_first_index, "index-scan-first"),
+        ],
+        name="generic-select-index",
+    )
+    return [seq_rule, index_rule]
+
+
+def _project_rules() -> list[CostRule]:
+    pattern = unary_pattern("project", var("C"))
+
+    def count_object(ctx) -> Value:
+        return ctx.child_value("CountObject")
+
+    def total_size(ctx) -> Value:
+        node = ctx.node
+        stats = ctx.primary_stats_or_none()
+        if stats is not None and stats.attributes:
+            fraction = min(1.0, len(node.attributes) / len(stats.attributes))
+        else:
+            fraction = 0.5
+        return ctx.child_value("TotalSize") * fraction
+
+    def time_first(ctx) -> Value:
+        return ctx.child_value("TimeFirst")
+
+    def total_time(ctx) -> Value:
+        coeffs = _coeffs(ctx)
+        return (
+            ctx.child_value("TotalTime")
+            + ctx.child_value("CountObject") * coeffs.ms_per_object_project
+        )
+
+    return [
+        _rule(
+            pattern,
+            [
+                _native(
+                    "CountObject", count_object, "project-card", child_req=("CountObject",)
+                ),
+                _native(
+                    "TotalSize", total_size, "project-size", child_req=("TotalSize",)
+                ),
+                _native(
+                    "TimeFirst", time_first, "project-first", child_req=("TimeFirst",)
+                ),
+                _native(
+                    "TotalTime",
+                    total_time,
+                    "project-time",
+                    child_req=("TotalTime", "CountObject"),
+                ),
+                _time_next_formula(),
+            ],
+            name="generic-project",
+        )
+    ]
+
+
+def _sort_rules() -> list[CostRule]:
+    pattern = unary_pattern("sort", var("C"))
+
+    def carry(variable: str) -> Callable[..., Value]:
+        def body(ctx) -> Value:
+            return ctx.child_value(variable)
+
+        body.__name__ = f"carry_{variable}"
+        return body
+
+    def total_time(ctx) -> Value:
+        coeffs = _coeffs(ctx)
+        count = ctx.child_value("CountObject")
+        return ctx.child_value("TotalTime") + coeffs.ms_sort_factor * count * math.log2(
+            count + 2.0
+        )
+
+    def time_first(ctx) -> Value:
+        # A sort is blocking: the first tuple appears only at the end
+        # ("TimeFirst accounts for query start up time and, in particular,
+        # sort operations", §2.3).
+        return ctx.own_value("TotalTime")
+
+    return [
+        _rule(
+            pattern,
+            [
+                _native(
+                    "CountObject",
+                    carry("CountObject"),
+                    "sort-card",
+                    child_req=("CountObject",),
+                ),
+                _native(
+                    "TotalSize", carry("TotalSize"), "sort-size", child_req=("TotalSize",)
+                ),
+                _native(
+                    "TotalTime",
+                    total_time,
+                    "sort-time",
+                    child_req=("TotalTime", "CountObject"),
+                ),
+                _native("TimeFirst", time_first, "sort-first", own_req=("TotalTime",)),
+                _time_next_formula(),
+            ],
+            name="generic-sort",
+        )
+    ]
+
+
+def _distinct_rules() -> list[CostRule]:
+    pattern = unary_pattern("distinct", var("C"))
+
+    def count_object(ctx) -> Value:
+        # Without value statistics of the full tuple, duplicate elimination
+        # keeps everything (conservative upper bound).
+        return ctx.child_value("CountObject")
+
+    def total_size(ctx) -> Value:
+        return ctx.own_value("CountObject") * ctx.child_value("ObjectSize")
+
+    def total_time(ctx) -> Value:
+        coeffs = _coeffs(ctx)
+        return (
+            ctx.child_value("TotalTime")
+            + ctx.child_value("CountObject") * coeffs.ms_per_object_hash
+        )
+
+    def time_first(ctx) -> Value:
+        return ctx.own_value("TotalTime")
+
+    return [
+        _rule(
+            pattern,
+            [
+                _native(
+                    "CountObject", count_object, "distinct-card", child_req=("CountObject",)
+                ),
+                _native(
+                    "TotalSize",
+                    total_size,
+                    "distinct-size",
+                    child_req=("ObjectSize",),
+                    own_req=("CountObject",),
+                ),
+                _native(
+                    "TotalTime",
+                    total_time,
+                    "distinct-time",
+                    child_req=("TotalTime", "CountObject"),
+                ),
+                _native("TimeFirst", time_first, "distinct-first", own_req=("TotalTime",)),
+                _time_next_formula(),
+            ],
+            name="generic-distinct",
+        )
+    ]
+
+
+def _aggregate_rules() -> list[CostRule]:
+    pattern = unary_pattern("aggregate", var("C"))
+
+    def count_object(ctx) -> Value:
+        node = ctx.node
+        child_count = ctx.child_value("CountObject")
+        if not node.group_by:
+            return 1.0
+        stats = ctx.primary_stats_or_none()
+        groups = 1.0
+        for attribute in node.group_by:
+            attr_stats = None
+            if stats is not None and attribute in stats.attributes:
+                attr_stats = stats.attributes[attribute]
+            if attr_stats is not None and attr_stats.count_distinct:
+                groups *= attr_stats.count_distinct
+            else:
+                groups *= math.sqrt(max(1.0, child_count))
+        return min(child_count, groups)
+
+    def total_size(ctx) -> Value:
+        node = ctx.node
+        width = 16.0 * (len(node.group_by) + len(node.aggregates))
+        return ctx.own_value("CountObject") * width
+
+    def total_time(ctx) -> Value:
+        coeffs = _coeffs(ctx)
+        return (
+            ctx.child_value("TotalTime")
+            + ctx.child_value("CountObject") * coeffs.ms_per_object_hash
+        )
+
+    def time_first(ctx) -> Value:
+        return ctx.own_value("TotalTime")
+
+    return [
+        _rule(
+            pattern,
+            [
+                _native(
+                    "CountObject", count_object, "agg-card", child_req=("CountObject",)
+                ),
+                _native("TotalSize", total_size, "agg-size", own_req=("CountObject",)),
+                _native(
+                    "TotalTime",
+                    total_time,
+                    "agg-time",
+                    child_req=("TotalTime", "CountObject"),
+                ),
+                _native("TimeFirst", time_first, "agg-first", own_req=("TotalTime",)),
+                _time_next_formula(),
+            ],
+            name="generic-aggregate",
+        )
+    ]
+
+
+def _join_selectivity(ctx, node: Join) -> float:
+    left_stats = ctx.attribute_stats(
+        node.left_attribute.collection or _side_collection(node.left),
+        node.left_attribute.name,
+    )
+    right_stats = ctx.attribute_stats(
+        node.right_attribute.collection or _side_collection(node.right),
+        node.right_attribute.name,
+    )
+    if left_stats is None and right_stats is None:
+        return 0.01
+    fallback = AttributeStats(name="?", count_distinct=None)
+    return sel_mod.join_selectivity(left_stats or fallback, right_stats or fallback)
+
+
+def _side_collection(node: PlanNode) -> str | None:
+    return node.primary_collection()
+
+
+def _index_join_applicable(ctx, node: Join) -> bool:
+    """§2.3: "When an index is existing, the index join formula is
+    selected" — applicable when the right input is a base scan with an
+    exported index on the join attribute."""
+    right = node.right
+    if not isinstance(right, Scan):
+        return False
+    right_stats = ctx.attribute_stats(right.collection, node.right_attribute.name)
+    return right_stats is not None and right_stats.indexed
+
+
+def _join_rules() -> list[CostRule]:
+    pattern = join_pattern(var("C1"), var("C2"))
+
+    def count_object(ctx) -> Value:
+        node = ctx.node
+        selectivity = _join_selectivity(ctx, node)
+        return (
+            ctx.child_value("CountObject", 0)
+            * ctx.child_value("CountObject", 1)
+            * selectivity
+        )
+
+    def total_size(ctx) -> Value:
+        width = ctx.child_value("ObjectSize", 0) + ctx.child_value("ObjectSize", 1)
+        return ctx.own_value("CountObject") * width
+
+    def total_time_nested(ctx) -> Value:
+        # §2.3 precedence: the index-join formula is *selected* when an
+        # index exists; only otherwise do nested-loop and sort-merge race.
+        if _index_join_applicable(ctx, ctx.node):
+            return NOT_APPLICABLE
+        coeffs = _coeffs(ctx)
+        n1 = ctx.child_value("CountObject", 0)
+        n2 = ctx.child_value("CountObject", 1)
+        return (
+            ctx.child_value("TotalTime", 0)
+            + ctx.child_value("TotalTime", 1)
+            + n1 * n2 * coeffs.ms_per_pair_nested_loop
+        )
+
+    def total_time_sort_merge(ctx) -> Value:
+        if _index_join_applicable(ctx, ctx.node):
+            return NOT_APPLICABLE
+        coeffs = _coeffs(ctx)
+        n1 = ctx.child_value("CountObject", 0)
+        n2 = ctx.child_value("CountObject", 1)
+        sort_cost = coeffs.ms_sort_factor * (
+            n1 * math.log2(n1 + 2.0) + n2 * math.log2(n2 + 2.0)
+        )
+        merge_cost = (n1 + n2) * coeffs.ms_per_object_merge
+        return (
+            ctx.child_value("TotalTime", 0)
+            + ctx.child_value("TotalTime", 1)
+            + sort_cost
+            + merge_cost
+        )
+
+    def total_time_index(ctx) -> Value:
+        node = ctx.node
+        if not _index_join_applicable(ctx, node):
+            return NOT_APPLICABLE
+        right = node.right
+        assert isinstance(right, Scan)
+        right_stats = ctx.attribute_stats(right.collection, node.right_attribute.name)
+        assert right_stats is not None
+        coeffs = _coeffs(ctx)
+        n1 = ctx.child_value("CountObject", 0)
+        n2 = ctx.child_value("CountObject", 1)
+        matches_per_probe = n2 / max(1.0, float(right_stats.count_distinct or n2))
+        probe_cost = coeffs.ms_per_probe_index_join + (
+            matches_per_probe * coeffs.ms_per_object_fetch
+        )
+        return ctx.child_value("TotalTime", 0) + n1 * probe_cost
+
+    def time_first(ctx) -> Value:
+        return ctx.child_value("TimeFirst", 0) + ctx.child_value("TimeFirst", 1)
+
+    main_rule = _rule(
+        pattern,
+        [
+            _native(
+                "CountObject", count_object, "join-card", child_req=("CountObject",)
+            ),
+            _native(
+                "TotalSize",
+                total_size,
+                "join-size",
+                child_req=("ObjectSize",),
+                own_req=("CountObject",),
+            ),
+            _native(
+                "TotalTime",
+                total_time_nested,
+                "nested-loop-join",
+                child_req=("TotalTime", "CountObject"),
+            ),
+            _native(
+                "TimeFirst", time_first, "join-first", child_req=("TimeFirst",)
+            ),
+            _time_next_formula(),
+        ],
+        name="generic-join-nested-loop",
+    )
+    sort_merge_rule = _rule(
+        pattern,
+        [
+            _native(
+                "TotalTime",
+                total_time_sort_merge,
+                "sort-merge-join",
+                child_req=("TotalTime", "CountObject"),
+            )
+        ],
+        name="generic-join-sort-merge",
+    )
+    index_rule = _rule(
+        pattern,
+        [
+            _native(
+                "TotalTime",
+                total_time_index,
+                "index-join",
+                child_req=("TotalTime", "CountObject"),
+            )
+        ],
+        name="generic-join-index",
+    )
+    return [main_rule, sort_merge_rule, index_rule]
+
+
+def _bindjoin_rules() -> list[CostRule]:
+    pattern = unary_pattern("bindjoin", var("C"))
+
+    def _inner_stats(ctx):
+        node: BindJoin = ctx.node
+        return ctx.stats_or_none(node.inner_collection)
+
+    def _inner_attr_stats(ctx):
+        node: BindJoin = ctx.node
+        return ctx.attribute_stats(node.inner_collection, node.inner_attribute.name)
+
+    def _distinct_keys(ctx) -> float:
+        """Estimated distinct outer join-key values to probe with."""
+        node: BindJoin = ctx.node
+        outer_count = ctx.child_value("CountObject")
+        outer_attr = ctx.attribute_stats(
+            node.outer_attribute.collection or node.outer.primary_collection(),
+            node.outer_attribute.name,
+        )
+        if outer_attr is not None and outer_attr.count_distinct:
+            return min(outer_count, float(outer_attr.count_distinct))
+        return outer_count
+
+    def count_object(ctx) -> Value:
+        node: BindJoin = ctx.node
+        inner = _inner_stats(ctx)
+        inner_count = (
+            float(inner.count_object)
+            if inner is not None
+            else float(ctx.options.default_count_object)
+        )
+        inner_attr = _inner_attr_stats(ctx)
+        distinct = float(
+            inner_attr.count_distinct
+            if inner_attr is not None and inner_attr.count_distinct
+            else ctx.options.default_count_distinct
+        )
+        matches_per_key = inner_count / max(1.0, distinct)
+        selectivity = 1.0
+        if node.inner_filters is not None:
+            selectivity = predicate_selectivity(ctx, node.inner_filters)
+        return ctx.child_value("CountObject") * matches_per_key * selectivity
+
+    def total_size(ctx) -> Value:
+        inner = _inner_stats(ctx)
+        inner_width = float(inner.object_size) if inner is not None else 100.0
+        return ctx.own_value("CountObject") * (
+            ctx.child_value("ObjectSize") + inner_width
+        )
+
+    def total_time(ctx) -> Value:
+        node: BindJoin = ctx.node
+        inner_attr = _inner_attr_stats(ctx)
+        if inner_attr is None or not inner_attr.indexed:
+            # Probing without an index means one inner scan per batch —
+            # never competitive; let the classic join win.
+            return NOT_APPLICABLE
+        holder = ctx.coefficients
+        inner_coeffs = (
+            holder.for_source(node.wrapper)
+            if isinstance(holder, CoefficientSet)
+            else _coeffs(ctx)
+        )
+        mediator_coeffs = (
+            holder.mediator if isinstance(holder, CoefficientSet) else _coeffs(ctx)
+        )
+        keys = _distinct_keys(ctx)
+        inner = _inner_stats(ctx)
+        inner_count = (
+            float(inner.count_object)
+            if inner is not None
+            else float(ctx.options.default_count_object)
+        )
+        matches_per_key = inner_count / max(
+            1.0, float(inner_attr.count_distinct or inner_count)
+        )
+        # Each probe is one index lookup at the inner source; the
+        # calibrated per-selected-object index coefficient (fitted by the
+        # [GST96] procedure) prices the retrieved objects.
+        probe_cost = inner_coeffs.ms_index_startup / max(
+            1.0, node.batch_size
+        ) + matches_per_key * max(
+            inner_coeffs.ms_per_object_index, inner_coeffs.ms_per_object_fetch
+        )
+        batches = math.ceil(keys / node.batch_size)
+        communication = 2.0 * batches * mediator_coeffs.ms_per_message
+        return ctx.child_value("TotalTime") + communication + keys * probe_cost
+
+    def time_first(ctx) -> Value:
+        holder = ctx.coefficients
+        mediator_coeffs = (
+            holder.mediator if isinstance(holder, CoefficientSet) else _coeffs(ctx)
+        )
+        return ctx.child_value("TotalTime") + mediator_coeffs.ms_per_message
+
+    return [
+        _rule(
+            pattern,
+            [
+                _native(
+                    "CountObject",
+                    count_object,
+                    "bindjoin-card",
+                    child_req=("CountObject",),
+                ),
+                _native(
+                    "TotalSize",
+                    total_size,
+                    "bindjoin-size",
+                    child_req=("ObjectSize",),
+                    own_req=("CountObject",),
+                ),
+                _native(
+                    "TotalTime",
+                    total_time,
+                    "bind-join",
+                    child_req=("TotalTime", "CountObject"),
+                ),
+                _native(
+                    "TimeFirst", time_first, "bindjoin-first", child_req=("TotalTime",)
+                ),
+                _time_next_formula(),
+            ],
+            name="generic-bindjoin",
+        )
+    ]
+
+
+def _union_rules() -> list[CostRule]:
+    pattern = union_pattern(var("C1"), var("C2"))
+
+    def count_object(ctx) -> Value:
+        return ctx.child_value("CountObject", 0) + ctx.child_value("CountObject", 1)
+
+    def total_size(ctx) -> Value:
+        return ctx.child_value("TotalSize", 0) + ctx.child_value("TotalSize", 1)
+
+    def total_time(ctx) -> Value:
+        coeffs = _coeffs(ctx)
+        count = ctx.own_value("CountObject")
+        return (
+            ctx.child_value("TotalTime", 0)
+            + ctx.child_value("TotalTime", 1)
+            + count * coeffs.ms_per_object_output
+        )
+
+    def time_first(ctx) -> Value:
+        return min(ctx.child_value("TimeFirst", 0), ctx.child_value("TimeFirst", 1))
+
+    return [
+        _rule(
+            pattern,
+            [
+                _native(
+                    "CountObject", count_object, "union-card", child_req=("CountObject",)
+                ),
+                _native(
+                    "TotalSize", total_size, "union-size", child_req=("TotalSize",)
+                ),
+                _native(
+                    "TotalTime",
+                    total_time,
+                    "union-time",
+                    child_req=("TotalTime",),
+                    own_req=("CountObject",),
+                ),
+                _native(
+                    "TimeFirst", time_first, "union-first", child_req=("TimeFirst",)
+                ),
+                _time_next_formula(),
+            ],
+            name="generic-union",
+        )
+    ]
+
+
+def _submit_rules() -> list[CostRule]:
+    pattern = unary_pattern("submit", var("C"))
+
+    def count_object(ctx) -> Value:
+        return ctx.child_value("CountObject")
+
+    def total_size(ctx) -> Value:
+        return ctx.child_value("TotalSize")
+
+    def total_time(ctx) -> Value:
+        coeffs = _coeffs(ctx)
+        return (
+            ctx.child_value("TotalTime")
+            + 2.0 * coeffs.ms_per_message
+            + ctx.child_value("TotalSize") * coeffs.ms_per_byte
+        )
+
+    def time_first(ctx) -> Value:
+        return ctx.child_value("TimeFirst") + _coeffs(ctx).ms_per_message
+
+    return [
+        _rule(
+            pattern,
+            [
+                _native(
+                    "CountObject", count_object, "submit-card", child_req=("CountObject",)
+                ),
+                _native(
+                    "TotalSize", total_size, "submit-size", child_req=("TotalSize",)
+                ),
+                _native(
+                    "TotalTime",
+                    total_time,
+                    "submit-time",
+                    child_req=("TotalTime", "TotalSize"),
+                ),
+                _native(
+                    "TimeFirst", time_first, "submit-first", child_req=("TimeFirst",)
+                ),
+                _time_next_formula(),
+            ],
+            name="generic-submit",
+        )
+    ]
+
+
+def all_generic_rules() -> list[CostRule]:
+    """Fresh instances of every generic-model rule."""
+    return (
+        _scan_rules()
+        + _select_rules()
+        + _project_rules()
+        + _sort_rules()
+        + _distinct_rules()
+        + _aggregate_rules()
+        + _join_rules()
+        + _bindjoin_rules()
+        + _union_rules()
+        + _submit_rules()
+    )
+
+
+def install_generic_model(repository: RuleRepository) -> int:
+    """Install the generic model at default scope.  Returns rule count.
+
+    "The mediator default cost model guarantees that at least one formula
+    is found for every variable for every node" (§4.2) — after this call
+    that guarantee holds.
+    """
+    rules = all_generic_rules()
+    for generic_rule in rules:
+        repository.add_default_rule(generic_rule)
+    return len(rules)
+
+
+def install_local_model(repository: RuleRepository) -> int:
+    """Install local-scope copies for mediator-executed operators.
+
+    Local rules shadow the default scope only for nodes the mediator runs
+    itself (source ``None``); their coefficients come from
+    ``CoefficientSet.mediator`` automatically via ``_coeffs``, so the rule
+    bodies are identical — what differs is the coefficient set the context
+    hands out.  Installing them still matters for the paper's architecture
+    point: the mediator's physical operators occupy a distinct scope level
+    (§4.1 footnote), and wrapper rules must never apply to them.
+    """
+    rules = all_generic_rules()
+    for generic_rule in rules:
+        generic_rule.name = generic_rule.name.replace("generic-", "local-")
+        repository.add_local_rule(generic_rule)
+    return len(rules)
+
+
+def standard_repository(use_dispatch_index: bool = True) -> RuleRepository:
+    """A repository with the generic + local models installed."""
+    repository = RuleRepository(use_dispatch_index=use_dispatch_index)
+    install_generic_model(repository)
+    install_local_model(repository)
+    return repository

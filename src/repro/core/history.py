@@ -1,0 +1,212 @@
+"""Historical costs — the §4.3.1 extension.
+
+Two mechanisms, both described in the paper:
+
+* **Query-scope recording** ("A simple way to have very accurate cost is
+  to extend the scope hierarchy with a query scope.  In the query scope,
+  specific rules match a wrapper subquery exactly.  A new formula is added
+  after a subquery has been executed and the associated formula are now
+  real costs, not estimates."): :class:`HistoryStore` turns each executed
+  wrapper subquery into a query-scope rule whose formulas are the measured
+  constants.  Re-executing the same subquery *updates* the rule in place,
+  so history never proliferates rules for one subquery — addressing the
+  HERMES statistics-proliferation problem the paper discusses.
+
+* **Parameter adjustment** ("One solution takes existing formulas and
+  adjusts the input parameters until the formula returns a cost close to
+  real execution the cost.  Thus, we store only the adjusted parameters
+  instead of new formulas."): :class:`OnlineCalibrator` maintains one
+  multiplicative adjustment per source — an exponentially smoothed ratio
+  of actual to estimated cost — and applies it to the source's calibrated
+  coefficients, so *all* formulas sharing those parameters improve at
+  once, including for nearby (not identical) subqueries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.algebra.logical import PlanNode, Submit
+from repro.core.formulas import Number, Formula
+from repro.core.generic import CoefficientSet, GenericCoefficients
+from repro.core.rules import CostRule, OperatorPattern, Var
+from repro.core.scopes import RuleRepository
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mediator.catalog import MediatorCatalog
+    from repro.wrappers.base import ExecutionResult
+
+
+def plan_fingerprint(plan: PlanNode) -> str:
+    """A structural identity for a subplan: operators, collections,
+    predicates and constants — two subqueries with the same fingerprint
+    are "identical" in the §4.3.1 sense."""
+    children = ",".join(plan_fingerprint(child) for child in plan.children)
+    return f"{plan.describe()}({children})"
+
+
+class ExactSubplanPattern(OperatorPattern):
+    """A rule head that matches one exact subplan (the query scope).
+
+    Reuses the :class:`OperatorPattern` machinery (so scoped storage,
+    ordering and matching all work unchanged) but unifies by structural
+    fingerprint instead of argument patterns.
+    """
+
+    def __init__(self, plan: PlanNode) -> None:
+        expected = 2 if plan.operator_name in ("join", "union") else 1
+        object.__setattr__(self, "operator", plan.operator_name)
+        object.__setattr__(
+            self, "collections", tuple(Var(f"_Q{i}") for i in range(expected))
+        )
+        object.__setattr__(self, "predicate", None)
+        object.__setattr__(self, "fingerprint", plan_fingerprint(plan))
+
+    def specificity(self) -> tuple[int, int, int, int]:
+        # Everything is bound in an exact match.
+        return (9, 9, 9, 9)
+
+    def match(self, node: PlanNode):
+        if plan_fingerprint(node) == self.fingerprint:  # type: ignore[attr-defined]
+            return {}
+        return None
+
+    def __str__(self) -> str:
+        return f"exact[{self.fingerprint}]"  # type: ignore[attr-defined]
+
+
+def _constant_formulas(values: dict[str, float]) -> list[Formula]:
+    return [
+        Formula(target=name, expression=Number(value), source=f"{name} = {value} (measured)")
+        for name, value in values.items()
+    ]
+
+
+@dataclass
+class HistoryEntry:
+    """Bookkeeping for one recorded subquery."""
+
+    rule: CostRule
+    executions: int = 0
+    last_total_ms: float = 0.0
+
+
+class HistoryStore:
+    """Query-scope rules recorded from real executions."""
+
+    def __init__(self, repository: RuleRepository) -> None:
+        self.repository = repository
+        self._entries: dict[tuple[str, str], HistoryEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record(
+        self,
+        subplan: PlanNode,
+        source: str,
+        result: "ExecutionResult",
+        object_size: int = 100,
+    ) -> HistoryEntry:
+        """Record one executed wrapper subquery.
+
+        First execution installs a query-scope rule with the measured
+        constants; later executions of the *same* subquery update the
+        formulas in place ("two executions of the same subquery have the
+        same cost regardless of differences in time").
+        """
+        fingerprint = plan_fingerprint(subplan)
+        key = (source, fingerprint)
+        values = {
+            "TotalTime": float(result.total_time_ms),
+            "TimeFirst": float(result.time_first_ms),
+            "CountObject": float(result.count),
+            "TotalSize": float(result.count * object_size),
+        }
+        entry = self._entries.get(key)
+        if entry is None:
+            rule = CostRule(
+                head=ExactSubplanPattern(subplan),
+                formulas=_constant_formulas(values),
+                name=f"history[{fingerprint}]",
+            )
+            self.repository.add_query_rule(source, rule)
+            entry = HistoryEntry(rule=rule)
+            self._entries[key] = entry
+        else:
+            entry.rule.formulas = _constant_formulas(values)
+        entry.executions += 1
+        entry.last_total_ms = values["TotalTime"]
+        return entry
+
+    def record_plan(
+        self,
+        plan: PlanNode,
+        execution: Any,
+        catalog: "MediatorCatalog",
+    ) -> int:
+        """Record every Submit subquery of an executed plan.
+
+        ``execution`` may carry per-submit measurements (the mediator
+        executor's ``submit_log``); without them nothing is recorded.
+        """
+        recorded = 0
+        submit_log = getattr(execution, "submit_log", None)
+        if not submit_log:
+            return 0
+        for node, result in submit_log:
+            assert isinstance(node, Submit)
+            object_size = 100
+            primary = node.child.primary_collection()
+            if primary is not None and primary in catalog.statistics:
+                object_size = max(1, catalog.statistics.get(primary).object_size)
+            self.record(node.child, node.wrapper, result, object_size)
+            recorded += 1
+        return recorded
+
+
+@dataclass
+class _Adjustment:
+    factor: float = 1.0
+    observations: int = 0
+
+
+class OnlineCalibrator:
+    """Per-source multiplicative parameter adjustment (§4.3.1).
+
+    ``alpha`` is the smoothing weight of new observations.  The adjusted
+    coefficient sets produced by :meth:`apply` improve every generic-model
+    formula of the source simultaneously — including for subqueries that
+    "vary only by the constant used [in] a predicate", which query-scope
+    recording cannot help with.
+    """
+
+    def __init__(self, alpha: float = 0.4) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._adjustments: dict[str, _Adjustment] = {}
+
+    def observe(self, source: str, estimated_ms: float, actual_ms: float) -> float:
+        """Fold one (estimate, measurement) pair in; returns the factor."""
+        if estimated_ms <= 0:
+            return self.factor(source)
+        ratio = actual_ms / estimated_ms
+        adjustment = self._adjustments.setdefault(source, _Adjustment())
+        if adjustment.observations == 0:
+            adjustment.factor = ratio
+        else:
+            adjustment.factor += self.alpha * (ratio - adjustment.factor)
+        adjustment.observations += 1
+        return adjustment.factor
+
+    def factor(self, source: str) -> float:
+        adjustment = self._adjustments.get(source)
+        return adjustment.factor if adjustment is not None else 1.0
+
+    def apply(self, coefficients: CoefficientSet) -> None:
+        """Install adjusted per-source coefficients into a set."""
+        for source, adjustment in self._adjustments.items():
+            base: GenericCoefficients = coefficients.for_source(source)
+            coefficients.set_source(source, base.scaled(adjustment.factor))

@@ -1,0 +1,344 @@
+"""The scope specialization hierarchy and the rule repository (§4.1).
+
+Rules are grouped "into three scopes based on their applicability domain:
+wrapper-scope, collection-scope and predicate-scope ... Furthermore, the
+mediator has two additional scopes, the default-scope and the local-scope"
+(Figure 10).  Section 4.3.1 adds a sixth, most-specific **query scope**
+holding rules recorded from actual executions.
+
+Matching order (§4.2, Step 1): query > predicate > collection > wrapper >
+(local) > default.  Within one scope, rules are ordered by pattern
+specificity (:meth:`OperatorPattern.specificity`), and ties fall back to
+the order "given by the wrapper implementor".
+
+The paper notes that naive rule lookup "tends to slow down the cost
+estimate process ... That is why we do not use the standard overriding
+mechanism of Java, but implement our own efficient one based on kind of
+virtual tables."  :class:`RuleRepository` reproduces that: rules are
+pre-grouped per (source, operator name) into lists sorted by scope rank
+and specificity at registration time, so per-node matching only scans the
+rules that could possibly apply.  The linear-scan alternative is kept
+(``use_dispatch_index=False``) for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterable, Iterator
+
+from repro.algebra.logical import PlanNode
+from repro.core.rules import Bindings, CostRule, OperatorPattern
+from repro.errors import CostModelError
+
+
+class Scope(IntEnum):
+    """Scopes of Figure 10, ordered by increasing specificity."""
+
+    DEFAULT = 0
+    LOCAL = 1
+    WRAPPER = 2
+    COLLECTION = 3
+    PREDICATE = 4
+    QUERY = 5
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+#: The mediator's own pseudo-source name for LOCAL/DEFAULT scope rules.
+MEDIATOR_SOURCE = "__mediator__"
+
+
+def classify_wrapper_rule(rule: CostRule) -> Scope:
+    """Derive the scope of a wrapper-exported rule from its head (§4.1).
+
+    * no bound collection → wrapper-scope (applies to any collection of
+      the source);
+    * bound collection, free predicate → collection-scope;
+    * bound attribute or value → predicate-scope.
+    """
+    collections_bound, _shape_bound, attributes_bound, values_bound = (
+        rule.specificity()
+    )
+    if attributes_bound or values_bound:
+        return Scope.PREDICATE
+    if collections_bound:
+        return Scope.COLLECTION
+    return Scope.WRAPPER
+
+
+@dataclass(frozen=True)
+class ScopedRule:
+    """A rule placed in the hierarchy: who exported it and at which scope."""
+
+    rule: CostRule
+    scope: Scope
+    source: str
+
+    @property
+    def sort_key(self) -> tuple[int, ...]:
+        """Descending match priority: scope, then the specificity levels,
+        then declaration order (ascending)."""
+        spec = self.rule.specificity()
+        return (-int(self.scope), *(-level for level in spec), self.rule.order)
+
+
+@dataclass(frozen=True)
+class RuleMatch:
+    """A successful unification of a scoped rule with a plan node."""
+
+    scoped: ScopedRule
+    bindings: Bindings
+
+    @property
+    def rule(self) -> CostRule:
+        return self.scoped.rule
+
+    @property
+    def scope(self) -> Scope:
+        return self.scoped.scope
+
+    @property
+    def level(self) -> tuple[int, ...]:
+        """The paper's "matching level": scope plus pattern specificity.
+
+        Rules at the same level are *all* associated with a node and their
+        formulas race to the lowest value (§4.2, Step 3).
+        """
+        spec = self.rule.specificity()
+        return (int(self.scope), *spec)
+
+
+class RuleRepository:
+    """All scoped rules known to one mediator.
+
+    Wrapper rules are integrated at registration time (§4.1: "Integration
+    consists of compiling the rules ... and transmitting the results of
+    compilation to the mediator"); formula compilation happened when the
+    :class:`~repro.core.formulas.Formula` objects were built, so adding a
+    rule here only indexes it.
+    """
+
+    def __init__(self, use_dispatch_index: bool = True) -> None:
+        self.use_dispatch_index = use_dispatch_index
+        self._rules: list[ScopedRule] = []
+        # The "virtual table": (source, operator) -> sorted scoped rules.
+        self._index: dict[tuple[str, str], list[ScopedRule]] = {}
+        # Fully pinned select rules (bound collection, attribute, op and
+        # value) hash directly on their constants, so a thousand
+        # query-specific rules cost one dict probe, not a scan — the
+        # §3.3.2 "virtual tables" point.
+        self._pinned: dict[tuple, list[ScopedRule]] = {}
+        self._orders: dict[tuple[str, Scope], int] = {}
+
+    # -- registration -----------------------------------------------------------
+
+    def _next_order(self, source: str, scope: Scope) -> int:
+        key = (source, scope)
+        order = self._orders.get(key, 0)
+        self._orders[key] = order + 1
+        return order
+
+    def _insert(self, scoped: ScopedRule) -> None:
+        self._rules.append(scoped)
+        pinned_key = self._pinned_key_for_rule(scoped)
+        if pinned_key is not None:
+            bucket = self._pinned.setdefault(pinned_key, [])
+        else:
+            bucket = self._index.setdefault(
+                (scoped.source, scoped.rule.head.operator), []
+            )
+        bucket.append(scoped)
+        bucket.sort(key=lambda s: s.sort_key)
+
+    @staticmethod
+    def _pinned_key_for_rule(scoped: ScopedRule) -> tuple | None:
+        """Hash key for a fully bound select rule, or None."""
+        head = scoped.rule.head
+        if type(head) is not OperatorPattern or head.operator != "select":
+            return None
+        pred = head.predicate
+        from repro.core.rules import SelectPredPattern, Var
+
+        if not isinstance(pred, SelectPredPattern):
+            return None
+        collection = head.collections[0]
+        if (
+            isinstance(collection, Var)
+            or isinstance(pred.attribute, Var)
+            or isinstance(pred.value, Var)
+        ):
+            return None
+        try:
+            hash(pred.value)
+        except TypeError:
+            return None
+        return (scoped.source, collection, pred.attribute, pred.op, pred.value)
+
+    @staticmethod
+    def _pinned_key_for_node(node: PlanNode, source: str) -> tuple | None:
+        """The pinned-bucket key a select node would hash to, or None."""
+        from repro.algebra.expressions import AttributeRef, Comparison, Literal
+        from repro.algebra.logical import Select
+
+        if not isinstance(node, Select):
+            return None
+        predicate = node.predicate
+        if not isinstance(predicate, Comparison):
+            return None
+        predicate = predicate.normalized()
+        if not predicate.is_attr_value:
+            return None
+        collection = node.primary_collection()
+        if collection is None:
+            return None
+        attribute = predicate.left
+        literal = predicate.right
+        assert isinstance(attribute, AttributeRef)
+        assert isinstance(literal, Literal)
+        try:
+            hash(literal.value)
+        except TypeError:
+            return None
+        return (source, collection, attribute.name, predicate.op, literal.value)
+
+    def add_default_rule(self, rule: CostRule) -> ScopedRule:
+        """Install a generic-model rule (default-scope)."""
+        rule.order = self._next_order(MEDIATOR_SOURCE, Scope.DEFAULT)
+        scoped = ScopedRule(rule, Scope.DEFAULT, MEDIATOR_SOURCE)
+        self._insert(scoped)
+        return scoped
+
+    def add_local_rule(self, rule: CostRule) -> ScopedRule:
+        """Install a mediator local-scope rule (physical mediator operators)."""
+        rule.order = self._next_order(MEDIATOR_SOURCE, Scope.LOCAL)
+        scoped = ScopedRule(rule, Scope.LOCAL, MEDIATOR_SOURCE)
+        self._insert(scoped)
+        return scoped
+
+    def add_wrapper_rule(self, source: str, rule: CostRule) -> ScopedRule:
+        """Install a wrapper-exported rule, deriving its scope from the head."""
+        if source == MEDIATOR_SOURCE:
+            raise CostModelError(
+                f"wrapper rules cannot use the reserved source {source!r}"
+            )
+        scope = classify_wrapper_rule(rule)
+        rule.order = self._next_order(source, scope)
+        scoped = ScopedRule(rule, scope, source)
+        self._insert(scoped)
+        return scoped
+
+    def add_wrapper_rules(self, source: str, rules: Iterable[CostRule]) -> None:
+        for rule in rules:
+            self.add_wrapper_rule(source, rule)
+
+    def add_query_rule(self, source: str, rule: CostRule) -> ScopedRule:
+        """Install a query-scope rule (§4.3.1 historical costs)."""
+        rule.order = self._next_order(source, Scope.QUERY)
+        scoped = ScopedRule(rule, Scope.QUERY, source)
+        self._insert(scoped)
+        return scoped
+
+    def remove_source(self, source: str) -> int:
+        """Drop every rule of a source (wrapper re-registration).  Returns
+        the number of rules removed."""
+        before = len(self._rules)
+        self._rules = [s for s in self._rules if s.source != source]
+        for key in [k for k in self._index if k[0] == source]:
+            del self._index[key]
+        for key in [k for k in self._pinned if k[0] == source]:
+            del self._pinned[key]
+        for key in [k for k in self._orders if k[0] == source]:
+            del self._orders[key]
+        return before - len(self._rules)
+
+    # -- lookup --------------------------------------------------------------------
+
+    def _candidate_rules(
+        self, node: PlanNode, source: str | None
+    ) -> Iterator[ScopedRule]:
+        """Scoped rules that could match ``node`` owned by ``source``
+        (``None`` = a mediator-local node), most specific first."""
+        operator = node.operator_name
+        if self.use_dispatch_index:
+            buckets: list[list[ScopedRule]] = []
+            if source is not None:
+                pinned_key = self._pinned_key_for_node(node, source)
+                if pinned_key is not None:
+                    buckets.append(self._pinned.get(pinned_key, []))
+                buckets.append(self._index.get((source, operator), []))
+            buckets.append(self._index.get((MEDIATOR_SOURCE, operator), []))
+            merged = [s for bucket in buckets for s in bucket]
+        else:
+            wanted_sources = {MEDIATOR_SOURCE}
+            if source is not None:
+                wanted_sources.add(source)
+            merged = [
+                s
+                for s in self._rules
+                if s.source in wanted_sources and s.rule.head.operator == operator
+            ]
+        # Mediator-local nodes must not see another wrapper's rules; and a
+        # wrapper node must not use LOCAL-scope rules (the mediator runs a
+        # physical algebra locally, §4.1 footnote).
+        for scoped in sorted(merged, key=lambda s: s.sort_key):
+            if source is None and scoped.scope not in (Scope.LOCAL, Scope.DEFAULT):
+                continue
+            if source is not None and scoped.scope is Scope.LOCAL:
+                continue
+            yield scoped
+
+    def matches(self, node: PlanNode, source: str | None) -> list[RuleMatch]:
+        """All rules matching ``node``, most specific first."""
+        found: list[RuleMatch] = []
+        for scoped in self._candidate_rules(node, source):
+            bindings = scoped.rule.match(node)
+            if bindings is not None:
+                found.append(RuleMatch(scoped, bindings))
+        return found
+
+    def matches_providing(
+        self, node: PlanNode, source: str | None, variable: str
+    ) -> list[RuleMatch]:
+        """The matches to use for one variable: every match at the highest
+        matching level that provides the variable (§4.2 Steps 1 & 3)."""
+        best_level: tuple[int, int, int, int] | None = None
+        selected: list[RuleMatch] = []
+        for scoped in self._candidate_rules(node, source):
+            if variable not in scoped.rule.provides:
+                continue
+            bindings = scoped.rule.match(node)
+            if bindings is None:
+                continue
+            match = RuleMatch(scoped, bindings)
+            if best_level is None:
+                best_level = match.level
+                selected.append(match)
+            elif match.level == best_level:
+                selected.append(match)
+            else:
+                # Candidates are sorted, so the first lower level ends it.
+                break
+        return selected
+
+    # -- introspection ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def rules_for_source(self, source: str) -> list[ScopedRule]:
+        return [s for s in self._rules if s.source == source]
+
+    def describe(self) -> str:
+        """Render the hierarchy, outermost (default) scope first —
+        a textual Figure 10."""
+        lines: list[str] = []
+        by_scope: dict[Scope, list[ScopedRule]] = {}
+        for scoped in self._rules:
+            by_scope.setdefault(scoped.scope, []).append(scoped)
+        for scope in sorted(by_scope, key=int):
+            lines.append(f"{scope}:")
+            for scoped in by_scope[scope]:
+                lines.append(f"  [{scoped.source}] {scoped.rule}")
+        return "\n".join(lines)

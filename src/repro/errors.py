@@ -1,0 +1,133 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so a
+client can catch one type at the mediator boundary.  Sub-hierarchies mirror
+the package layout: the cost-language front end raises ``Cdl*`` errors, the
+cost model raises ``Cost*`` errors, query processing raises ``Query*``
+errors and the simulated storage substrate raises ``Storage*`` errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Cost communication language (repro.cdl)
+# ---------------------------------------------------------------------------
+
+
+class CdlError(ReproError):
+    """Base class for errors in the cost communication language."""
+
+
+class CdlSyntaxError(CdlError):
+    """A CDL document failed to tokenize or parse.
+
+    Carries the source position so wrapper implementors can find the
+    offending text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class CdlCompileError(CdlError):
+    """A parsed CDL document could not be lowered to cost-model objects."""
+
+
+# ---------------------------------------------------------------------------
+# Cost model (repro.core)
+# ---------------------------------------------------------------------------
+
+
+class CostModelError(ReproError):
+    """Base class for cost-model errors."""
+
+
+class FormulaError(CostModelError):
+    """A cost formula is malformed or failed to evaluate."""
+
+
+class UnknownStatisticError(CostModelError):
+    """A formula referenced a statistic that no scope can provide."""
+
+
+class NoApplicableRuleError(CostModelError):
+    """No rule — not even a default-scope rule — matched an operator.
+
+    The mediator's default cost model guarantees a formula for every
+    variable of every operator, so this error indicates a registry that was
+    built without the generic model installed.
+    """
+
+
+class CalibrationError(CostModelError):
+    """The calibration procedure could not fit the generic-model
+    coefficients (e.g. not enough probe queries)."""
+
+
+# ---------------------------------------------------------------------------
+# Query processing (repro.sqlfe, repro.algebra, repro.mediator)
+# ---------------------------------------------------------------------------
+
+
+class QueryError(ReproError):
+    """Base class for query-processing errors."""
+
+
+class SqlSyntaxError(QueryError):
+    """The SQL text failed to parse."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class PlanError(QueryError):
+    """An algebraic plan is structurally invalid."""
+
+
+class UnknownCollectionError(QueryError):
+    """A query referenced a collection not present in the catalog."""
+
+
+class UnknownAttributeError(QueryError):
+    """A query referenced an attribute not present in its collection."""
+
+
+class CapabilityError(QueryError):
+    """A subplan was submitted to a wrapper that cannot execute it."""
+
+
+class RegistrationError(QueryError):
+    """A wrapper could not be registered with the mediator."""
+
+
+# ---------------------------------------------------------------------------
+# Simulated storage substrate (repro.sources)
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for simulated-source errors."""
+
+
+class PageError(StorageError):
+    """A page-level operation failed (overfull page, bad page id...)."""
+
+
+class IndexError_(StorageError):
+    """A B+tree index operation failed.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """

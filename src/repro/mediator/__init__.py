@@ -1,0 +1,31 @@
+"""The mediator: catalog, registration, optimizer, executor, facade."""
+
+from repro.mediator.admin import AdminConsole, DriftReport
+from repro.mediator.catalog import MediatorCatalog
+from repro.mediator.executor import MEDIATOR_PROFILE, MediatorExecutor
+from repro.mediator.mediator import Mediator, QueryResult
+from repro.mediator.optimizer import (
+    OptimizationResult,
+    Optimizer,
+    OptimizerOptions,
+    OptimizerStats,
+)
+from repro.mediator.queryspec import QuerySpec, UnionSpec
+from repro.mediator.registration import register_wrapper
+
+__all__ = [
+    "AdminConsole",
+    "DriftReport",
+    "MEDIATOR_PROFILE",
+    "UnionSpec",
+    "Mediator",
+    "MediatorCatalog",
+    "MediatorExecutor",
+    "OptimizationResult",
+    "Optimizer",
+    "OptimizerOptions",
+    "OptimizerStats",
+    "QueryResult",
+    "QuerySpec",
+    "register_wrapper",
+]

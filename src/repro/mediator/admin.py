@@ -1,0 +1,118 @@
+"""The administrative interface of §2.1.
+
+"We envision an administrative interface for both the mediator and
+wrapper to re-register wrappers.  This interface is necessary when the
+cost formulas are improved by the wrapper implementor, or the statistics
+become out of date."
+
+:class:`AdminConsole` wraps a mediator with the operations an
+administrator performs: inspecting the catalog and rule hierarchy,
+dumping a wrapper's cost information back to cost-language text (via the
+CDL pretty-printer), refreshing a wrapper's registration, and checking
+estimate drift (how far the catalog's statistics have diverged from what
+wrappers would export now).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cdl.parser import parse_document
+from repro.cdl.printer import print_document
+from repro.mediator.mediator import Mediator
+
+
+@dataclass
+class DriftReport:
+    """Catalog statistics vs. a wrapper's current export."""
+
+    wrapper: str
+    collection: str
+    catalog_count: int
+    current_count: int
+
+    @property
+    def drift_ratio(self) -> float:
+        if self.catalog_count == 0:
+            return float("inf") if self.current_count else 1.0
+        return self.current_count / self.catalog_count
+
+    @property
+    def is_stale(self) -> bool:
+        return abs(self.drift_ratio - 1.0) > 0.10
+
+
+class AdminConsole:
+    """Administrative operations over one mediator."""
+
+    def __init__(self, mediator: Mediator) -> None:
+        self.mediator = mediator
+
+    # -- inspection -------------------------------------------------------------
+
+    def catalog_report(self) -> str:
+        """Collections, owners, statistics presence."""
+        return self.mediator.catalog.describe()
+
+    def rules_report(self) -> str:
+        """The full Figure 10 hierarchy, outermost scope first."""
+        return self.mediator.repository.describe()
+
+    def wrapper_rules(self, source: str) -> list[str]:
+        """The rules a wrapper has registered, rendered as text."""
+        return [
+            f"[{scoped.scope}] {scoped.rule}"
+            for scoped in self.mediator.repository.rules_for_source(source)
+        ]
+
+    def dump_cost_info(self, source: str) -> str:
+        """Re-export a wrapper's cost information as CDL text.
+
+        Round-trips through the parser so the dump is guaranteed to be
+        valid cost-language source an administrator can edit and feed
+        back through re-registration.
+        """
+        wrapper = self.mediator.catalog.wrapper(source)
+        export = wrapper.export_cost_info()
+        if export.cdl_source is None:
+            return f"// wrapper {source!r} exports no cost rules\n"
+        return print_document(parse_document(export.cdl_source))
+
+    # -- statistics drift ----------------------------------------------------------
+
+    def check_drift(self) -> list[DriftReport]:
+        """Compare catalog statistics with each wrapper's current export.
+
+        Non-invasive: nothing is re-registered; the administrator decides
+        based on the report.
+        """
+        reports: list[DriftReport] = []
+        catalog = self.mediator.catalog
+        for name in catalog.wrapper_names():
+            wrapper = catalog.wrapper(name)
+            export = wrapper.export_cost_info()
+            for stats in export.statistics:
+                if stats.name not in catalog.statistics:
+                    continue
+                recorded = catalog.statistics.get(stats.name)
+                reports.append(
+                    DriftReport(
+                        wrapper=name,
+                        collection=stats.name,
+                        catalog_count=recorded.count_object,
+                        current_count=stats.count_object,
+                    )
+                )
+        return reports
+
+    def refresh(self, source: str) -> int:
+        """Re-register one wrapper in place; returns its rule count."""
+        wrapper = self.mediator.catalog.wrapper(source)
+        return self.mediator.register(wrapper)
+
+    def refresh_stale(self) -> list[str]:
+        """Re-register every wrapper whose statistics drifted >10 %."""
+        stale = sorted({r.wrapper for r in self.check_drift() if r.is_stale})
+        for name in stale:
+            self.refresh(name)
+        return stale

@@ -1,0 +1,146 @@
+"""The mediator catalog (§2.1).
+
+"Schema and cost information are stored in the mediator catalog."  The
+catalog remembers, per registered wrapper: which collections it serves,
+its capabilities, and its exported statistics; plus the attribute lists
+needed to resolve unqualified names in queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.statistics import CollectionStats, StatisticsCatalog
+from repro.errors import UnknownAttributeError, UnknownCollectionError
+from repro.wrappers.base import Wrapper
+
+
+@dataclass
+class CollectionEntry:
+    """What the catalog knows about one collection."""
+
+    name: str
+    wrapper: str
+    attributes: tuple[str, ...] = ()
+    has_statistics: bool = False
+
+
+@dataclass
+class MediatorCatalog:
+    """Registered wrappers and the global collection namespace."""
+
+    statistics: StatisticsCatalog = field(default_factory=StatisticsCatalog)
+    _wrappers: dict[str, Wrapper] = field(default_factory=dict)
+    _collections: dict[str, CollectionEntry] = field(default_factory=dict)
+
+    # -- wrappers ---------------------------------------------------------------
+
+    def add_wrapper(self, wrapper: Wrapper) -> None:
+        self._wrappers[wrapper.name] = wrapper
+
+    def wrapper(self, name: str) -> Wrapper:
+        try:
+            return self._wrappers[name]
+        except KeyError:
+            raise UnknownCollectionError(f"no wrapper named {name!r}") from None
+
+    def wrapper_names(self) -> list[str]:
+        return sorted(self._wrappers)
+
+    def remove_wrapper(self, name: str) -> None:
+        self._wrappers.pop(name, None)
+        for collection in [
+            c for c, e in self._collections.items() if e.wrapper == name
+        ]:
+            del self._collections[collection]
+            self.statistics.remove(collection)
+
+    # -- collections --------------------------------------------------------------
+
+    def add_collection(
+        self,
+        name: str,
+        wrapper: str,
+        attributes: tuple[str, ...] = (),
+        stats: CollectionStats | None = None,
+    ) -> None:
+        if name in self._collections and self._collections[name].wrapper != wrapper:
+            raise UnknownCollectionError(
+                f"collection {name!r} already registered by wrapper "
+                f"{self._collections[name].wrapper!r}"
+            )
+        self._collections[name] = CollectionEntry(
+            name=name,
+            wrapper=wrapper,
+            attributes=attributes,
+            has_statistics=stats is not None,
+        )
+        if stats is not None:
+            self.statistics.put(stats)
+
+    def entry(self, collection: str) -> CollectionEntry:
+        try:
+            return self._collections[collection]
+        except KeyError:
+            raise UnknownCollectionError(
+                f"unknown collection {collection!r} "
+                f"(known: {sorted(self._collections)})"
+            ) from None
+
+    def wrapper_for(self, collection: str) -> str:
+        return self.entry(collection).wrapper
+
+    def wrapper_of(self, collection: str) -> Wrapper:
+        return self.wrapper(self.wrapper_for(collection))
+
+    def collection_names(self) -> list[str]:
+        return sorted(self._collections)
+
+    def __contains__(self, collection: str) -> bool:
+        return collection in self._collections
+
+    # -- name resolution ---------------------------------------------------------------
+
+    def attributes_of(self, collection: str) -> tuple[str, ...]:
+        entry = self.entry(collection)
+        if entry.attributes:
+            return entry.attributes
+        if collection in self.statistics:
+            return tuple(self.statistics.get(collection).attributes)
+        return ()
+
+    def resolve_attribute(
+        self, attribute: str, collections: list[str]
+    ) -> str:
+        """Find which of ``collections`` owns an unqualified attribute.
+
+        Raises if the attribute is ambiguous or unknown.  Collections with
+        no attribute information match nothing (queries against them must
+        qualify names).
+        """
+        owners = [
+            collection
+            for collection in collections
+            if attribute in self.attributes_of(collection)
+        ]
+        if len(owners) == 1:
+            return owners[0]
+        if not owners:
+            raise UnknownAttributeError(
+                f"attribute {attribute!r} not found in any of {collections}"
+            )
+        raise UnknownAttributeError(
+            f"attribute {attribute!r} is ambiguous across {owners}; qualify it"
+        )
+
+    def describe(self) -> str:
+        """Human-readable catalog summary."""
+        lines = []
+        for name in self.collection_names():
+            entry = self._collections[name]
+            stats_note = "stats" if entry.has_statistics else "no stats"
+            lines.append(
+                f"{name} @ {entry.wrapper} ({stats_note}; "
+                f"attrs: {', '.join(entry.attributes) or '?'})"
+            )
+        return "\n".join(lines)

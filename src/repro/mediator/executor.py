@@ -1,0 +1,222 @@
+"""The mediator-side execution engine (§2.2, Steps 4–6).
+
+Executes the chosen plan: ``Submit`` nodes dispatch their subtree to the
+owning wrapper (Step 4) and collect the subanswer (Step 5); the operators
+above the submits — the *composition subquery* — run at the mediator over
+in-memory rows.  All time is accounted on the mediator's simulated clock:
+wrapper execution advances it by the wrapper's measured response time,
+communication charges the configured per-message/per-byte costs, and
+local operators charge per-row CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.algebra.expressions import AttributeRef, Or, conjunction, eq
+from repro.algebra.logical import (
+    Aggregate,
+    BindJoin,
+    Distinct,
+    Join,
+    PlanNode,
+    Project,
+    Scan,
+    Select,
+    Sort,
+    Submit,
+    Union,
+)
+from repro.errors import PlanError
+from repro.mediator.catalog import MediatorCatalog
+from repro.sources.clock import CostProfile, SimClock
+from repro.sources.pages import Row
+from repro.wrappers.base import ExecutionResult
+from repro.wrappers.interpreter import _aggregate_value, _merge_rows
+
+#: Mediator device: pure in-memory processing plus the uniform
+#: communication cost of §2.3 (150 ms per message, 0.002 ms per byte —
+#: matching the generic model's MEDIATOR_COEFFICIENTS).
+MEDIATOR_PROFILE = CostProfile(
+    io_ms=0.0,
+    cpu_ms_per_object=0.02,
+    cpu_ms_per_eval=0.02,
+    net_ms_per_message=150.0,
+    net_ms_per_byte=0.002,
+)
+
+
+class MediatorExecutor:
+    """Runs complete mediator plans."""
+
+    def __init__(
+        self, catalog: MediatorCatalog, clock: SimClock | None = None
+    ) -> None:
+        self.catalog = catalog
+        self.clock = clock if clock is not None else SimClock(MEDIATOR_PROFILE)
+        self._submit_log: list[tuple[Submit, ExecutionResult]] = []
+
+    def execute(self, plan: PlanNode) -> ExecutionResult:
+        """Execute a plan; returns rows plus mediator-measured times."""
+        self._submit_log = []
+        start = self.clock.now_ms
+        time_first: float | None = None
+        rows: list[Row] = []
+        for row in self._run(plan):
+            if time_first is None:
+                time_first = self.clock.elapsed_since(start)
+            rows.append(row)
+        return ExecutionResult(
+            rows=rows,
+            total_time_ms=self.clock.elapsed_since(start),
+            time_first_ms=time_first if time_first is not None else 0.0,
+            submit_log=list(self._submit_log),
+        )
+
+    # -- operators ---------------------------------------------------------------
+
+    def _eval_charge(self, rows: int = 1) -> None:
+        self.clock.advance(self.clock.profile.cpu_ms_per_eval * rows)
+
+    def _run(self, node: PlanNode) -> Iterator[Row]:
+        if isinstance(node, Submit):
+            yield from self._run_submit(node)
+        elif isinstance(node, Scan):
+            raise PlanError(
+                f"scan({node.collection}) reached the mediator executor "
+                "without a submit — plans must route scans through wrappers"
+            )
+        elif isinstance(node, Select):
+            for row in self._run(node.child):
+                self._eval_charge()
+                if node.predicate.evaluate(row):
+                    yield row
+        elif isinstance(node, Project):
+            for row in self._run(node.child):
+                self._eval_charge()
+                yield {
+                    name: AttributeRef(node.source_of(name)).evaluate(row)
+                    for name in node.attributes
+                }
+        elif isinstance(node, Sort):
+            rows = list(self._run(node.child))
+            self._eval_charge(len(rows))
+            keyed = sorted(
+                rows,
+                key=lambda r: tuple(AttributeRef(k).evaluate(r) for k in node.keys),
+                reverse=node.descending,
+            )
+            yield from keyed
+        elif isinstance(node, Distinct):
+            seen: set[tuple] = set()
+            for row in self._run(node.child):
+                self._eval_charge()
+                fingerprint = tuple(sorted(row.items()))
+                if fingerprint not in seen:
+                    seen.add(fingerprint)
+                    yield row
+        elif isinstance(node, Aggregate):
+            yield from self._run_aggregate(node)
+        elif isinstance(node, Join):
+            yield from self._run_join(node)
+        elif isinstance(node, BindJoin):
+            yield from self._run_bindjoin(node)
+        elif isinstance(node, Union):
+            yield from self._run(node.left)
+            yield from self._run(node.right)
+        else:
+            raise PlanError(f"mediator cannot execute {node.operator_name!r}")
+
+    def _run_submit(self, node: Submit) -> Iterator[Row]:
+        wrapper = self.catalog.wrapper(node.wrapper)
+        self.clock.charge_message()  # ship the subquery
+        result: ExecutionResult = wrapper.execute(node.child)
+        self._submit_log.append((node, result))
+        # The mediator waits for the wrapper (sequential execution model,
+        # matching the additive TotalTime formulas of the cost model).
+        self.clock.advance(result.total_time_ms)
+        payload = self._payload_bytes(node.child, len(result.rows))
+        self.clock.charge_message(payload_bytes=payload)
+        yield from result.rows
+
+    def _payload_bytes(self, subplan: PlanNode, row_count: int) -> int:
+        """Approximate result size: rows × average object size of the
+        subplan's primary collection (100 bytes when unknown)."""
+        width = 100
+        primary = subplan.primary_collection()
+        if primary is not None and primary in self.catalog.statistics:
+            width = max(1, self.catalog.statistics.get(primary).object_size)
+        return row_count * width
+
+    def _run_aggregate(self, node: Aggregate) -> Iterator[Row]:
+        groups: dict[tuple, list[Row]] = {}
+        for row in self._run(node.child):
+            self._eval_charge()
+            key = tuple(AttributeRef(k).evaluate(row) for k in node.group_by)
+            groups.setdefault(key, []).append(row)
+        if not groups and not node.group_by:
+            groups[()] = []
+        for key, members in groups.items():
+            result: Row = dict(zip(node.group_by, key))
+            for spec in node.aggregates:
+                result[spec.alias] = _aggregate_value(spec, members)
+            yield result
+
+    def _run_join(self, node: Join) -> Iterator[Row]:
+        left_attr = node.left_attribute
+        right_attr = node.right_attribute
+        table: dict[Any, list[Row]] = {}
+        for row in self._run(node.right):
+            self._eval_charge()
+            table.setdefault(right_attr.evaluate(row), []).append(row)
+        for row in self._run(node.left):
+            self._eval_charge()
+            for match in table.get(left_attr.evaluate(row), ()):
+                yield _merge_rows(row, match, node)
+
+    def _run_bindjoin(self, node: BindJoin) -> Iterator[Row]:
+        """Dependent join: outer first, then keyed probe batches at the
+        inner wrapper (one request per batch of distinct join keys)."""
+        wrapper = self.catalog.wrapper(node.wrapper)
+        outer_rows = list(self._run(node.outer))
+        keys: list[Any] = []
+        seen: set[Any] = set()
+        for row in outer_rows:
+            self._eval_charge()
+            key = node.outer_attribute.evaluate(row)
+            if key is not None and key not in seen:
+                seen.add(key)
+                keys.append(key)
+        inner_by_key: dict[Any, list[Row]] = {}
+        inner_name = node.inner_attribute.name
+        for start in range(0, len(keys), node.batch_size):
+            batch = keys[start : start + node.batch_size]
+            key_predicate = eq(inner_name, batch[0])
+            for key in batch[1:]:
+                key_predicate = Or(key_predicate, eq(inner_name, key))
+            predicates = [key_predicate]
+            if node.inner_filters is not None:
+                predicates.append(node.inner_filters)
+            subplan = Select(Scan(node.inner_collection), conjunction(predicates))
+            self.clock.charge_message()  # ship the probe batch
+            result: ExecutionResult = wrapper.execute(subplan)
+            self.clock.advance(result.total_time_ms)
+            payload = self._payload_bytes(subplan, len(result.rows))
+            self.clock.charge_message(payload_bytes=payload)
+            for row in result.rows:
+                inner_by_key.setdefault(
+                    AttributeRef(inner_name).evaluate(row), []
+                ).append(row)
+        outer_label = node.outer.primary_collection() or "outer"
+        for row in outer_rows:
+            self._eval_charge()
+            key = node.outer_attribute.evaluate(row)
+            for match in inner_by_key.get(key, ()):
+                merged = dict(row)
+                for name, value in match.items():
+                    if name in merged and merged[name] != value:
+                        merged[f"{outer_label}.{name}"] = merged.pop(name)
+                        merged[f"{node.inner_collection}.{name}"] = value
+                    else:
+                        merged[name] = value
+                yield merged

@@ -1,0 +1,147 @@
+"""The mediator facade — the component of Figures 1 and 2.
+
+Ties the whole architecture together:
+
+* :meth:`Mediator.register` runs the registration phase for a wrapper
+  (schema + statistics + cost rules into catalog/repository/estimator);
+* :meth:`Mediator.query` runs the query phase: parse (SQL) → translate →
+  optimize (blended cost model, §4) → execute (submits to wrappers,
+  composition at the mediator) → answer;
+* :meth:`Mediator.explain` shows the chosen plan with per-node costs and
+  the provenance of every estimate (which scope/rule produced it);
+* with ``record_history=True``, executed subqueries feed the §4.3.1
+  query-scope history so identical subqueries are estimated from real
+  measurements afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.logical import PlanNode
+from repro.core.estimator import CostEstimator, EstimatorOptions, PlanEstimate
+from repro.core.generic import CoefficientSet, standard_repository
+from repro.core.history import HistoryStore
+from repro.core.scopes import RuleRepository
+from repro.mediator.catalog import MediatorCatalog
+from repro.mediator.executor import MediatorExecutor
+from repro.mediator.optimizer import (
+    OptimizationResult,
+    Optimizer,
+    OptimizerOptions,
+    OptimizerStats,
+)
+from repro.mediator.queryspec import QuerySpec, UnionSpec
+from repro.mediator.registration import register_wrapper
+from repro.sources.pages import Row
+from repro.wrappers.base import Wrapper
+
+
+@dataclass
+class QueryResult:
+    """The answer returned to the client (Step 6) plus diagnostics."""
+
+    rows: list[Row]
+    elapsed_ms: float
+    time_first_ms: float
+    plan: PlanNode
+    estimate: PlanEstimate
+    optimizer_stats: OptimizerStats = field(default_factory=OptimizerStats)
+    sql: str | None = None
+
+    @property
+    def count(self) -> int:
+        return len(self.rows)
+
+    @property
+    def estimated_ms(self) -> float:
+        return self.estimate.total_time
+
+
+class Mediator:
+    """A DISCO-style mediator over registered wrappers."""
+
+    def __init__(
+        self,
+        estimator_options: EstimatorOptions | None = None,
+        optimizer_options: OptimizerOptions | None = None,
+        repository: RuleRepository | None = None,
+        record_history: bool = False,
+    ) -> None:
+        self.catalog = MediatorCatalog()
+        self.repository = (
+            repository if repository is not None else standard_repository()
+        )
+        self.coefficients = CoefficientSet()
+        self.estimator = CostEstimator(
+            self.repository,
+            self.catalog.statistics,
+            options=estimator_options,
+            coefficients=self.coefficients,
+        )
+        self.optimizer = Optimizer(self.catalog, self.estimator, optimizer_options)
+        self.executor = MediatorExecutor(self.catalog)
+        self.history = HistoryStore(self.repository) if record_history else None
+
+    # -- registration phase (§2.1) ---------------------------------------------
+
+    def register(self, wrapper: Wrapper) -> int:
+        """Register (or re-register) a wrapper; returns its rule count."""
+        return register_wrapper(
+            wrapper, self.catalog, self.repository, self.estimator
+        )
+
+    # -- query phase (§2.2) ---------------------------------------------------------
+
+    def parse(self, sql: str) -> QuerySpec | UnionSpec:
+        """Parse SQL into the optimizer's query representation."""
+        from repro.sqlfe.translator import translate_sql
+
+        return translate_sql(sql, self.catalog)
+
+    def plan(self, query: "str | QuerySpec | UnionSpec") -> OptimizationResult:
+        """Optimize a query without executing it."""
+        spec = self.parse(query) if isinstance(query, str) else query
+        return self.optimizer.optimize(spec)
+
+    def query(self, query: "str | QuerySpec | UnionSpec") -> QueryResult:
+        """Run a query end to end and return rows plus diagnostics."""
+        sql = query if isinstance(query, str) else None
+        optimized = self.plan(query)
+        execution = self.executor.execute(optimized.plan)
+        if self.history is not None:
+            self.history.record_plan(optimized.plan, execution, self.catalog)
+        return QueryResult(
+            rows=execution.rows,
+            elapsed_ms=execution.total_time_ms,
+            time_first_ms=execution.time_first_ms,
+            plan=optimized.plan,
+            estimate=optimized.estimate,
+            optimizer_stats=optimized.stats,
+            sql=sql,
+        )
+
+    def execute_plan(self, plan: PlanNode) -> QueryResult:
+        """Execute a hand-built plan, bypassing the optimizer."""
+        estimate = self.estimator.estimate(plan)
+        execution = self.executor.execute(plan)
+        if self.history is not None:
+            self.history.record_plan(plan, execution, self.catalog)
+        return QueryResult(
+            rows=execution.rows,
+            elapsed_ms=execution.total_time_ms,
+            time_first_ms=execution.time_first_ms,
+            plan=plan,
+            estimate=estimate,
+            sql=None,
+        )
+
+    def explain(self, query: str | QuerySpec) -> str:
+        """The chosen plan with costs and rule provenance per node."""
+        optimized = self.plan(query)
+        header = (
+            f"estimated TotalTime: {optimized.estimated_total_ms:.1f} ms "
+            f"({optimized.stats.candidates_considered} candidates, "
+            f"{optimized.stats.candidates_pruned} pruned)"
+        )
+        return header + "\n" + optimized.estimate.explain()

@@ -1,0 +1,503 @@
+"""The mediator query optimizer (§2.2).
+
+"From a declarative query, the mediator can generate multiple access plans
+involving local operations at the data source level and global ones at the
+mediator level.  The plans can differ widely in execution time."
+
+The optimizer enumerates, System-R style over a :class:`QuerySpec`:
+
+* **access plans** per collection — filters pushed into the wrapper when
+  its capabilities allow, applied mediator-side otherwise;
+* **join orders** — dynamic programming over collection subsets (bushy),
+  falling back to a greedy chain beyond ``max_exhaustive_collections``;
+* **join placement** — cross-wrapper joins run at the mediator; a subset
+  served by a single join-capable wrapper may instead be pushed down as
+  one subquery (one Submit);
+* **decorations** — grouping, distinct, ordering and projection above the
+  join tree (pushed into the wrapper for single-collection queries when
+  capable, both variants costed).
+
+Every candidate is costed by the blended estimator; with
+``use_pruning=True`` the §4.3.2 branch-and-bound extension aborts the
+estimation of any candidate as soon as a partial cost exceeds the best
+complete plan so far.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.algebra.expressions import Predicate, conjunction
+from repro.algebra.logical import (
+    Aggregate,
+    BindJoin,
+    Distinct,
+    Join,
+    PlanNode,
+    Project,
+    Scan,
+    Select,
+    Sort,
+    Submit,
+)
+from repro.algebra.logical import Union
+from repro.core.estimator import CostEstimator, PlanEstimate
+from repro.errors import QueryError
+from repro.mediator.catalog import MediatorCatalog
+from repro.mediator.queryspec import QuerySpec, UnionSpec
+
+
+@dataclass
+class OptimizerOptions:
+    """Knobs for the enumeration (ablation points of DESIGN.md).
+
+    ``objective`` selects which §2.3 time form the optimizer minimizes:
+    ``"total_time"`` (throughput, the default) or ``"time_first"``
+    (first-tuple response time — interactive clients).  Branch-and-bound
+    pruning only applies to the total-time objective, since partial
+    TotalTime sums do not bound TimeFirst.
+    """
+
+    use_pruning: bool = True
+    push_joins_to_wrappers: bool = True
+    push_filters: bool = True
+    #: Consider dependent (bind) joins: probe an indexed inner collection
+    #: with the outer side's join keys instead of shipping it whole.
+    use_bind_join: bool = True
+    bind_join_batch_size: int = 50
+    max_exhaustive_collections: int = 7
+    objective: str = "total_time"
+
+    def __post_init__(self) -> None:
+        if self.objective not in ("total_time", "time_first"):
+            raise ValueError(f"unknown objective {self.objective!r}")
+
+
+@dataclass
+class OptimizerStats:
+    """Work counters for the overhead experiments."""
+
+    candidates_considered: int = 0
+    candidates_pruned: int = 0
+    variables_computed: int = 0
+    formulas_evaluated: int = 0
+
+
+@dataclass
+class OptimizationResult:
+    """The chosen plan with its estimate and enumeration statistics."""
+
+    plan: PlanNode
+    estimate: PlanEstimate
+    stats: OptimizerStats = field(default_factory=OptimizerStats)
+
+    @property
+    def estimated_total_ms(self) -> float:
+        return self.estimate.total_time
+
+
+@dataclass
+class _Candidate:
+    plan: PlanNode
+    estimate: PlanEstimate
+    cost: float = 0.0
+
+
+class Optimizer:
+    """Cost-based plan selection for one mediator."""
+
+    def __init__(
+        self,
+        catalog: MediatorCatalog,
+        estimator: CostEstimator,
+        options: OptimizerOptions | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.estimator = estimator
+        self.options = options or OptimizerOptions()
+
+    # -- public entry point ---------------------------------------------------
+
+    def optimize(self, spec: QuerySpec | UnionSpec) -> OptimizationResult:
+        """Choose the cheapest complete plan for a query."""
+        if isinstance(spec, UnionSpec):
+            return self._optimize_union(spec)
+        stats = OptimizerStats()
+        join_plan = self._best_join_plan(spec, stats)
+        candidates = self._decorated_candidates(spec, join_plan, stats)
+        best = min(candidates, key=lambda c: c.cost)
+        return OptimizationResult(plan=best.plan, estimate=best.estimate, stats=stats)
+
+    def _optimize_union(self, spec: UnionSpec) -> OptimizationResult:
+        """Optimize each branch independently, then combine (§2.2's union
+        operator runs at the mediator)."""
+        stats = OptimizerStats()
+        branch_results = [self.optimize(branch) for branch in spec.branches]
+        plan: PlanNode = branch_results[0].plan
+        for result in branch_results[1:]:
+            plan = Union(plan, result.plan)
+        if spec.distinct:
+            plan = Distinct(plan)
+        for result in branch_results:
+            stats.candidates_considered += result.stats.candidates_considered
+            stats.candidates_pruned += result.stats.candidates_pruned
+            stats.variables_computed += result.stats.variables_computed
+            stats.formulas_evaluated += result.stats.formulas_evaluated
+        candidate = self._cost(plan, stats, None)
+        assert candidate is not None
+        return OptimizationResult(
+            plan=candidate.plan, estimate=candidate.estimate, stats=stats
+        )
+
+    # -- costing helper ----------------------------------------------------------
+
+    def _cost(
+        self, plan: PlanNode, stats: OptimizerStats, bound: float | None
+    ) -> _Candidate | None:
+        """Estimate one candidate; None when pruned by the §4.3.2 bound."""
+        stats.candidates_considered += 1
+        first_tuple = self.options.objective == "time_first"
+        bound_ms = bound if self.options.use_pruning and not first_tuple else None
+        variables = ("TotalTime", "CountObject", "TotalSize")
+        if first_tuple:
+            variables = ("TimeFirst",) + variables
+        estimate = self.estimator.estimate(
+            plan, bound_ms=bound_ms, variables=variables
+        )
+        stats.variables_computed += self.estimator.last_counters.variables_computed
+        stats.formulas_evaluated += self.estimator.last_counters.formulas_evaluated
+        if estimate.pruned:
+            stats.candidates_pruned += 1
+            return None
+        cost_value = (
+            float(estimate.root.values["TimeFirst"])
+            if first_tuple
+            else estimate.total_time
+        )
+        return _Candidate(plan=plan, estimate=estimate, cost=cost_value)
+
+    # -- access plans ------------------------------------------------------------------
+
+    def _access_plan(self, spec: QuerySpec, collection: str) -> PlanNode:
+        """Scan + filters for one collection, submitted to its wrapper.
+
+        Filters go inside the Submit when the wrapper supports selection
+        (and ``push_filters`` is on), above it otherwise.
+        """
+        wrapper = self.catalog.wrapper_of(collection)
+        filters = spec.filters_for(collection)
+        inner: PlanNode = Scan(collection)
+        outer_filters: list[Predicate] = []
+        if filters:
+            if self.options.push_filters and "select" in wrapper.capabilities:
+                inner = Select(inner, conjunction(list(filters)))
+            else:
+                outer_filters = list(filters)
+        plan: PlanNode = Submit(inner, wrapper.name)
+        if outer_filters:
+            plan = Select(plan, conjunction(outer_filters))
+        return plan
+
+    def _wrapper_side_join_tree(
+        self, spec: QuerySpec, collections: list[str]
+    ) -> PlanNode | None:
+        """A left-deep join tree entirely inside one wrapper, or None when
+        the join graph does not connect the collections."""
+        plan: PlanNode | None = None
+        placed: set[str] = set()
+        remaining = list(collections)
+        while remaining:
+            progressed = False
+            for collection in list(remaining):
+                leaf: PlanNode = Scan(collection)
+                filters = spec.filters_for(collection)
+                if filters:
+                    leaf = Select(leaf, conjunction(list(filters)))
+                if plan is None:
+                    plan, placed = leaf, {collection}
+                    remaining.remove(collection)
+                    progressed = True
+                    break
+                connecting = spec.joins_between(placed, {collection})
+                if not connecting:
+                    continue
+                plan = Join(plan, leaf, connecting[0])
+                for extra in connecting[1:]:
+                    plan = Select(plan, extra)
+                placed.add(collection)
+                remaining.remove(collection)
+                progressed = True
+                break
+            if not progressed:
+                return None
+        return plan
+
+    # -- join enumeration --------------------------------------------------------------
+
+    def _best_join_plan(self, spec: QuerySpec, stats: OptimizerStats) -> _Candidate:
+        collections = spec.collections
+        if len(collections) == 1:
+            plan = self._access_plan(spec, collections[0])
+            candidate = self._cost(plan, stats, None)
+            assert candidate is not None
+            return candidate
+        if len(collections) <= self.options.max_exhaustive_collections:
+            return self._dynamic_programming(spec, stats)
+        return self._greedy_chain(spec, stats)
+
+    def _dynamic_programming(
+        self, spec: QuerySpec, stats: OptimizerStats
+    ) -> _Candidate:
+        collections = spec.collections
+        best: dict[frozenset[str], _Candidate] = {}
+        for collection in collections:
+            plan = self._access_plan(spec, collection)
+            candidate = self._cost(plan, stats, None)
+            assert candidate is not None
+            best[frozenset([collection])] = candidate
+
+        for size in range(2, len(collections) + 1):
+            for subset in itertools.combinations(collections, size):
+                key = frozenset(subset)
+                current: _Candidate | None = None
+                # Pushed-down whole-subset subquery at a single wrapper.
+                if self.options.push_joins_to_wrappers:
+                    current = self._pushed_candidate(spec, list(subset), stats, current)
+                # Mediator joins over every split with a connecting predicate.
+                for left_size in range(1, size):
+                    for left_subset in itertools.combinations(subset, left_size):
+                        left_key = frozenset(left_subset)
+                        right_key = key - left_key
+                        if left_key not in best or right_key not in best:
+                            continue
+                        connecting = spec.joins_between(set(left_key), set(right_key))
+                        if not connecting:
+                            continue
+                        plan: PlanNode = Join(
+                            best[left_key].plan,
+                            best[right_key].plan,
+                            connecting[0],
+                        )
+                        for extra in connecting[1:]:
+                            plan = Select(plan, extra)
+                        bound = current.cost if current is not None else None
+                        candidate = self._cost(plan, stats, bound)
+                        if candidate is not None and (
+                            current is None or candidate.cost < current.cost
+                        ):
+                            current = candidate
+                        bind_plan = self._bind_join_plan(
+                            spec, best[left_key].plan, right_key, connecting
+                        )
+                        if bind_plan is not None:
+                            bound = current.cost if current is not None else None
+                            candidate = self._cost(bind_plan, stats, bound)
+                            if candidate is not None and (
+                                current is None or candidate.cost < current.cost
+                            ):
+                                current = candidate
+                if current is not None:
+                    best[key] = current
+
+        full = frozenset(collections)
+        if full not in best:
+            # Disconnected join graph: fall back to cartesian chaining.
+            return self._cartesian_fallback(spec, best, stats)
+        return best[full]
+
+    def _pushed_candidate(
+        self,
+        spec: QuerySpec,
+        subset: list[str],
+        stats: OptimizerStats,
+        current: _Candidate | None,
+    ) -> _Candidate | None:
+        wrappers = {self.catalog.wrapper_for(c) for c in subset}
+        if len(wrappers) != 1:
+            return current
+        wrapper = self.catalog.wrapper(next(iter(wrappers)))
+        if "join" not in wrapper.capabilities:
+            return current
+        inner = self._wrapper_side_join_tree(spec, subset)
+        if inner is None:
+            return current
+        bound = current.cost if current is not None else None
+        candidate = self._cost(Submit(inner, wrapper.name), stats, bound)
+        if candidate is not None and (
+            current is None or candidate.cost < current.cost
+        ):
+            return candidate
+        return current
+
+    def _bind_join_plan(
+        self,
+        spec: QuerySpec,
+        outer_plan: PlanNode,
+        inner_group: frozenset[str],
+        connecting: list,
+    ) -> PlanNode | None:
+        """A dependent-join candidate, when the inner side is a single
+        collection with an indexed join attribute (catalog statistics) and
+        a selection-capable wrapper."""
+        if not self.options.use_bind_join or len(inner_group) != 1:
+            return None
+        inner = next(iter(inner_group))
+        join = connecting[0]
+        inner_attr = join.right
+        outer_attr = join.left
+        wrapper = self.catalog.wrapper_of(inner)
+        if "select" not in wrapper.capabilities:
+            return None
+        if inner not in self.catalog.statistics:
+            return None
+        stats = self.catalog.statistics.get(inner)
+        try:
+            attr_stats = stats.attribute(inner_attr.name)
+        except Exception:
+            return None
+        if not attr_stats.indexed:
+            return None
+        filters = spec.filters_for(inner)
+        plan: PlanNode = BindJoin(
+            outer=outer_plan,
+            outer_attribute=outer_attr,
+            inner_collection=inner,
+            inner_attribute=inner_attr,
+            wrapper=wrapper.name,
+            inner_filters=conjunction(list(filters)) if filters else None,
+            batch_size=self.options.bind_join_batch_size,
+        )
+        for extra in connecting[1:]:
+            plan = Select(plan, extra)
+        return plan
+
+    def _greedy_chain(self, spec: QuerySpec, stats: OptimizerStats) -> _Candidate:
+        """Greedy join ordering for very wide queries: start from the
+        cheapest access plan, repeatedly join the cheapest connected
+        extension."""
+        pending = {
+            collection: self._cost(self._access_plan(spec, collection), stats, None)
+            for collection in spec.collections
+        }
+        placed_name, current = min(
+            pending.items(), key=lambda item: item[1].cost  # type: ignore[union-attr]
+        )
+        assert current is not None
+        placed = {placed_name}
+        del pending[placed_name]
+        while pending:
+            extension: tuple[str, _Candidate] | None = None
+            for name, access in pending.items():
+                assert access is not None
+                connecting = spec.joins_between(placed, {name})
+                if not connecting:
+                    continue
+                plan: PlanNode = Join(current.plan, access.plan, connecting[0])
+                for extra in connecting[1:]:
+                    plan = Select(plan, extra)
+                bound = extension[1].cost if extension is not None else None
+                candidate = self._cost(plan, stats, bound)
+                if candidate is not None and (
+                    extension is None or candidate.cost < extension[1].cost
+                ):
+                    extension = (name, candidate)
+            if extension is None:
+                raise QueryError(
+                    f"join graph does not connect {sorted(placed)} to "
+                    f"{sorted(pending)} (cartesian products need an explicit "
+                    "join predicate)"
+                )
+            placed.add(extension[0])
+            del pending[extension[0]]
+            current = extension[1]
+        return current
+
+    def _cartesian_fallback(
+        self,
+        spec: QuerySpec,
+        best: dict[frozenset[str], _Candidate],
+        stats: OptimizerStats,
+    ) -> _Candidate:
+        raise QueryError(
+            "the join graph is disconnected; add join predicates "
+            f"connecting {spec.collections}"
+        )
+
+    # -- decorations -------------------------------------------------------------------
+
+    def _decorated_candidates(
+        self, spec: QuerySpec, join_candidate: _Candidate, stats: OptimizerStats
+    ) -> list[_Candidate]:
+        """Apply grouping/distinct/sort/projection; for single-collection
+        queries also try pushing the whole pipeline into the wrapper."""
+        candidates: list[_Candidate] = []
+        mediator_plan = self._decorate(spec, join_candidate.plan)
+        candidate = self._cost(mediator_plan, stats, None)
+        assert candidate is not None
+        candidates.append(candidate)
+
+        if spec.is_single_collection and self._has_decorations(spec):
+            collection = spec.collections[0]
+            wrapper = self.catalog.wrapper_of(collection)
+            needed = {"select"} if spec.filters_for(collection) else set()
+            if spec.aggregates or spec.group_by:
+                needed.add("aggregate")
+            if spec.distinct:
+                needed.add("distinct")
+            if spec.order_by:
+                needed.add("sort")
+            if spec.projection is not None:
+                needed.add("project")
+            if needed <= wrapper.capabilities:
+                inner: PlanNode = Scan(collection)
+                filters = spec.filters_for(collection)
+                if filters:
+                    inner = Select(inner, conjunction(list(filters)))
+                pushed = Submit(self._decorate(spec, inner), wrapper.name)
+                candidate = self._cost(pushed, stats, candidates[0].cost)
+                if candidate is not None:
+                    candidates.append(candidate)
+        return candidates
+
+    @staticmethod
+    def _has_decorations(spec: QuerySpec) -> bool:
+        return bool(
+            spec.aggregates
+            or spec.group_by
+            or spec.distinct
+            or spec.order_by
+            or spec.projection is not None
+        )
+
+    @staticmethod
+    def _decorate(spec: QuerySpec, plan: PlanNode) -> PlanNode:
+        # SQL evaluation order: GROUP BY → SELECT list → DISTINCT → ORDER
+        # BY.  ORDER BY may reference non-projected columns (standard SQL)
+        # unless DISTINCT is present, in which case the sort keys must
+        # survive projection; when they would not, sorting happens before
+        # the projection discards them.
+        if spec.aggregates or spec.group_by:
+            plan = Aggregate(plan, spec.group_by, spec.aggregates)
+        project = spec.projection is not None and not (
+            spec.aggregates or spec.group_by
+        )
+        sort_keys_projected = spec.projection is None or all(
+            key in spec.projection for key in spec.order_by
+        )
+        if spec.order_by and not sort_keys_projected:
+            if spec.distinct:
+                raise QueryError(
+                    "ORDER BY columns must appear in SELECT DISTINCT "
+                    f"output: {spec.order_by} vs {spec.projection}"
+                )
+            plan = Sort(plan, spec.order_by, spec.order_descending)
+        if project:
+            plan = Project(
+                plan, spec.projection, spec.projection_renames  # type: ignore[arg-type]
+            )
+        if spec.distinct:
+            plan = Distinct(plan)
+        if spec.order_by and sort_keys_projected:
+            plan = Sort(plan, spec.order_by, spec.order_descending)
+        return plan

@@ -1,0 +1,125 @@
+"""Normalized query representation consumed by the optimizer.
+
+The SQL front end (and tests/examples directly) produce a
+:class:`QuerySpec`: the conjunctive-normal-form core of a query —
+collections, per-collection filters, cross-collection equi-joins — plus
+the decorations (projection, distinct, grouping, ordering) applied above
+the join tree.  The optimizer enumerates plans from this shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.expressions import Comparison, Predicate
+from repro.algebra.logical import AggregateSpec
+from repro.errors import QueryError
+
+
+@dataclass
+class QuerySpec:
+    """One declarative query in optimizer-ready form."""
+
+    collections: list[str]
+    #: Single-collection conjuncts, keyed by collection.
+    filters: dict[str, list[Predicate]] = field(default_factory=dict)
+    #: Cross-collection equi-join comparisons; both sides must carry a
+    #: collection qualifier.
+    joins: list[Comparison] = field(default_factory=list)
+    #: Output attribute names (None = everything).
+    projection: list[str] | None = None
+    #: Output name -> source attribute, for aliased columns (SELECT x AS y).
+    projection_renames: dict[str, str] = field(default_factory=dict)
+    distinct: bool = False
+    group_by: list[str] = field(default_factory=list)
+    aggregates: list[AggregateSpec] = field(default_factory=list)
+    order_by: list[str] = field(default_factory=list)
+    order_descending: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.collections:
+            raise QueryError("a query needs at least one collection")
+        if len(set(self.collections)) != len(self.collections):
+            raise QueryError(
+                "duplicate collections in one query are not supported "
+                "(self-joins need aliases, which this subset omits)"
+            )
+        for collection in self.filters:
+            if collection not in self.collections:
+                raise QueryError(
+                    f"filter on {collection!r} which is not in FROM"
+                )
+        for join in self.joins:
+            if not join.is_attr_attr:
+                raise QueryError(f"join predicate {join} must compare attributes")
+            left, right = join.left, join.right
+            if left.collection is None or right.collection is None:  # type: ignore[union-attr]
+                raise QueryError(
+                    f"join predicate {join} must qualify both attributes"
+                )
+
+    def filters_for(self, collection: str) -> list[Predicate]:
+        return self.filters.get(collection, [])
+
+    def joins_between(
+        self, left_group: set[str], right_group: set[str]
+    ) -> list[Comparison]:
+        """Join predicates connecting two disjoint collection groups,
+        oriented left-to-right."""
+        connecting: list[Comparison] = []
+        for join in self.joins:
+            left_col = join.left.collection  # type: ignore[union-attr]
+            right_col = join.right.collection  # type: ignore[union-attr]
+            if left_col in left_group and right_col in right_group:
+                connecting.append(join)
+            elif right_col in left_group and left_col in right_group:
+                connecting.append(join.flipped())
+        return connecting
+
+    def joins_within(self, group: set[str]) -> list[Comparison]:
+        """Join predicates fully inside one collection group."""
+        return [
+            join
+            for join in self.joins
+            if join.left.collection in group  # type: ignore[union-attr]
+            and join.right.collection in group  # type: ignore[union-attr]
+        ]
+
+    @property
+    def is_single_collection(self) -> bool:
+        return len(self.collections) == 1
+
+    def output_columns(self) -> list[str] | None:
+        """The statically known output column names, or None for ``*``."""
+        if self.aggregates or self.group_by:
+            return list(self.group_by) + [a.alias for a in self.aggregates]
+        return None if self.projection is None else list(self.projection)
+
+
+@dataclass
+class UnionSpec:
+    """``query UNION [ALL] query`` over union-compatible branches.
+
+    Compatibility is checked by output column names, so every branch must
+    have a statically known output (an explicit projection or aggregate
+    list — ``SELECT *`` branches cannot be verified and are rejected).
+    """
+
+    branches: list[QuerySpec]
+    distinct: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.branches) < 2:
+            raise QueryError("a union needs at least two branches")
+        first = self.branches[0].output_columns()
+        if first is None:
+            raise QueryError(
+                "union branches must list their output columns explicitly "
+                "(SELECT * cannot be checked for union compatibility)"
+            )
+        for branch in self.branches[1:]:
+            columns = branch.output_columns()
+            if columns != first:
+                raise QueryError(
+                    f"union branches are not compatible: {first} vs {columns}"
+                )

@@ -1,0 +1,80 @@
+"""The registration phase (§2.1, Figure 1).
+
+"During the registration phase, mediators contact wrappers and upload all
+the information required to use the wrapper, including cost information."
+For each wrapper this module:
+
+1. pulls its :class:`~repro.wrappers.base.CostInfoExport` (Step 2),
+2. compiles the CDL document (the §2.4 code-shipping step — compilation
+   happens once here, never during query processing),
+3. stores schema and statistics in the mediator catalog,
+4. integrates the cost rules into the rule repository at their derived
+   scopes, and registers wrapper variables/functions with the estimator.
+
+Re-registration (the administrative interface §2.1 envisions "when the
+cost formulas are improved ... or the statistics become out of date")
+first removes everything the wrapper previously exported.
+"""
+
+from __future__ import annotations
+
+from repro.core.estimator import CostEstimator, SourceEnvironment
+from repro.core.scopes import RuleRepository
+from repro.errors import RegistrationError
+from repro.mediator.catalog import MediatorCatalog
+from repro.wrappers.base import Wrapper
+
+
+def register_wrapper(
+    wrapper: Wrapper,
+    catalog: MediatorCatalog,
+    repository: RuleRepository,
+    estimator: CostEstimator,
+) -> int:
+    """Run the registration phase for one wrapper.
+
+    Returns the number of cost rules integrated.  Raises
+    :class:`RegistrationError` if the wrapper's export fails to compile.
+    """
+    try:
+        export = wrapper.export_cost_info()
+        compiled = export.compiled()
+    except Exception as exc:
+        raise RegistrationError(
+            f"wrapper {wrapper.name!r} export failed: {exc}"
+        ) from exc
+
+    # Re-registration: drop everything the wrapper exported before.
+    if wrapper.name in catalog.wrapper_names():
+        catalog.remove_wrapper(wrapper.name)
+        repository.remove_source(wrapper.name)
+
+    catalog.add_wrapper(wrapper)
+    stats_by_name = {stats.name: stats for stats in compiled.statistics}
+    for collection in export.collection_names():
+        stats = stats_by_name.get(collection)
+        attributes: tuple[str, ...] = ()
+        if collection in compiled.schema:
+            attributes = tuple(compiled.schema[collection].attribute_names())
+        if not attributes and stats is not None:
+            attributes = tuple(stats.attributes)
+        if not attributes:
+            # Last resort: peek at the wrapper engine's rows (a mediator
+            # administrator would configure this by hand).
+            engine = getattr(wrapper, "engine", None)
+            if engine is not None and collection in engine.collection_names():
+                rows = engine.collection(collection).rows
+                if rows:
+                    attributes = tuple(rows[0].keys())
+        catalog.add_collection(collection, wrapper.name, attributes, stats)
+
+    repository.add_wrapper_rules(wrapper.name, compiled.rules)
+    estimator.invalidate_cache()
+    estimator.register_environment(
+        SourceEnvironment(
+            name=wrapper.name,
+            variables=dict(compiled.variables),
+            functions=dict(compiled.functions),
+        )
+    )
+    return len(compiled.rules)

@@ -1,0 +1,15 @@
+"""The OO7 benchmark substrate [CDN93] used by the §5 experiments."""
+
+from repro.oo7.generator import OO7Data, generate, load_database
+from repro.oo7.schema import CONFIGS, PAPER, SMALL, TINY, OO7Config
+
+__all__ = [
+    "CONFIGS",
+    "OO7Config",
+    "OO7Data",
+    "PAPER",
+    "SMALL",
+    "TINY",
+    "generate",
+    "load_database",
+]

@@ -1,0 +1,213 @@
+"""Deterministic OO7 database generator.
+
+Builds the full OO7 entity graph of a configuration as plain row dicts,
+and loads it into an :class:`~repro.sources.objectdb.ObjectDatabase`
+(the ObjectStore stand-in of the §5 experiment).
+
+Determinism: every run with the same config and seed produces the same
+database, so measured simulated times are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.oo7 import schema
+from repro.oo7.schema import OO7Config
+from repro.sources.objectdb import ObjectDatabase
+from repro.sources.pages import Row
+
+
+@dataclass
+class OO7Data:
+    """The generated rows of one OO7 database, per extent."""
+
+    config: OO7Config
+    atomic_parts: list[Row] = field(default_factory=list)
+    connections: list[Row] = field(default_factory=list)
+    composite_parts: list[Row] = field(default_factory=list)
+    documents: list[Row] = field(default_factory=list)
+    base_assemblies: list[Row] = field(default_factory=list)
+    complex_assemblies: list[Row] = field(default_factory=list)
+    modules: list[Row] = field(default_factory=list)
+
+    def extent_rows(self) -> dict[str, list[Row]]:
+        return {
+            "AtomicParts": self.atomic_parts,
+            "Connections": self.connections,
+            "CompositeParts": self.composite_parts,
+            "Documents": self.documents,
+            "BaseAssemblies": self.base_assemblies,
+            "ComplexAssemblies": self.complex_assemblies,
+            "Modules": self.modules,
+        }
+
+
+def generate(config: OO7Config = schema.TINY, seed: int = 7) -> OO7Data:
+    """Generate the OO7 entity graph for a configuration."""
+    rng = random.Random(seed)
+    data = OO7Data(config=config)
+
+    # Composite parts, their documents and atomic-part graphs.
+    atomic_id = 0
+    for comp_id in range(config.num_composite_parts):
+        data.composite_parts.append(
+            {
+                "Id": comp_id,
+                "buildDate": rng.randint(
+                    schema.MIN_BUILD_DATE, schema.MAX_BUILD_DATE
+                ),
+                "type": rng.choice(schema.PART_TYPES),
+                "rootPart": atomic_id,
+                "docId": comp_id,
+            }
+        )
+        data.documents.append(
+            {
+                "Id": comp_id,
+                "title": f"Composite Part #{comp_id:05d}",
+                "compPartId": comp_id,
+            }
+        )
+        members = list(
+            range(atomic_id, atomic_id + config.num_atomic_per_composite)
+        )
+        for part_id in members:
+            data.atomic_parts.append(
+                {
+                    "Id": part_id,
+                    "buildDate": rng.randint(
+                        schema.MIN_BUILD_DATE, schema.MAX_BUILD_DATE
+                    ),
+                    "type": rng.choice(schema.PART_TYPES),
+                    "x": rng.randint(0, 99999),
+                    "y": rng.randint(0, 99999),
+                    "partOf": comp_id,
+                }
+            )
+            # Each atomic part connects to k others of the same composite
+            # (the OO7 ring-plus-random wiring).
+            ring_next = members[(part_id - atomic_id + 1) % len(members)]
+            targets = [ring_next] + [
+                rng.choice(members)
+                for _ in range(config.num_connections_per_atomic - 1)
+            ]
+            for to_id in targets:
+                data.connections.append(
+                    {
+                        "fromId": part_id,
+                        "toId": to_id,
+                        "type": rng.choice(schema.PART_TYPES),
+                        "length": rng.randint(1, 1000),
+                    }
+                )
+        atomic_id += config.num_atomic_per_composite
+
+    # Assembly hierarchy: a complete k-ary tree per module.
+    complex_id = 0
+    base_id = 0
+    for module_id in range(config.num_modules):
+        data.modules.append(
+            {"Id": module_id, "buildDate": rng.randint(
+                schema.MIN_BUILD_DATE, schema.MAX_BUILD_DATE
+            )}
+        )
+        level_nodes: list[int] = []
+        root_id = complex_id
+        data.complex_assemblies.append(
+            {
+                "Id": root_id,
+                "buildDate": rng.randint(
+                    schema.MIN_BUILD_DATE, schema.MAX_BUILD_DATE
+                ),
+                "module": module_id,
+                "parent": -1,
+                "level": 1,
+            }
+        )
+        complex_id += 1
+        level_nodes = [root_id]
+        for level in range(2, config.num_assembly_levels):
+            next_level: list[int] = []
+            for parent in level_nodes:
+                for _ in range(config.num_assemblies_per_assembly):
+                    data.complex_assemblies.append(
+                        {
+                            "Id": complex_id,
+                            "buildDate": rng.randint(
+                                schema.MIN_BUILD_DATE, schema.MAX_BUILD_DATE
+                            ),
+                            "module": module_id,
+                            "parent": parent,
+                            "level": level,
+                        }
+                    )
+                    next_level.append(complex_id)
+                    complex_id += 1
+            level_nodes = next_level
+        for parent in level_nodes:
+            for _ in range(config.num_assemblies_per_assembly):
+                components = [
+                    rng.randrange(config.num_composite_parts)
+                    for _ in range(config.num_composite_per_assembly)
+                ]
+                data.base_assemblies.append(
+                    {
+                        "Id": base_id,
+                        "buildDate": rng.randint(
+                            schema.MIN_BUILD_DATE, schema.MAX_BUILD_DATE
+                        ),
+                        "module": module_id,
+                        "parent": parent,
+                        # OO7 links base assemblies to shared/private
+                        # composite parts; we keep the first as a scalar FK
+                        # for join workloads.
+                        "componentId": components[0],
+                    }
+                )
+                base_id += 1
+    return data
+
+
+#: Extent name -> (object size, indexed attributes).
+EXTENT_LAYOUT: dict[str, tuple[int, tuple[str, ...]]] = {
+    "AtomicParts": (schema.ATOMIC_PART_BYTES, ("Id", "buildDate")),
+    "Connections": (schema.CONNECTION_BYTES, ("fromId",)),
+    "CompositeParts": (schema.COMPOSITE_PART_BYTES, ("Id",)),
+    "Documents": (schema.DOCUMENT_BYTES, ("Id",)),
+    "BaseAssemblies": (schema.BASE_ASSEMBLY_BYTES, ("Id", "componentId")),
+    "ComplexAssemblies": (schema.COMPLEX_ASSEMBLY_BYTES, ("Id",)),
+    "Modules": (schema.MODULE_BYTES, ("Id",)),
+}
+
+
+def load_database(
+    config: OO7Config = schema.TINY,
+    seed: int = 7,
+    *,
+    clustering: str = "scattered",
+    extents: tuple[str, ...] | None = None,
+    database: ObjectDatabase | None = None,
+) -> ObjectDatabase:
+    """Generate OO7 data and load it into an object database.
+
+    ``clustering`` applies to every extent (the §5 experiment uses
+    ``"scattered"`` — the placement Yao's model assumes); restrict
+    ``extents`` to load a subset (the Figure 12 bench only needs
+    ``("AtomicParts",)``).
+    """
+    data = generate(config, seed)
+    db = database if database is not None else ObjectDatabase()
+    for name, rows in data.extent_rows().items():
+        if extents is not None and name not in extents:
+            continue
+        object_size, indexed = EXTENT_LAYOUT[name]
+        db.create_extent(
+            name,
+            rows,
+            object_size=object_size,
+            indexed_attributes=indexed,
+            clustering=clustering,
+        )
+    return db

@@ -1,0 +1,110 @@
+"""The OO7 benchmark schema and scale configurations [CDN93].
+
+OO7 models a CAD database: a module is a tree of complex assemblies whose
+leaves (base assemblies) reference composite parts; each composite part
+owns a document and a graph of atomic parts wired by connections.
+
+The validation experiment of the paper (§5) scans the ``AtomicParts``
+extent: "The size of one AtomicPart object is 56 bytes, the collection
+cardinality is 70000 and its size is 1000 pages.  The page fill factor is
+96 % of 4096 bytes.  The distribution of the Id value is uniform."
+:data:`PAPER` encodes exactly that configuration;
+:data:`TINY`/:data:`SMALL` give fast variants for tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Object sizes in bytes (AtomicPart size is the paper's 56).
+ATOMIC_PART_BYTES = 56
+CONNECTION_BYTES = 32
+COMPOSITE_PART_BYTES = 104
+DOCUMENT_BYTES = 2000
+BASE_ASSEMBLY_BYTES = 72
+COMPLEX_ASSEMBLY_BYTES = 72
+MODULE_BYTES = 128
+
+#: The ten part-type strings of the OO7 specification.
+PART_TYPES = tuple(f"type{i:03d}" for i in range(10))
+
+#: buildDate ranges (OO7 uses young/old part populations).
+MIN_BUILD_DATE = 1000
+MAX_BUILD_DATE = 1999
+
+
+@dataclass(frozen=True)
+class OO7Config:
+    """Scale parameters of one OO7 database."""
+
+    name: str
+    num_modules: int
+    num_assembly_levels: int
+    num_assemblies_per_assembly: int
+    num_composite_per_assembly: int
+    num_composite_parts: int
+    num_atomic_per_composite: int
+    num_connections_per_atomic: int
+
+    @property
+    def num_atomic_parts(self) -> int:
+        return self.num_composite_parts * self.num_atomic_per_composite
+
+    @property
+    def num_base_assemblies(self) -> int:
+        return self.num_modules * (
+            self.num_assemblies_per_assembly ** (self.num_assembly_levels - 1)
+        )
+
+    @property
+    def num_complex_assemblies(self) -> int:
+        # Internal nodes of the assembly tree (levels 1..L-1).
+        per_module = sum(
+            self.num_assemblies_per_assembly**level
+            for level in range(self.num_assembly_levels - 1)
+        )
+        return self.num_modules * per_module
+
+    @property
+    def num_connections(self) -> int:
+        return self.num_atomic_parts * self.num_connections_per_atomic
+
+
+#: A few hundred objects: unit tests.
+TINY = OO7Config(
+    name="tiny",
+    num_modules=1,
+    num_assembly_levels=3,
+    num_assemblies_per_assembly=3,
+    num_composite_per_assembly=3,
+    num_composite_parts=20,
+    num_atomic_per_composite=10,
+    num_connections_per_atomic=3,
+)
+
+#: The OO7 "small" configuration (10 000 atomic parts).
+SMALL = OO7Config(
+    name="small",
+    num_modules=1,
+    num_assembly_levels=7,
+    num_assemblies_per_assembly=3,
+    num_composite_per_assembly=3,
+    num_composite_parts=500,
+    num_atomic_per_composite=20,
+    num_connections_per_atomic=3,
+)
+
+#: The §5 experiment: 70 000 AtomicParts of 56 bytes -> 1000 pages at
+#: 96 % fill of 4096-byte pages.
+PAPER = OO7Config(
+    name="paper",
+    num_modules=1,
+    num_assembly_levels=7,
+    num_assemblies_per_assembly=3,
+    num_composite_per_assembly=3,
+    num_composite_parts=3500,
+    num_atomic_per_composite=20,
+    num_connections_per_atomic=3,
+)
+
+CONFIGS = {config.name: config for config in (TINY, SMALL, PAPER)}

@@ -1,0 +1,151 @@
+"""OO7-style query workload [CDN93] expressed against the mediator.
+
+The OO7 benchmark defines a set of query operations; this module adapts
+the ones meaningful in a mediator setting (traversals become joins) to
+the SQL subset, parameterized by scale configuration and seed so expected
+answers are computable from the generated data:
+
+* **Q1** — exact-match lookups of atomic parts by ``Id``;
+* **Q2/Q3/Q7** — range selections on ``buildDate`` covering 1 %, 10 %
+  and 100 % of the date range (Q7 is the full ordered scan);
+* **Q4** — document lookup joined to its composite part;
+* **Q5** — base assemblies whose component composite part is newer than
+  a date (join + filter);
+* **Q8** — atomic parts joined to their composite part's document
+  (count).
+
+``expected_*`` helpers compute ground truth directly from
+:class:`~repro.oo7.generator.OO7Data`, so integration tests can check the
+mediator's answers bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.oo7 import schema
+from repro.oo7.generator import OO7Data, generate
+from repro.oo7.schema import OO7Config
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One OO7 query: a label, its SQL, and the expected row count."""
+
+    label: str
+    sql: str
+    expected_rows: int
+
+
+def _date_threshold(fraction: float) -> int:
+    span = schema.MAX_BUILD_DATE - schema.MIN_BUILD_DATE
+    return schema.MIN_BUILD_DATE + int(fraction * span)
+
+
+def build_workload(
+    config: OO7Config = schema.TINY,
+    seed: int = 7,
+    lookups: int = 3,
+    rng_seed: int = 99,
+) -> list[WorkloadQuery]:
+    """The query set with expected answers for ``generate(config, seed)``."""
+    data = generate(config, seed)
+    rng = random.Random(rng_seed)
+    queries: list[WorkloadQuery] = []
+
+    # Q1: exact-match lookups on AtomicParts.Id.
+    for index in range(lookups):
+        part_id = rng.randrange(config.num_atomic_parts)
+        queries.append(
+            WorkloadQuery(
+                label=f"Q1.{index}",
+                sql=f"SELECT * FROM AtomicParts WHERE Id = {part_id}",
+                expected_rows=1,
+            )
+        )
+
+    # Q2/Q3: 1% and 10% buildDate ranges; Q7: the full ordered scan.
+    for label, fraction in (("Q2", 0.01), ("Q3", 0.10)):
+        threshold = _date_threshold(fraction)
+        expected = sum(
+            1
+            for part in data.atomic_parts
+            if schema.MIN_BUILD_DATE <= part["buildDate"] <= threshold
+        )
+        queries.append(
+            WorkloadQuery(
+                label=label,
+                sql=(
+                    "SELECT * FROM AtomicParts WHERE buildDate BETWEEN "
+                    f"{schema.MIN_BUILD_DATE} AND {threshold}"
+                ),
+                expected_rows=expected,
+            )
+        )
+    queries.append(
+        WorkloadQuery(
+            label="Q7",
+            sql="SELECT Id, buildDate FROM AtomicParts ORDER BY buildDate",
+            expected_rows=config.num_atomic_parts,
+        )
+    )
+
+    # Q4: a document and its composite part.
+    doc_id = rng.randrange(config.num_composite_parts)
+    queries.append(
+        WorkloadQuery(
+            label="Q4",
+            sql=(
+                "SELECT * FROM Documents, CompositeParts "
+                "WHERE Documents.compPartId = CompositeParts.Id "
+                f"AND Documents.Id = {doc_id}"
+            ),
+            expected_rows=1,
+        )
+    )
+
+    # Q5: base assemblies whose component part is newer than a date.
+    threshold = _date_threshold(0.5)
+    build_dates = {c["Id"]: c["buildDate"] for c in data.composite_parts}
+    expected = sum(
+        1
+        for assembly in data.base_assemblies
+        if build_dates[assembly["componentId"]] > threshold
+    )
+    queries.append(
+        WorkloadQuery(
+            label="Q5",
+            sql=(
+                "SELECT * FROM BaseAssemblies, CompositeParts "
+                "WHERE BaseAssemblies.componentId = CompositeParts.Id "
+                f"AND CompositeParts.buildDate > {threshold}"
+            ),
+            expected_rows=expected,
+        )
+    )
+
+    # Q8: atomic parts joined to their composite part's document (count).
+    queries.append(
+        WorkloadQuery(
+            label="Q8",
+            sql=(
+                "SELECT COUNT(*) AS pairs FROM AtomicParts, Documents "
+                "WHERE AtomicParts.partOf = Documents.compPartId"
+            ),
+            expected_rows=1,
+        )
+    )
+    return queries
+
+
+def expected_q8_pairs(data: OO7Data) -> int:
+    """Ground truth for the Q8 count."""
+    docs_per_composite: dict[int, int] = {}
+    for document in data.documents:
+        docs_per_composite[document["compPartId"]] = (
+            docs_per_composite.get(document["compPartId"], 0) + 1
+        )
+    return sum(
+        docs_per_composite.get(part["partOf"], 0) for part in data.atomic_parts
+    )

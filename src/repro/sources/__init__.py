@@ -1,0 +1,33 @@
+"""Simulated data-source substrates: clock, pages, B+tree, engines."""
+
+from repro.sources.btree import BPlusTree
+from repro.sources.clock import CostProfile, SimClock, Stopwatch
+from repro.sources.objectdb import OO7_DEVICE, ObjectDatabase
+from repro.sources.pages import (
+    BufferPool,
+    ClusteredPlacement,
+    Page,
+    PagedFile,
+    ScatteredPlacement,
+    SequentialPlacement,
+)
+from repro.sources.relationaldb import RelationalDatabase
+from repro.sources.storage_engine import StorageEngine, StoredCollection
+
+__all__ = [
+    "BPlusTree",
+    "BufferPool",
+    "ClusteredPlacement",
+    "CostProfile",
+    "OO7_DEVICE",
+    "ObjectDatabase",
+    "Page",
+    "PagedFile",
+    "RelationalDatabase",
+    "ScatteredPlacement",
+    "SequentialPlacement",
+    "SimClock",
+    "Stopwatch",
+    "StorageEngine",
+    "StoredCollection",
+]

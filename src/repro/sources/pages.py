@@ -1,0 +1,230 @@
+"""Paged storage for the simulated data sources.
+
+The §5 experiment depends on one physical fact: objects live on fixed-size
+disk pages (4096 bytes at 96 % fill in the OO7 setup), so an index scan
+fetches the *distinct pages* containing the selected objects — the
+quantity Yao's formula predicts.  This module provides that substrate:
+
+* :class:`Page` — a bounded container of records;
+* :class:`PagedFile` — a heap of pages with a fill factor and a placement
+  policy (``sequential`` appends in insertion order; ``clustered(attr)``
+  sorts by an attribute before placement; ``scattered(seed)`` shuffles
+  deterministically, decorrelating page order from key order — the
+  placement the Yao model assumes);
+* :class:`BufferPool` — an LRU page cache that charges the
+  :class:`~repro.sources.clock.SimClock` one page read per miss.
+
+Records are ``(rid, row)`` pairs where ``rid = (page_id, slot)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.errors import PageError
+from repro.sources.clock import SimClock
+
+Row = dict[str, Any]
+Rid = tuple[int, int]
+
+#: The page size of the paper's experiment (§5).
+DEFAULT_PAGE_SIZE = 4096
+
+#: The fill factor of the paper's experiment (96 %).
+DEFAULT_FILL_FACTOR = 0.96
+
+
+@dataclass
+class Page:
+    """One fixed-size page holding whole records."""
+
+    page_id: int
+    capacity: int
+    records: list[Row] = field(default_factory=list)
+    used: int = 0
+
+    def fits(self, size: int) -> bool:
+        return self.used + size <= self.capacity
+
+    def append(self, row: Row, size: int) -> int:
+        """Store a record; returns its slot number."""
+        if size > self.capacity:
+            raise PageError(
+                f"record of {size} bytes cannot fit a {self.capacity}-byte page"
+            )
+        if not self.fits(size):
+            raise PageError(f"page {self.page_id} is full")
+        self.records.append(row)
+        self.used += size
+        return len(self.records) - 1
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class PagedFile:
+    """A heap file: records packed onto pages under a fill factor.
+
+    Build one with :meth:`bulk_load`; the file is immutable afterwards
+    (the experiments never update in place), which keeps rids stable for
+    indexes.
+    """
+
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        fill_factor: float = DEFAULT_FILL_FACTOR,
+    ) -> None:
+        if not 0 < fill_factor <= 1:
+            raise PageError(f"fill factor must be in (0, 1], got {fill_factor}")
+        self.page_size = page_size
+        self.fill_factor = fill_factor
+        self.pages: list[Page] = []
+        self.record_count = 0
+        self.total_bytes = 0
+
+    @property
+    def effective_capacity(self) -> int:
+        return int(self.page_size * self.fill_factor)
+
+    @property
+    def page_count(self) -> int:
+        return len(self.pages)
+
+    # -- loading -----------------------------------------------------------------
+
+    def bulk_load(
+        self,
+        rows: Iterable[Row],
+        record_size: int | Callable[[Row], int],
+        placement: "PlacementPolicy | None" = None,
+    ) -> list[Rid]:
+        """Pack rows onto pages; returns the rid of each input row, in the
+        *input* order (so callers can build indexes on logical order even
+        when the physical placement shuffles)."""
+        if self.pages:
+            raise PageError("bulk_load on a non-empty file")
+        size_of = record_size if callable(record_size) else (lambda _row: record_size)
+        materialized = list(rows)
+        order = list(range(len(materialized)))
+        if placement is not None:
+            order = placement.order(materialized)
+        rids: dict[int, Rid] = {}
+        current: Page | None = None
+        for original_index in order:
+            row = materialized[original_index]
+            size = size_of(row)
+            if current is None or not current.fits(size):
+                current = Page(len(self.pages), self.effective_capacity)
+                self.pages.append(current)
+            slot = current.append(row, size)
+            rids[original_index] = (current.page_id, slot)
+            self.record_count += 1
+            self.total_bytes += size
+        return [rids[i] for i in range(len(materialized))]
+
+    # -- access -----------------------------------------------------------------------
+
+    def page(self, page_id: int) -> Page:
+        try:
+            return self.pages[page_id]
+        except IndexError:
+            raise PageError(f"no page {page_id} (file has {len(self.pages)})") from None
+
+    def fetch(self, rid: Rid) -> Row:
+        page_id, slot = rid
+        page = self.page(page_id)
+        try:
+            return page.records[slot]
+        except IndexError:
+            raise PageError(f"no slot {slot} on page {page_id}") from None
+
+    def scan_rids(self) -> Iterator[tuple[Rid, Row]]:
+        """All records in physical (page) order."""
+        for page in self.pages:
+            for slot, row in enumerate(page.records):
+                yield (page.page_id, slot), row
+
+
+class PlacementPolicy:
+    """Decides the physical order in which records are packed onto pages."""
+
+    def order(self, rows: list[Row]) -> list[int]:
+        raise NotImplementedError
+
+
+class SequentialPlacement(PlacementPolicy):
+    """Insertion order — physically correlated with logical order."""
+
+    def order(self, rows: list[Row]) -> list[int]:
+        return list(range(len(rows)))
+
+
+class ClusteredPlacement(PlacementPolicy):
+    """Sorted by an attribute — an index scan on that attribute reads
+    consecutive pages (the clustering case §7 says calibration cannot
+    capture)."""
+
+    def __init__(self, attribute: str) -> None:
+        self.attribute = attribute
+
+    def order(self, rows: list[Row]) -> list[int]:
+        return sorted(range(len(rows)), key=lambda i: rows[i][self.attribute])
+
+
+class ScatteredPlacement(PlacementPolicy):
+    """Deterministic shuffle — decorrelates physical placement from every
+    attribute, the random-placement assumption behind Yao's formula."""
+
+    def __init__(self, seed: int = 0x007) -> None:
+        self.seed = seed
+
+    def order(self, rows: list[Row]) -> list[int]:
+        order = list(range(len(rows)))
+        random.Random(self.seed).shuffle(order)
+        return order
+
+
+class BufferPool:
+    """An LRU cache of pages in front of a :class:`PagedFile`.
+
+    Each miss charges one page read on the clock; hits are free.  A
+    capacity of 0 disables caching entirely (every access is a miss),
+    which is how the Figure 12 experiment models a cold cache.
+    """
+
+    def __init__(self, file: PagedFile, clock: SimClock, capacity: int = 0) -> None:
+        self.file = file
+        self.clock = clock
+        self.capacity = capacity
+        self._resident: dict[int, None] = {}  # insertion-ordered LRU
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, page_id: int) -> Page:
+        """Read a page through the cache, charging I/O on a miss."""
+        page = self.file.page(page_id)  # validate id first
+        if self.capacity > 0 and page_id in self._resident:
+            self.hits += 1
+            self._resident.pop(page_id)
+            self._resident[page_id] = None  # move to MRU position
+            return page
+        self.misses += 1
+        self.clock.charge_page_read()
+        if self.capacity > 0:
+            if len(self._resident) >= self.capacity:
+                oldest = next(iter(self._resident))
+                self._resident.pop(oldest)
+            self._resident[page_id] = None
+        return page
+
+    def fetch(self, rid: tuple[int, int]) -> Row:
+        page = self.access(rid[0])
+        return page.records[rid[1]]
+
+    def clear(self) -> None:
+        self._resident.clear()
+        self.hits = 0
+        self.misses = 0

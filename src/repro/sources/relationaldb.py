@@ -1,0 +1,85 @@
+"""A minimal relational engine over the shared paged substrate.
+
+Used as the "classical relational source" in multi-source experiments and
+examples: tables with typed-ish rows, optional B+tree indexes, sequential
+and index access paths, and post-load inserts (the object store is
+load-once; a relational source keeps growing, so its exported statistics
+drift — the situation §2.1 re-registration addresses).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.errors import StorageError
+from repro.sources.clock import CostProfile, SimClock
+from repro.sources.pages import Page, Row
+from repro.sources.storage_engine import StorageEngine
+
+#: A faster device than the object store: a cached relational server.
+RELATIONAL_DEVICE = CostProfile(io_ms=8.0, cpu_ms_per_object=0.5)
+
+
+class RelationalDatabase(StorageEngine):
+    """Tables + inserts on top of :class:`StorageEngine`."""
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        super().__init__(clock if clock is not None else SimClock(RELATIONAL_DEVICE))
+        self._row_sizes: dict[str, int | Callable[[Row], int]] = {}
+
+    def create_table(
+        self,
+        name: str,
+        rows: Iterable[Row] = (),
+        *,
+        row_size: int | Callable[[Row], int] = 100,
+        indexed_columns: Iterable[str] = (),
+        page_size: int = 4096,
+        fill_factor: float = 1.0,
+    ):
+        """Create and bulk-load a table (sequential placement)."""
+        table = self.create_collection(
+            name,
+            rows,
+            object_size=row_size,
+            indexed_attributes=indexed_columns,
+            placement="sequential",
+            page_size=page_size,
+            fill_factor=fill_factor,
+        )
+        self._row_sizes[name] = row_size
+        return table
+
+    def insert(self, name: str, row: Row) -> None:
+        """Append one row, maintaining indexes; charges one page write."""
+        table = self.collection(name)
+        size_spec = self._row_sizes.get(name, 100)
+        size = size_spec(row) if callable(size_spec) else size_spec
+        row = dict(row)
+        file = table.file
+        if file.pages and file.pages[-1].fits(size):
+            page = file.pages[-1]
+        else:
+            page = Page(len(file.pages), file.effective_capacity)
+            file.pages.append(page)
+        slot = page.append(row, size)
+        rid = (page.page_id, slot)
+        file.record_count += 1
+        file.total_bytes += size
+        table.rows.append(row)
+        table.rids.append(rid)
+        table.object_size = file.total_bytes // max(1, file.record_count)
+        for attribute, tree in table.indexes.items():
+            if attribute not in row:
+                raise StorageError(
+                    f"insert into {name}: missing indexed column {attribute!r}"
+                )
+            tree.insert(row[attribute], rid)
+        self.clock.charge_page_write()
+
+    def row_count(self, name: str) -> int:
+        return self.collection(name).count
+
+    def lookup(self, name: str, column: str, value: Any) -> list[Row]:
+        """Exact-match read through an index (charges like an index scan)."""
+        return list(self.index_scan(name, column, value=value))

@@ -1,0 +1,6 @@
+"""The object/relational SQL front end (§2.2 Step 3)."""
+
+from repro.sqlfe.parser import parse_sql
+from repro.sqlfe.translator import translate, translate_sql
+
+__all__ = ["parse_sql", "translate", "translate_sql"]

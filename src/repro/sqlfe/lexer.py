@@ -1,0 +1,148 @@
+"""Tokenizer for the mediator's object/relational SQL subset (§2.2).
+
+"The query in Step 3 is declarative, written in simple object/relational
+SQL language."  Keywords are case-insensitive; identifiers preserve case
+(collection and attribute names are case-sensitive, as in the object
+world).  Strings use single quotes; ``--`` starts a line comment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "ORDER",
+        "BY",
+        "ASC",
+        "DESC",
+        "AND",
+        "OR",
+        "NOT",
+        "JOIN",
+        "ON",
+        "AS",
+        "BETWEEN",
+        "UNION",
+        "ALL",
+        "COUNT",
+        "SUM",
+        "AVG",
+        "MIN",
+        "MAX",
+    }
+)
+
+_MULTI_PUNCT = ("<=", ">=", "!=", "<>")
+_SINGLE_PUNCT = set("(),*.=<>")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident', 'keyword', 'number', 'string', punctuation, 'eof'
+    text: str
+    line: int
+    column: int
+
+
+class SqlLexer:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def error(self, message: str) -> SqlSyntaxError:
+        return SqlSyntaxError(message, self.line, self.column)
+
+    def tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                tokens.append(Token("eof", "", self.line, self.column))
+                return tokens
+            tokens.append(self._next_token())
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for char in text:
+            if char == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char.isspace():
+                self._advance()
+            elif char == "-" and self._peek(1) == "-":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, column = self.line, self.column
+        char = self._peek()
+        if char.isalpha() or char == "_":
+            start = self.pos
+            while self.pos < len(self.source) and (
+                self._peek().isalnum() or self._peek() == "_"
+            ):
+                self._advance()
+            text = self.source[start : self.pos]
+            if text.upper() in KEYWORDS:
+                return Token("keyword", text.upper(), line, column)
+            return Token("ident", text, line, column)
+        if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+            start = self.pos
+            seen_dot = False
+            while self.pos < len(self.source):
+                current = self._peek()
+                if current.isdigit():
+                    self._advance()
+                elif current == "." and not seen_dot and self._peek(1).isdigit():
+                    seen_dot = True
+                    self._advance()
+                else:
+                    break
+            return Token("number", self.source[start : self.pos], line, column)
+        if char == "'":
+            self._advance()
+            start = self.pos
+            while self.pos < len(self.source) and self._peek() != "'":
+                self._advance()
+            if self.pos >= len(self.source):
+                raise self.error("unterminated string literal")
+            text = self.source[start : self.pos]
+            self._advance()
+            return Token("string", text, line, column)
+        for punct in _MULTI_PUNCT:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                normalized = "!=" if punct == "<>" else punct
+                return Token(normalized, punct, line, column)
+        if char in _SINGLE_PUNCT:
+            self._advance()
+            return Token(char, char, line, column)
+        raise self.error(f"unexpected character {char!r}")
+
+
+def tokenize_sql(source: str) -> list[Token]:
+    return SqlLexer(source).tokenize()

@@ -1,0 +1,272 @@
+"""Recursive-descent parser for the SQL subset.
+
+Supported shape::
+
+    SELECT [DISTINCT] * | item[, item...]
+    FROM coll [, coll...] | coll JOIN coll ON cond [JOIN coll ON cond...]
+    [WHERE condition]
+    [GROUP BY col[, col...]]
+    [ORDER BY col[, col...] [ASC|DESC]]
+
+Items are columns (optionally ``collection.column``) or aggregate calls
+(``COUNT(*)``, ``SUM(x)``, ...) with optional ``AS alias``.  Conditions
+use the six comparison operators, ``BETWEEN``, ``AND``/``OR``/``NOT`` and
+parentheses.  Set operations and subqueries are outside this subset (the
+algebra supports union; build such plans directly).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlSyntaxError
+from repro.sqlfe.lexer import Token, tokenize_sql
+from repro.sqlfe.sql_ast import (
+    AndCond,
+    BetweenCond,
+    ColumnRef,
+    ComparisonCond,
+    Condition,
+    Literal,
+    NotCond,
+    Operand,
+    OrCond,
+    SelectItem,
+    SelectQuery,
+    UnionQuery,
+)
+
+_AGGREGATES = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+_COMPARISONS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class SqlParser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize_sql(source)
+        self.index = 0
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _next(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> SqlSyntaxError:
+        token = token or self._peek()
+        return SqlSyntaxError(message, token.line, token.column)
+
+    def _expect(self, kind: str, what: str = "") -> Token:
+        token = self._next()
+        if token.kind != kind:
+            raise self._error(f"expected {what or kind!r}, found {token.text!r}", token)
+        return token
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._next()
+        if token.kind != "keyword" or token.text != word:
+            raise self._error(f"expected {word}, found {token.text!r}", token)
+
+    def _at_keyword(self, *words: str) -> bool:
+        token = self._peek()
+        return token.kind == "keyword" and token.text in words
+
+    def _take_keyword(self, *words: str) -> str | None:
+        if self._at_keyword(*words):
+            return self._next().text
+        return None
+
+    def _ident(self, what: str = "identifier") -> str:
+        token = self._next()
+        if token.kind != "ident":
+            raise self._error(f"expected {what}, found {token.text!r}", token)
+        return token.text
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse_statement(self) -> SelectQuery | UnionQuery:
+        """One statement: a SELECT, possibly a UNION [ALL] chain.
+
+        Simplification vs full SQL: when any bare ``UNION`` appears, the
+        *entire* chain is de-duplicated (SQL's semantics are pairwise).
+        """
+        first = self.parse()
+        if not self._at_keyword("UNION"):
+            trailing = self._peek()
+            if trailing.kind != "eof":
+                raise self._error(
+                    f"unexpected {trailing.text!r} after query", trailing
+                )
+            return first
+        branches = [first]
+        distinct = False
+        while self._take_keyword("UNION"):
+            if self._take_keyword("ALL") is None:
+                distinct = True
+            branches.append(self.parse())
+        trailing = self._peek()
+        if trailing.kind != "eof":
+            raise self._error(f"unexpected {trailing.text!r} after query", trailing)
+        return UnionQuery(branches=branches, distinct=distinct)
+
+    def parse(self) -> SelectQuery:
+        self._expect_keyword("SELECT")
+        distinct = self._take_keyword("DISTINCT") is not None
+        items = self._select_list()
+        self._expect_keyword("FROM")
+        collections, joins_on = self._from_clause()
+        where: Condition | None = None
+        if self._take_keyword("WHERE"):
+            where = self._condition()
+        group_by: list[ColumnRef] = []
+        if self._take_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by = self._column_list()
+        order_by: list[ColumnRef] = []
+        descending = False
+        if self._take_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by = self._column_list()
+            direction = self._take_keyword("ASC", "DESC")
+            descending = direction == "DESC"
+        return SelectQuery(
+            items=items,
+            collections=collections,
+            where=where,
+            joins_on=joins_on,
+            distinct=distinct,
+            group_by=group_by,
+            order_by=order_by,
+            order_descending=descending,
+        )
+
+    def _select_list(self) -> list[SelectItem]:
+        if self._peek().kind == "*":
+            self._next()
+            return []
+        items = [self._select_item()]
+        while self._peek().kind == ",":
+            self._next()
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        token = self._peek()
+        if token.kind == "keyword" and token.text in _AGGREGATES:
+            function = self._next().text.lower()
+            self._expect("(")
+            argument: ColumnRef | None = None
+            if self._peek().kind == "*":
+                self._next()
+                if function != "count":
+                    raise self._error(f"{function}(*) is not defined")
+            else:
+                argument = self._column_ref()
+            self._expect(")")
+            alias = self._alias()
+            return SelectItem(aggregate=function, aggregate_arg=argument, alias=alias)
+        column = self._column_ref()
+        return SelectItem(column=column, alias=self._alias())
+
+    def _alias(self) -> str | None:
+        if self._take_keyword("AS"):
+            return self._ident("alias")
+        return None
+
+    def _from_clause(self) -> tuple[list[str], list[ComparisonCond]]:
+        collections = [self._ident("collection name")]
+        joins_on: list[ComparisonCond] = []
+        while True:
+            if self._peek().kind == ",":
+                self._next()
+                collections.append(self._ident("collection name"))
+            elif self._at_keyword("JOIN"):
+                self._next()
+                collections.append(self._ident("collection name"))
+                self._expect_keyword("ON")
+                condition = self._comparison()
+                if not isinstance(condition, ComparisonCond):
+                    raise self._error("JOIN ... ON needs a comparison")
+                joins_on.append(condition)
+            else:
+                return collections, joins_on
+
+    def _column_list(self) -> list[ColumnRef]:
+        columns = [self._column_ref()]
+        while self._peek().kind == ",":
+            self._next()
+            columns.append(self._column_ref())
+        return columns
+
+    def _column_ref(self) -> ColumnRef:
+        first = self._ident("column name")
+        if self._peek().kind == ".":
+            self._next()
+            second = self._ident("column name")
+            return ColumnRef(name=second, collection=first)
+        return ColumnRef(name=first)
+
+    # -- conditions --------------------------------------------------------------------
+
+    def _condition(self) -> Condition:
+        left = self._and_condition()
+        while self._take_keyword("OR"):
+            left = OrCond(left, self._and_condition())
+        return left
+
+    def _and_condition(self) -> Condition:
+        left = self._primary_condition()
+        while self._take_keyword("AND"):
+            left = AndCond(left, self._primary_condition())
+        return left
+
+    def _primary_condition(self) -> Condition:
+        if self._take_keyword("NOT"):
+            return NotCond(self._primary_condition())
+        if self._peek().kind == "(":
+            self._next()
+            inner = self._condition()
+            self._expect(")")
+            return inner
+        return self._comparison()
+
+    def _comparison(self) -> Condition:
+        left = self._operand()
+        if self._at_keyword("BETWEEN"):
+            if not isinstance(left, ColumnRef):
+                raise self._error("BETWEEN needs a column on the left")
+            self._next()
+            low = self._literal()
+            self._expect_keyword("AND")
+            high = self._literal()
+            return BetweenCond(column=left, low=low, high=high)
+        op_token = self._next()
+        if op_token.kind not in _COMPARISONS:
+            raise self._error(
+                f"expected a comparison operator, found {op_token.text!r}", op_token
+            )
+        right = self._operand()
+        return ComparisonCond(op=op_token.kind, left=left, right=right)
+
+    def _operand(self) -> Operand:
+        token = self._peek()
+        if token.kind in ("number", "string"):
+            return self._literal()
+        return self._column_ref()
+
+    def _literal(self) -> Literal:
+        token = self._next()
+        if token.kind == "number":
+            value = float(token.text)
+            return Literal(int(value) if value.is_integer() else value)
+        if token.kind == "string":
+            return Literal(token.text)
+        raise self._error(f"expected a literal, found {token.text!r}", token)
+
+
+def parse_sql(source: str) -> SelectQuery | UnionQuery:
+    """Parse one statement: a SELECT or a UNION chain."""
+    return SqlParser(source).parse_statement()

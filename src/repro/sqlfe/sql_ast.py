@@ -1,0 +1,113 @@
+"""AST for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """``name`` or ``collection.name``."""
+
+    name: str
+    collection: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.collection}.{self.name}" if self.collection else self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Operand = Union[ColumnRef, Literal]
+
+
+@dataclass(frozen=True)
+class ComparisonCond:
+    op: str
+    left: Operand
+    right: Operand
+
+
+@dataclass(frozen=True)
+class BetweenCond:
+    column: ColumnRef
+    low: Literal
+    high: Literal
+
+
+@dataclass(frozen=True)
+class AndCond:
+    left: "Condition"
+    right: "Condition"
+
+
+@dataclass(frozen=True)
+class OrCond:
+    left: "Condition"
+    right: "Condition"
+
+
+@dataclass(frozen=True)
+class NotCond:
+    operand: "Condition"
+
+
+Condition = Union[ComparisonCond, BetweenCond, AndCond, OrCond, NotCond]
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One output item: a column or an aggregate call, with optional alias."""
+
+    column: ColumnRef | None = None
+    aggregate: str | None = None  # count/sum/avg/min/max
+    aggregate_arg: ColumnRef | None = None  # None = '*' (count only)
+    alias: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if self.aggregate:
+            inner = str(self.aggregate_arg) if self.aggregate_arg else "*"
+            return f"{self.aggregate}({inner})"
+        assert self.column is not None
+        return self.column.name
+
+
+@dataclass
+class UnionQuery:
+    """``query UNION [ALL] query [...]``.
+
+    ``distinct`` is True when any bare ``UNION`` appears (the whole result
+    is de-duplicated — a simplification of SQL's pairwise semantics,
+    documented in the parser).
+    """
+
+    branches: list["SelectQuery"]
+    distinct: bool = True
+
+
+@dataclass
+class SelectQuery:
+    """A parsed SELECT statement."""
+
+    items: list[SelectItem]  # empty = SELECT *
+    collections: list[str]
+    where: Condition | None = None
+    joins_on: list[ComparisonCond] = field(default_factory=list)  # JOIN ... ON
+    distinct: bool = False
+    group_by: list[ColumnRef] = field(default_factory=list)
+    order_by: list[ColumnRef] = field(default_factory=list)
+    order_descending: bool = False
+
+    @property
+    def select_star(self) -> bool:
+        return not self.items

@@ -1,0 +1,212 @@
+"""Translation from SQL ASTs to optimizer query specs (§2.2).
+
+"The mediator ... parses the client query, it transforms the query,
+written with respect to a global view, into a query over local schemas."
+Here that means: resolve every attribute against the catalog's global
+collection namespace, lower conditions to algebra predicates, split the
+WHERE conjunction into per-collection filters and cross-collection joins,
+and validate the aggregate/grouping shape.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import expressions as expr
+from repro.algebra.logical import AggregateSpec
+from repro.errors import QueryError, UnknownCollectionError
+from repro.mediator.catalog import MediatorCatalog
+from repro.mediator.queryspec import QuerySpec, UnionSpec
+from repro.sqlfe import sql_ast as ast
+from repro.sqlfe.parser import parse_sql
+
+
+def translate_sql(
+    source: str, catalog: MediatorCatalog
+) -> QuerySpec | UnionSpec:
+    """Parse and translate one statement (SELECT or UNION chain)."""
+    return translate(parse_sql(source), catalog)
+
+
+def translate(
+    query: "ast.SelectQuery | ast.UnionQuery", catalog: MediatorCatalog
+) -> QuerySpec | UnionSpec:
+    if isinstance(query, ast.UnionQuery):
+        return UnionSpec(
+            branches=[_Translator(branch, catalog).run() for branch in query.branches],
+            distinct=query.distinct,
+        )
+    return _Translator(query, catalog).run()
+
+
+class _Translator:
+    def __init__(self, query: ast.SelectQuery, catalog: MediatorCatalog) -> None:
+        self.query = query
+        self.catalog = catalog
+        self.collections = query.collections
+
+    def run(self) -> QuerySpec:
+        for collection in self.collections:
+            if collection not in self.catalog:
+                raise UnknownCollectionError(
+                    f"unknown collection {collection!r} "
+                    f"(known: {self.catalog.collection_names()})"
+                )
+
+        filters: dict[str, list[expr.Predicate]] = {}
+        joins: list[expr.Comparison] = []
+
+        def classify(predicate: expr.Predicate) -> None:
+            referenced = self._collections_of(predicate)
+            if len(referenced) <= 1:
+                collection = (
+                    next(iter(referenced)) if referenced else self.collections[0]
+                )
+                filters.setdefault(collection, []).append(predicate)
+            elif (
+                isinstance(predicate, expr.Comparison)
+                and predicate.is_attr_attr
+                and len(referenced) == 2
+            ):
+                if predicate.op != "=":
+                    raise QueryError(
+                        f"only equi-joins are supported, got {predicate}"
+                    )
+                joins.append(predicate)
+            else:
+                raise QueryError(
+                    f"predicate {predicate} spans collections {sorted(referenced)} "
+                    "and is not an equi-join"
+                )
+
+        for join_cond in self.query.joins_on:
+            predicate = self._condition(join_cond)
+            classify(predicate)
+        if self.query.where is not None:
+            for conjunct in self._condition(self.query.where).conjuncts():
+                classify(conjunct)
+
+        projection, renames, aggregates = self._select_items()
+        group_by = [self._resolve(c).name for c in self.query.group_by]
+        self._check_grouping(projection, aggregates, group_by)
+
+        return QuerySpec(
+            collections=list(self.collections),
+            filters=filters,
+            joins=joins,
+            projection=projection,
+            projection_renames=renames,
+            distinct=self.query.distinct,
+            group_by=group_by,
+            aggregates=aggregates,
+            order_by=[self._resolve(c).name for c in self.query.order_by],
+            order_descending=self.query.order_descending,
+        )
+
+    # -- resolution ---------------------------------------------------------------
+
+    def _resolve(self, column: ast.ColumnRef) -> expr.AttributeRef:
+        if column.collection is not None:
+            if column.collection not in self.collections:
+                raise QueryError(
+                    f"{column}: collection {column.collection!r} is not in FROM"
+                )
+            return expr.AttributeRef(column.name, column.collection)
+        collection = self.catalog.resolve_attribute(column.name, self.collections)
+        return expr.AttributeRef(column.name, collection)
+
+    def _operand(self, operand: ast.Operand) -> expr.Expression:
+        if isinstance(operand, ast.Literal):
+            return expr.Literal(operand.value)
+        return self._resolve(operand)
+
+    def _condition(self, condition: ast.Condition) -> expr.Predicate:
+        if isinstance(condition, ast.ComparisonCond):
+            return expr.Comparison(
+                condition.op,
+                self._operand(condition.left),
+                self._operand(condition.right),
+            )
+        if isinstance(condition, ast.BetweenCond):
+            column = self._resolve(condition.column)
+            return expr.And(
+                expr.Comparison(">=", column, expr.Literal(condition.low.value)),
+                expr.Comparison("<=", column, expr.Literal(condition.high.value)),
+            )
+        if isinstance(condition, ast.AndCond):
+            return expr.And(
+                self._condition(condition.left), self._condition(condition.right)
+            )
+        if isinstance(condition, ast.OrCond):
+            return expr.Or(
+                self._condition(condition.left), self._condition(condition.right)
+            )
+        if isinstance(condition, ast.NotCond):
+            return expr.Not(self._condition(condition.operand))
+        raise QueryError(f"unsupported condition {condition!r}")
+
+    def _collections_of(self, predicate: expr.Predicate) -> set[str]:
+        found: set[str] = set()
+
+        def walk(node: expr.Expression) -> None:
+            if isinstance(node, expr.AttributeRef):
+                assert node.collection is not None
+                found.add(node.collection)
+            elif isinstance(node, expr.Comparison):
+                walk(node.left)
+                walk(node.right)
+            elif isinstance(node, (expr.And, expr.Or)):
+                walk(node.left)
+                walk(node.right)
+            elif isinstance(node, expr.Not):
+                walk(node.operand)
+
+        walk(predicate)
+        return found
+
+    # -- select list -----------------------------------------------------------------
+
+    def _select_items(
+        self,
+    ) -> tuple[list[str] | None, dict[str, str], list[AggregateSpec]]:
+        if self.query.select_star:
+            return None, {}, []
+        projection: list[str] = []
+        renames: dict[str, str] = {}
+        aggregates: list[AggregateSpec] = []
+        for item in self.query.items:
+            if item.aggregate is not None:
+                attribute = None
+                if item.aggregate_arg is not None:
+                    attribute = self._resolve(item.aggregate_arg).name
+                aggregates.append(
+                    AggregateSpec(item.aggregate, attribute, item.output_name)
+                )
+            else:
+                assert item.column is not None
+                source = self._resolve(item.column).name
+                output = item.alias or source
+                projection.append(output)
+                if output != source:
+                    renames[output] = source
+        if aggregates:
+            return None, {}, aggregates
+        return projection, renames, aggregates
+
+    def _check_grouping(
+        self,
+        projection: list[str] | None,
+        aggregates: list[AggregateSpec],
+        group_by: list[str],
+    ) -> None:
+        if group_by and not aggregates:
+            raise QueryError("GROUP BY without aggregates is not supported")
+        if aggregates:
+            plain = [
+                item.column.name
+                for item in self.query.items
+                if item.column is not None
+            ]
+            stray = [name for name in plain if name not in group_by]
+            if stray:
+                raise QueryError(
+                    f"non-aggregated columns {stray} must appear in GROUP BY"
+                )

@@ -1,0 +1,41 @@
+"""Wrappers: the access layer between mediator and data sources (§2).
+
+Four concrete wrapper families cover the heterogeneity spectrum the paper
+motivates:
+
+* :class:`~repro.wrappers.objectstore.ObjectStoreWrapper` — exports full
+  Yao/clustering cost rules (the Figure 13 showcase);
+* :class:`~repro.wrappers.relational.RelationalWrapper` — statistics only
+  by default (the calibration regime), rules on request;
+* :class:`~repro.wrappers.flatfile.FlatFileWrapper` — scan-only, exports
+  nothing (the "HTML files" class);
+* :class:`~repro.wrappers.webish.WebSourceWrapper` — latency-dominated
+  remote source exporting communication-aware rules.
+"""
+
+from repro.wrappers.base import (
+    ALL_OPERATIONS,
+    CostInfoExport,
+    ExecutionResult,
+    StorageWrapper,
+    Wrapper,
+)
+from repro.wrappers.flatfile import FlatFileWrapper, parse_delimited
+from repro.wrappers.interpreter import EngineExecutor
+from repro.wrappers.objectstore import ObjectStoreWrapper
+from repro.wrappers.relational import RelationalWrapper
+from repro.wrappers.webish import WebSourceWrapper
+
+__all__ = [
+    "ALL_OPERATIONS",
+    "CostInfoExport",
+    "EngineExecutor",
+    "ExecutionResult",
+    "FlatFileWrapper",
+    "ObjectStoreWrapper",
+    "RelationalWrapper",
+    "StorageWrapper",
+    "WebSourceWrapper",
+    "Wrapper",
+    "parse_delimited",
+]

@@ -1,0 +1,100 @@
+"""A scan-only flat-file wrapper — the "HTML files" class of source (§1).
+
+"Data sources do not report needed statistical information (e.g., HTML
+files)": this wrapper models exactly that class.  It serves one collection
+parsed from delimited text, executes only scans, selections and
+projections (every query reads the whole file), and by default exports
+**no statistics and no cost rules** — forcing the mediator onto its
+generic model with the §6 "standard values".  Constructing it with
+``export_statistics=True`` models a wrapper implementor who sampled the
+file once, the "graceful improvement" path of §1.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import StorageError
+from repro.sources.clock import CostProfile, SimClock
+from repro.sources.pages import Row
+from repro.sources.storage_engine import StorageEngine
+from repro.wrappers.base import CostInfoExport, StorageWrapper
+
+#: A slow device: uncached file reads, cheap per-line processing.
+FILE_DEVICE = CostProfile(io_ms=12.0, cpu_ms_per_object=0.3, cpu_ms_per_eval=0.1)
+
+#: The operations a grep-like source can run.
+FILE_CAPABILITIES = frozenset({"scan", "select", "project"})
+
+
+def parse_delimited(
+    text: str, columns: list[str], delimiter: str = ","
+) -> list[Row]:
+    """Parse delimited text into rows, inferring int/float cell types."""
+    rows: list[Row] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        cells = [cell.strip() for cell in line.split(delimiter)]
+        if len(cells) != len(columns):
+            raise StorageError(
+                f"line {line_number}: expected {len(columns)} fields, "
+                f"got {len(cells)}"
+            )
+        rows.append({name: _infer(cell) for name, cell in zip(columns, cells)})
+    return rows
+
+
+def _infer(cell: str):
+    try:
+        return int(cell)
+    except ValueError:
+        pass
+    try:
+        return float(cell)
+    except ValueError:
+        return cell
+
+
+class FlatFileWrapper(StorageWrapper):
+    """One delimited file exposed as one scan-only collection."""
+
+    def __init__(
+        self,
+        name: str,
+        collection: str,
+        *,
+        rows: Iterable[Row] | None = None,
+        path: str | Path | None = None,
+        columns: list[str] | None = None,
+        delimiter: str = ",",
+        export_statistics: bool = False,
+        line_size: int = 80,
+    ) -> None:
+        if (rows is None) == (path is None):
+            raise StorageError("provide exactly one of rows= or path=")
+        if path is not None:
+            if columns is None:
+                raise StorageError("path= requires columns=")
+            text = Path(path).read_text(encoding="utf-8")
+            rows = parse_delimited(text, columns, delimiter)
+        engine = StorageEngine(SimClock(FILE_DEVICE))
+        engine.create_collection(
+            collection,
+            rows or [],
+            object_size=line_size,
+            indexed_attributes=(),  # files have no indexes
+            placement="sequential",
+        )
+        super().__init__(name, engine, capabilities=FILE_CAPABILITIES)
+        self.collection_name = collection
+        self.export_statistics = export_statistics
+
+    def export_cost_info(self) -> CostInfoExport:
+        if self.export_statistics:
+            return super().export_cost_info()
+        # The honest HTML-file case: the mediator learns the collection
+        # exists, nothing more.
+        return CostInfoExport(collections=[self.collection_name])

@@ -1,0 +1,331 @@
+"""A logical-plan interpreter over a storage engine.
+
+Wrappers receive algebraic subplans from the mediator (§2.2 Step 4) and
+execute them against their data source.  This interpreter implements the
+full mediator algebra over :class:`~repro.sources.storage_engine.
+StorageEngine` primitives, choosing the access path the way a real source
+does: a selection directly over a scan of an indexed attribute becomes an
+index scan; everything else pipelines over a sequential scan.
+
+All row processing charges the engine's simulated clock, so execution
+"measures" the response times the cost model is trying to predict.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.algebra.expressions import (
+    AttributeRef,
+    Comparison,
+    Literal,
+    Predicate,
+)
+from repro.algebra.logical import (
+    Aggregate,
+    AggregateSpec,
+    Distinct,
+    Join,
+    PlanNode,
+    Project,
+    Scan,
+    Select,
+    Sort,
+    Submit,
+    Union,
+)
+from repro.errors import CapabilityError, PlanError
+from repro.sources.pages import Row
+from repro.sources.storage_engine import StorageEngine
+
+
+class EngineExecutor:
+    """Executes logical plans against one storage engine."""
+
+    def __init__(self, engine: StorageEngine) -> None:
+        self.engine = engine
+
+    @property
+    def clock(self):
+        return self.engine.clock
+
+    def _eval_charge(self, rows: int = 1) -> None:
+        self.clock.advance(self.clock.profile.cpu_ms_per_eval * rows)
+
+    # -- entry point ---------------------------------------------------------
+
+    def execute(self, plan: PlanNode) -> list[Row]:
+        """Run a plan to completion and return its rows."""
+        return list(self._run(plan))
+
+    def _run(self, node: PlanNode) -> Iterator[Row]:
+        if isinstance(node, Submit):
+            raise CapabilityError("wrappers do not execute submit nodes")
+        if isinstance(node, Scan):
+            yield from self.engine.seq_scan(node.collection)
+        elif isinstance(node, Select):
+            yield from self._run_select(node)
+        elif isinstance(node, Project):
+            yield from self._run_project(node)
+        elif isinstance(node, Sort):
+            yield from self._run_sort(node)
+        elif isinstance(node, Distinct):
+            yield from self._run_distinct(node)
+        elif isinstance(node, Aggregate):
+            yield from self._run_aggregate(node)
+        elif isinstance(node, Join):
+            yield from self._run_join(node)
+        elif isinstance(node, Union):
+            yield from self._run(node.left)
+            yield from self._run(node.right)
+        else:
+            raise PlanError(f"cannot execute operator {node.operator_name!r}")
+
+    # -- selection with access-path choice ---------------------------------------
+
+    def _index_access(
+        self, node: Select
+    ) -> tuple[str, str, dict[str, Any], list[Predicate]] | None:
+        """If the select sits on a scan of an indexed attribute, return
+        (collection, attribute, index_scan kwargs, residual conjuncts).
+
+        All conjuncts restricting one indexed attribute combine into a
+        single index probe (``a >= 100 AND a <= 599`` becomes one range
+        scan), as any real source would evaluate them.
+        """
+        if not isinstance(node.child, Scan):
+            return None
+        collection = node.child.collection
+        conjuncts = list(node.predicate.conjuncts())
+        if not conjuncts:
+            return None
+        # Group the index-usable comparisons by attribute.
+        usable: dict[str, list[int]] = {}
+        for index, conjunct in enumerate(conjuncts):
+            if not isinstance(conjunct, Comparison):
+                continue
+            comparison = conjunct.normalized()
+            if not comparison.is_attr_value or comparison.op == "!=":
+                continue
+            attribute = comparison.left
+            assert isinstance(attribute, AttributeRef)
+            if self.engine.has_index(collection, attribute.name):
+                usable.setdefault(attribute.name, []).append(index)
+        if not usable:
+            return None
+        # Prefer the attribute with the most restrictions (equality or a
+        # two-sided range beats a single bound).
+        attribute_name = max(usable, key=lambda name: len(usable[name]))
+        chosen = usable[attribute_name]
+        kwargs = self._combined_index_kwargs(
+            [conjuncts[i].normalized() for i in chosen]  # type: ignore[attr-defined]
+        )
+        if kwargs is None:
+            return None
+        residual = [c for i, c in enumerate(conjuncts) if i not in chosen]
+        return collection, attribute_name, kwargs, residual
+
+    @staticmethod
+    def _combined_index_kwargs(
+        comparisons: list[Comparison],
+    ) -> dict[str, Any] | None:
+        """Merge comparisons on one attribute into index_scan kwargs."""
+        low: Any = None
+        high: Any = None
+        low_inclusive = True
+        high_inclusive = True
+        for comparison in comparisons:
+            literal = comparison.right
+            assert isinstance(literal, Literal)
+            value = literal.value
+            op = comparison.op
+            if op == "=":
+                return {"value": value}
+            if op in ("<", "<="):
+                if high is None or value < high or (value == high and op == "<"):
+                    high = value
+                    high_inclusive = op == "<="
+            elif op in (">", ">="):
+                if low is None or value > low or (value == low and op == ">"):
+                    low = value
+                    low_inclusive = op == ">="
+        if low is None and high is None:
+            return None
+        kwargs: dict[str, Any] = {}
+        if low is not None:
+            kwargs["low"] = low
+            kwargs["low_inclusive"] = low_inclusive
+        if high is not None:
+            kwargs["high"] = high
+            kwargs["high_inclusive"] = high_inclusive
+        return kwargs
+
+    def _disjunctive_index_access(
+        self, node: Select
+    ) -> tuple[str, str, list[Any], list[Predicate]] | None:
+        """Key-set selections: an OR-chain (or single conjunct) of
+        equalities on one indexed attribute — the shape bind-join probes
+        take — answered by one index lookup per key.
+
+        Returns (collection, attribute, values, residual conjuncts) where
+        the residual applies on top of the keyed lookups.
+        """
+        if not isinstance(node.child, Scan):
+            return None
+        collection = node.child.collection
+        conjuncts = list(node.predicate.conjuncts())
+        for index, conjunct in enumerate(conjuncts):
+            values = _equality_key_set(conjunct)
+            if values is None:
+                continue
+            attribute, keys = values
+            if len(keys) < 2:
+                continue  # single equality is the plain index path
+            if not self.engine.has_index(collection, attribute):
+                continue
+            residual = conjuncts[:index] + conjuncts[index + 1 :]
+            return collection, attribute, keys, residual
+        return None
+
+    def _run_select(self, node: Select) -> Iterator[Row]:
+        disjunctive = self._disjunctive_index_access(node)
+        if disjunctive is not None:
+            collection, attribute, keys, residual = disjunctive
+            for key in keys:
+                for row in self.engine.index_scan(
+                    collection, attribute, value=key
+                ):
+                    if residual:
+                        self._eval_charge()
+                        if not all(p.evaluate(row) for p in residual):
+                            continue
+                    yield row
+            return
+        access = self._index_access(node)
+        if access is not None:
+            collection, attribute, kwargs, residual = access
+            for row in self.engine.index_scan(collection, attribute, **kwargs):
+                if residual:
+                    self._eval_charge()
+                    if not all(p.evaluate(row) for p in residual):
+                        continue
+                yield row
+            return
+        for row in self._run(node.child):
+            self._eval_charge()
+            if node.predicate.evaluate(row):
+                yield row
+
+    # -- other operators -----------------------------------------------------------
+
+    def _run_project(self, node: Project) -> Iterator[Row]:
+        wanted = node.attributes
+        for row in self._run(node.child):
+            self._eval_charge()
+            yield {
+                name: AttributeRef(node.source_of(name)).evaluate(row)
+                for name in wanted
+            }
+
+    def _run_sort(self, node: Sort) -> Iterator[Row]:
+        rows = list(self._run(node.child))
+        self._eval_charge(len(rows))
+
+        def key(row: Row) -> tuple:
+            return tuple(AttributeRef(k).evaluate(row) for k in node.keys)
+
+        yield from sorted(rows, key=key, reverse=node.descending)
+
+    def _run_distinct(self, node: Distinct) -> Iterator[Row]:
+        seen: set[tuple] = set()
+        for row in self._run(node.child):
+            self._eval_charge()
+            fingerprint = tuple(sorted(row.items()))
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                yield row
+
+    def _run_aggregate(self, node: Aggregate) -> Iterator[Row]:
+        groups: dict[tuple, list[Row]] = {}
+        for row in self._run(node.child):
+            self._eval_charge()
+            key = tuple(AttributeRef(k).evaluate(row) for k in node.group_by)
+            groups.setdefault(key, []).append(row)
+        if not groups and not node.group_by:
+            groups[()] = []
+        for key, members in groups.items():
+            result: Row = dict(zip(node.group_by, key))
+            for spec in node.aggregates:
+                result[spec.alias] = _aggregate_value(spec, members)
+            yield result
+
+    def _run_join(self, node: Join) -> Iterator[Row]:
+        """Hash join on the equi-join attribute (wrapper-local join)."""
+        left_attr = node.left_attribute
+        right_attr = node.right_attribute
+        table: dict[Any, list[Row]] = {}
+        for row in self._run(node.right):
+            self._eval_charge()
+            table.setdefault(right_attr.evaluate(row), []).append(row)
+        for row in self._run(node.left):
+            self._eval_charge()
+            for match in table.get(left_attr.evaluate(row), ()):
+                yield _merge_rows(row, match, node)
+
+
+def _equality_key_set(predicate: Predicate) -> tuple[str, list[Any]] | None:
+    """If ``predicate`` is ``a = v`` or an OR-chain of equalities on one
+    attribute, return (attribute, values); otherwise None."""
+    from repro.algebra.expressions import Or
+
+    if isinstance(predicate, Or):
+        left = _equality_key_set(predicate.left)
+        right = _equality_key_set(predicate.right)
+        if left is None or right is None or left[0] != right[0]:
+            return None
+        return left[0], left[1] + right[1]
+    if isinstance(predicate, Comparison):
+        comparison = predicate.normalized()
+        if comparison.op == "=" and comparison.is_attr_value:
+            attribute = comparison.left
+            literal = comparison.right
+            assert isinstance(attribute, AttributeRef)
+            assert isinstance(literal, Literal)
+            return attribute.name, [literal.value]
+    return None
+
+
+def _merge_rows(left: Row, right: Row, node: Join) -> Row:
+    """Combine two joined rows, qualifying colliding attribute names."""
+    merged = dict(left)
+    left_cols = node.left.base_collections()
+    right_cols = node.right.base_collections()
+    for key, value in right.items():
+        if key in merged and merged[key] != value:
+            left_name = next(iter(left_cols)) if len(left_cols) == 1 else "left"
+            right_name = next(iter(right_cols)) if len(right_cols) == 1 else "right"
+            merged[f"{left_name}.{key}"] = merged.pop(key)
+            merged[f"{right_name}.{key}"] = value
+        else:
+            merged[key] = value
+    return merged
+
+
+def _aggregate_value(spec: AggregateSpec, rows: list[Row]) -> Any:
+    if spec.function == "count":
+        if spec.attribute is None:
+            return len(rows)
+        return sum(
+            1 for r in rows if AttributeRef(spec.attribute).evaluate(r) is not None
+        )
+    values = [AttributeRef(spec.attribute).evaluate(r) for r in rows]  # type: ignore[arg-type]
+    values = [v for v in values if v is not None]
+    if not values:
+        return None
+    if spec.function == "sum":
+        return sum(values)
+    if spec.function == "avg":
+        return sum(values) / len(values)
+    if spec.function == "min":
+        return min(values)
+    return max(values)

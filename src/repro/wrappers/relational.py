@@ -1,0 +1,62 @@
+"""Wrapper over the simulated relational engine.
+
+By default this wrapper exports **statistics only** — the
+calibration-style end of the paper's spectrum: the mediator costs its
+operations with the generic model.  With ``export_rules=True`` it also
+ships index-lookup and scan rules derived from its physical layout,
+letting experiments compare the same source under both regimes.
+"""
+
+from __future__ import annotations
+
+from repro.sources.relationaldb import RelationalDatabase
+from repro.wrappers.base import StorageWrapper
+
+
+class RelationalWrapper(StorageWrapper):
+    """Wrapper for :class:`~repro.sources.relationaldb.RelationalDatabase`."""
+
+    def __init__(
+        self,
+        name: str,
+        database: RelationalDatabase,
+        export_rules: bool = False,
+    ) -> None:
+        super().__init__(name, database)
+        self.database = database
+        self.export_rules = export_rules
+
+    def cost_rules_cdl(self) -> str | None:
+        if not self.export_rules:
+            return None
+        profile = self.database.clock.profile
+        parts: list[str] = [
+            f"// Cost rules exported by relational wrapper {self.name!r}.",
+            f"var IO = {profile.io_ms};",
+            f"var PerRow = {profile.cpu_ms_per_object};",
+            f"var Eval = {profile.cpu_ms_per_eval};",
+        ]
+        for table_name in self.database.collection_names():
+            table = self.database.collection(table_name)
+            pages = table.file.page_count
+            parts.append(
+                f"costrule scan({table_name}) {{\n"
+                f"    TimeFirst = IO;\n"
+                f"    TotalTime = IO * {pages}"
+                f" + {table_name}.CountObject * PerRow;\n"
+                f"}}"
+            )
+            for column, tree in sorted(table.indexes.items()):
+                # Exact-match lookup: index descent + the matching rows,
+                # each on (pessimistically) its own page.
+                parts.append(
+                    f"costrule select({table_name}, {column} = V) {{\n"
+                    f"    CountObject = {table_name}.CountObject"
+                    f" / {table_name}.{column}.CountDistinct;\n"
+                    f"    TotalSize = CountObject * {table_name}.ObjectSize;\n"
+                    f"    TotalTime = {tree.height()} * Eval"
+                    f" + CountObject * (IO + PerRow);\n"
+                    f"    TimeFirst = {tree.height()} * Eval + IO;\n"
+                    f"}}"
+                )
+        return "\n".join(parts)

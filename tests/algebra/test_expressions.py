@@ -1,0 +1,148 @@
+"""Unit tests for algebra expressions and predicates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra.expressions import (
+    And,
+    AttributeRef,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    TruePredicate,
+    attr,
+    between,
+    conjunction,
+    eq,
+    lit,
+)
+from repro.errors import PlanError
+
+
+class TestAttributeRef:
+    def test_bare_name(self):
+        assert attr("salary").evaluate({"salary": 10}) == 10
+
+    def test_qualified_preferred(self):
+        row = {"Employee.salary": 1, "salary": 2}
+        assert attr("salary", "Employee").evaluate(row) == 1
+
+    def test_qualified_falls_back_to_bare(self):
+        assert attr("salary", "Employee").evaluate({"salary": 2}) == 2
+
+    def test_bare_falls_back_to_any_qualified(self):
+        assert attr("salary").evaluate({"Employee.salary": 3}) == 3
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(PlanError):
+            attr("salary").evaluate({"age": 1})
+
+    def test_qualified_spelling(self):
+        assert attr("salary", "Employee").qualified == "Employee.salary"
+        assert str(attr("salary")) == "salary"
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            ("=", 10, True),
+            ("=", 11, False),
+            ("!=", 11, True),
+            ("<", 11, True),
+            ("<=", 10, True),
+            (">", 9, True),
+            (">=", 10, True),
+            (">", 10, False),
+        ],
+    )
+    def test_operators(self, op, value, expected):
+        predicate = Comparison(op, attr("x"), lit(value))
+        assert predicate.evaluate({"x": 10}) is expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PlanError):
+            Comparison("~", attr("x"), lit(1))
+
+    def test_null_never_matches(self):
+        assert Comparison("=", attr("x"), lit(None)).evaluate({"x": None}) is False
+
+    def test_negate_flips_operator(self):
+        predicate = Comparison("<", attr("x"), lit(5))
+        negated = predicate.negate()
+        assert negated.op == ">="
+        assert negated.evaluate({"x": 5}) is True
+
+    def test_flipped_swaps_operands(self):
+        predicate = Comparison("<", lit(5), attr("x"))
+        flipped = predicate.flipped()
+        assert flipped.op == ">"
+        assert isinstance(flipped.left, AttributeRef)
+
+    def test_normalized_produces_attr_value(self):
+        predicate = Comparison("=", lit(5), attr("x"))
+        assert predicate.normalized().is_attr_value
+
+    def test_shape_predicates(self):
+        assert eq("a", 1).is_attr_value
+        assert Comparison("=", attr("a"), attr("b")).is_attr_attr
+        assert Comparison("=", lit(1), attr("a")).is_value_attr
+
+
+class TestBooleanConnectives:
+    def test_and_or_not(self):
+        row = {"x": 5}
+        p = eq("x", 5)
+        q = eq("x", 6)
+        assert And(p, q).evaluate(row) is False
+        assert Or(p, q).evaluate(row) is True
+        assert Not(q).evaluate(row) is True
+
+    def test_not_negate_unwraps(self):
+        p = eq("x", 5)
+        assert Not(p).negate() is p
+
+    def test_conjuncts_flatten(self):
+        p, q, r = eq("x", 1), eq("y", 2), eq("z", 3)
+        combined = And(And(p, q), r)
+        assert list(combined.conjuncts()) == [p, q, r]
+
+    def test_true_predicate(self):
+        assert TruePredicate().evaluate({}) is True
+        assert list(TruePredicate().conjuncts()) == []
+
+    def test_conjunction_builder(self):
+        assert isinstance(conjunction([]), TruePredicate)
+        p = eq("x", 1)
+        assert conjunction([p]) is p
+        combined = conjunction([p, eq("y", 2), TruePredicate()])
+        assert len(list(combined.conjuncts())) == 2
+
+    def test_between(self):
+        predicate = between("x", 1, 5)
+        assert predicate.evaluate({"x": 3}) is True
+        assert predicate.evaluate({"x": 0}) is False
+        assert predicate.evaluate({"x": 5}) is True
+
+    def test_attributes_collected(self):
+        predicate = And(eq("x", 1), Or(eq("y", 2), Not(eq("z", 3))))
+        assert predicate.attributes() == {"x", "y", "z"}
+
+
+class TestProperties:
+    @given(
+        value=st.integers(-100, 100),
+        low=st.integers(-100, 100),
+        high=st.integers(-100, 100),
+    )
+    def test_between_matches_python_semantics(self, value, low, high):
+        predicate = between("x", low, high)
+        assert predicate.evaluate({"x": value}) == (low <= value <= high)
+
+    @given(value=st.integers(-50, 50), threshold=st.integers(-50, 50))
+    def test_negation_is_complement(self, value, threshold):
+        predicate = Comparison("<", attr("x"), lit(threshold))
+        row = {"x": value}
+        assert predicate.negate().evaluate(row) == (not predicate.evaluate(row))

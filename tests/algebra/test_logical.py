@@ -1,0 +1,173 @@
+"""Unit tests for the logical plan algebra."""
+
+import pytest
+
+from repro.algebra.builders import count_star, scan
+from repro.algebra.expressions import Comparison, attr, eq, lit
+from repro.algebra.logical import (
+    Aggregate,
+    AggregateSpec,
+    Distinct,
+    Join,
+    Project,
+    Scan,
+    Select,
+    Sort,
+    Submit,
+    Union,
+    strip_submits,
+    validate_plan,
+)
+from repro.errors import PlanError
+
+
+class TestConstruction:
+    def test_scan_requires_collection(self):
+        with pytest.raises(PlanError):
+            Scan("")
+
+    def test_project_requires_attributes(self):
+        with pytest.raises(PlanError):
+            Project(Scan("E"), [])
+
+    def test_sort_requires_keys(self):
+        with pytest.raises(PlanError):
+            Sort(Scan("E"), [])
+
+    def test_submit_requires_wrapper(self):
+        with pytest.raises(PlanError):
+            Submit(Scan("E"), "")
+
+    def test_join_requires_attr_attr_predicate(self):
+        with pytest.raises(PlanError):
+            Join(Scan("A"), Scan("B"), eq("x", 1))
+
+    def test_aggregate_spec_validation(self):
+        with pytest.raises(PlanError):
+            AggregateSpec("median", "x", "m")
+        with pytest.raises(PlanError):
+            AggregateSpec("sum", None, "s")
+        assert count_star().function == "count"
+
+    def test_aggregate_needs_something(self):
+        with pytest.raises(PlanError):
+            Aggregate(Scan("E"), [], [])
+
+
+class TestTreeStructure:
+    def make_plan(self):
+        return (
+            scan("Employee")
+            .where_eq("salary", 10)
+            .keep("name")
+            .submit_to("w")
+            .build()
+        )
+
+    def test_walk_preorder(self):
+        plan = self.make_plan()
+        names = [n.operator_name for n in plan.walk()]
+        assert names == ["submit", "project", "select", "scan"]
+
+    def test_depth_and_count(self):
+        plan = self.make_plan()
+        assert plan.depth() == 4
+        assert plan.node_count() == 4
+
+    def test_node_ids_unique(self):
+        plan = self.make_plan()
+        ids = [n.node_id for n in plan.walk()]
+        assert len(set(ids)) == len(ids)
+
+    def test_base_collections(self):
+        plan = scan("A").join(scan("B"), "x", "y").build()
+        assert plan.base_collections() == {"A", "B"}
+
+    def test_primary_collection_single(self):
+        assert self.make_plan().primary_collection() == "Employee"
+
+    def test_primary_collection_join_is_none(self):
+        plan = scan("A").join(scan("B"), "x", "y").build()
+        assert plan.primary_collection() is None
+
+    def test_pretty_renders_indented_tree(self):
+        text = self.make_plan().pretty()
+        assert "submit[w]" in text
+        assert "  project(name)" in text
+        assert "      scan(Employee)" in text
+
+
+class TestValidation:
+    def test_valid_plan_passes(self):
+        plan = (
+            scan("A")
+            .submit_to("w1")
+            .join(scan("B").submit_to("w2"), "x", "y", "A", "B")
+            .build()
+        )
+        validate_plan(plan)
+
+    def test_nested_submit_rejected(self):
+        plan = Submit(Submit(Scan("A"), "w1"), "w2")
+        with pytest.raises(PlanError, match="nested submit"):
+            validate_plan(plan)
+
+    def test_swapped_join_sides_detected(self):
+        plan = Join(
+            Scan("A"),
+            Scan("B"),
+            Comparison("=", attr("y", "B"), attr("x", "A")),
+        )
+        with pytest.raises(PlanError, match="swapped"):
+            validate_plan(plan)
+
+    def test_unknown_join_collection_detected(self):
+        plan = Join(
+            Scan("A"),
+            Scan("B"),
+            Comparison("=", attr("x", "Zzz"), attr("y", "B")),
+        )
+        with pytest.raises(PlanError, match="unknown collection"):
+            validate_plan(plan)
+
+
+class TestStripSubmits:
+    def test_removes_all_submits(self):
+        plan = (
+            scan("A")
+            .where_eq("x", 1)
+            .submit_to("w1")
+            .join(scan("B").submit_to("w2"), "x", "y")
+            .build()
+        )
+        stripped = strip_submits(plan)
+        assert all(n.operator_name != "submit" for n in stripped.walk())
+
+    def test_preserves_structure(self):
+        plan = (
+            scan("A")
+            .where_eq("x", 1)
+            .keep("x")
+            .order_by("x")
+            .distinct()
+            .submit_to("w")
+            .build()
+        )
+        stripped = strip_submits(plan)
+        names = [n.operator_name for n in stripped.walk()]
+        assert names == ["distinct", "sort", "project", "select", "scan"]
+
+    def test_union_and_aggregate_survive(self):
+        plan = (
+            scan("A")
+            .union(scan("B"))
+            .aggregate(group_by=["x"], aggregates=[count_star()])
+            .build()
+        )
+        stripped = strip_submits(plan)
+        assert stripped.operator_name == "aggregate"
+        assert isinstance(stripped, Aggregate)
+        assert isinstance(stripped.child, Union)
+
+    def test_distinct_describe(self):
+        assert Distinct(Scan("E")).describe() == "distinct()"

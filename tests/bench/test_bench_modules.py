@@ -1,0 +1,115 @@
+"""Smoke tests for the experiment modules at reduced scale.
+
+The full-scale shape assertions live in ``benchmarks/``; these tests keep
+``pytest tests/`` covering the harness code paths quickly.
+"""
+
+import pytest
+
+from repro.bench.accuracy import run_accuracy
+from repro.bench.clustering import run_clustering
+from repro.bench.federation import MODELS, run_federation_experiment
+from repro.bench.fig12 import run_fig12
+from repro.bench.harness import ErrorSummary, format_table
+from repro.bench.history_bench import run_history
+from repro.bench.overhead import run_overhead
+from repro.bench.plan_quality import run_plan_quality
+from repro.oo7 import TINY
+
+
+SMALL_WORKLOAD = (
+    ("point", "SELECT * FROM AtomicParts WHERE Id = 3"),
+    (
+        "join",
+        "SELECT * FROM Orders, Suppliers "
+        "WHERE Orders.supplier = Suppliers.sid AND Suppliers.city = 'city0'",
+    ),
+)
+
+
+class TestHarness:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [[1, 2.5], [10, 0.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "0.25" in text
+
+    def test_format_table_nan_dash(self):
+        text = format_table(("x",), [[float("nan")]])
+        assert "-" in text
+
+    def test_error_summary_stats(self):
+        summary = ErrorSummary.from_pairs([(110, 100), (90, 100), (100, 100)])
+        assert summary.count == 3
+        assert summary.mean_relative_error == pytest.approx(0.2 / 3)
+        assert summary.median_relative_error == pytest.approx(0.1)
+        assert summary.max_relative_error == pytest.approx(0.1)
+
+    def test_error_summary_empty(self):
+        import math
+
+        summary = ErrorSummary.from_pairs([])
+        assert summary.count == 0
+        assert math.isnan(summary.mean_relative_error)
+
+
+class TestFig12Module:
+    def test_small_run_has_expected_columns(self):
+        result = run_fig12(config=TINY, selectivities=(0.1, 0.5))
+        assert len(result.points) == 2
+        assert result.points[0].selectivity == 0.1
+        assert result.points[1].measured_ms > result.points[0].measured_ms
+        assert "Experiment" in result.table()
+        assert "yao rule" in result.error_table()
+
+
+class TestFederationModule:
+    def test_experiment_runs_all_models(self):
+        experiment = run_federation_experiment(
+            config=TINY, workload=SMALL_WORKLOAD
+        )
+        assert {r.model for r in experiment.records} == set(MODELS)
+        assert {r.label for r in experiment.records} == {"point", "join"}
+
+    def test_reports_render(self):
+        quality = run_plan_quality(config=TINY, workload=SMALL_WORKLOAD)
+        assert "TOTAL" in quality.table()
+        accuracy = run_accuracy(config=TINY, workload=SMALL_WORKLOAD)
+        assert "blended" in accuracy.table()
+        assert "point" in accuracy.detail_table()
+
+    def test_record_lookup_raises_on_unknown(self):
+        experiment = run_federation_experiment(
+            config=TINY, workload=SMALL_WORKLOAD, models=("generic",)
+        )
+        with pytest.raises(KeyError):
+            experiment.record_for("generic", "nope")
+
+
+class TestOverheadModule:
+    def test_small_overhead_run(self):
+        result = run_overhead(rule_counts=(5, 20), repetitions=5)
+        assert len(result.dispatch_rows) == 2
+        assert result.dispatch_rows[0][0] == 5
+        assert "virtual-table" in result.dispatch_table()
+        assert len(result.pruning_rows) == 2
+        assert len(result.propagation_rows) == 2
+        assert len(result.conflict_rows) == 2
+
+
+class TestHistoryModule:
+    def test_history_result_tables(self):
+        result = run_history(config=TINY)
+        assert result.convergence_rows[0][0] == 1
+        assert "query-scope" in result.generalization_table()
+        assert result.base_error > 0
+
+
+class TestClusteringModule:
+    def test_small_clustering_run(self):
+        result = run_clustering(selectivities=(0.05, 0.2), count=1400)
+        assert len(result.points) == 2
+        for point in result.points:
+            assert point.clustered_pages <= point.scattered_pages
+        assert "clustering" in result.table()

@@ -1,0 +1,67 @@
+"""Unit tests for the CDL tokenizer."""
+
+import pytest
+
+from repro.cdl.lexer import tokenize
+from repro.errors import CdlSyntaxError
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_empty_source(self):
+        assert kinds("") == ["eof"]
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("interface Employee costrule foo")
+        assert [t.kind for t in tokens[:-1]] == ["keyword", "ident", "keyword", "ident"]
+
+    def test_numbers(self):
+        assert texts("42 2.5 1e3 2.5e-1") == ["42", "2.5", "1e3", "2.5e-1"]
+
+    def test_strings_both_quotes(self):
+        tokens = tokenize("'abc' \"def\"")
+        assert [t.text for t in tokens[:-1]] == ["abc", "def"]
+        assert all(t.kind == "string" for t in tokens[:-1])
+
+    def test_punctuation(self):
+        assert kinds("{ } ( ) , ; = . + - * /")[:-1] == list("{}(),;=.+-*/")
+
+    def test_multichar_comparisons(self):
+        assert kinds("<= >= != < >")[:-1] == ["<=", ">=", "!=", "<", ">"]
+
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(CdlSyntaxError):
+            tokenize("'abc")
+
+    def test_newline_in_string(self):
+        with pytest.raises(CdlSyntaxError):
+            tokenize("'ab\nc'")
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CdlSyntaxError):
+            tokenize("/* never ends")
+
+    def test_unexpected_character(self):
+        with pytest.raises(CdlSyntaxError) as exc_info:
+            tokenize("a @ b")
+        assert exc_info.value.line == 1

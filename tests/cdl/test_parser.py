@@ -1,0 +1,217 @@
+"""Unit tests for the CDL parser."""
+
+import pytest
+
+from repro.cdl import parse_document
+from repro.errors import CdlSyntaxError
+
+EMPLOYEE_SOURCE = """
+// The Figure 3/4 Employee interface with declarative cardinality.
+interface Employee {
+    attribute Long salary;
+    attribute String Name;
+    short age();
+
+    cardinality extent(CountObject = 10000, TotalSize = 1200000, ObjectSize = 120);
+    cardinality attribute(salary, Indexed = true, CountDistinct = 10000,
+                          Min = 1000, Max = 30000);
+    cardinality attribute(Name, Indexed = true, CountDistinct = 10000,
+                          Min = 'Adiba', Max = 'Valduriez');
+}
+"""
+
+
+class TestInterfaces:
+    def test_attributes_parsed(self):
+        doc = parse_document(EMPLOYEE_SOURCE)
+        interface = doc.interface("Employee")
+        assert interface is not None
+        assert interface.attribute_names() == ["salary", "Name"]
+        assert interface.attributes[0].type_name == "Long"
+
+    def test_operations_parsed(self):
+        doc = parse_document(EMPLOYEE_SOURCE)
+        ops = doc.interface("Employee").operations
+        assert [op.name for op in ops] == ["age"]
+        assert ops[0].return_type == "short"
+
+    def test_operation_with_parameters(self):
+        doc = parse_document(
+            "interface E { long f(in String name, out Long result); }"
+        )
+        op = doc.interface("E").operations[0]
+        assert op.parameters == (("in", "String", "name"), ("out", "Long", "result"))
+
+    def test_extent_statistics(self):
+        doc = parse_document(EMPLOYEE_SOURCE)
+        extent = doc.interface("Employee").extent
+        assert extent.count_object == 10000
+        assert extent.total_size == 1200000
+        assert extent.object_size == 120
+
+    def test_attribute_statistics(self):
+        doc = parse_document(EMPLOYEE_SOURCE)
+        stats = doc.interface("Employee").attribute_stats
+        assert stats[0].attribute == "salary"
+        assert stats[0].indexed is True
+        assert stats[0].min_value == 1000
+        assert stats[1].min_value == "Adiba"
+        assert stats[1].max_value == "Valduriez"
+
+    def test_extent_requires_count_object(self):
+        with pytest.raises(CdlSyntaxError, match="CountObject"):
+            parse_document("interface E { cardinality extent(TotalSize = 5); }")
+
+    def test_unknown_attribute_statistic(self):
+        with pytest.raises(CdlSyntaxError, match="Median"):
+            parse_document(
+                "interface E { cardinality attribute(x, Median = 5); }"
+            )
+
+    def test_multiple_interfaces(self):
+        doc = parse_document("interface A {} interface B {}")
+        assert doc.collection_names() == {"A", "B"}
+
+
+class TestVariablesAndFunctions:
+    def test_var_declaration(self):
+        doc = parse_document("var PageSize = 4000;")
+        assert doc.variables[0].name == "PageSize"
+        assert doc.variables[0].value == 4000
+
+    def test_negative_var(self):
+        doc = parse_document("var Bias = -2.5;")
+        assert doc.variables[0].value == -2.5
+
+    def test_string_var(self):
+        doc = parse_document("var Label = 'x';")
+        assert doc.variables[0].value == "x"
+
+    def test_function_definition(self):
+        doc = parse_document("function double_it(x) = x * 2;")
+        fn = doc.functions[0]
+        assert fn.name == "double_it"
+        assert fn.parameters == ["x"]
+        assert "x * 2" in fn.body
+
+    def test_function_no_parameters(self):
+        doc = parse_document("function answer() = 42;")
+        assert doc.functions[0].parameters == []
+
+
+class TestCostRules:
+    def test_scan_rule(self):
+        doc = parse_document(
+            "costrule scan(employee) { TotalTime = 120 + employee.TotalSize * 12; }"
+        )
+        rule_def = doc.rules[0]
+        assert rule_def.operator == "scan"
+        assert rule_def.collections[0].value == "employee"
+        assert rule_def.predicate is None
+        assert rule_def.formulas == ["TotalTime = 120 + employee.TotalSize * 12"]
+
+    def test_select_rule_with_predicate(self):
+        doc = parse_document(
+            "costrule select(C, A = V) { CountObject = C.CountObject * selectivity(A, V); }"
+        )
+        rule_def = doc.rules[0]
+        pred = rule_def.predicate
+        assert pred.left.value == "A"
+        assert pred.op == "="
+        assert pred.right.value == "V"
+
+    def test_select_rule_with_bound_value(self):
+        doc = parse_document("costrule select(C, salary = 77) { TotalTime = 1; }")
+        assert doc.rules[0].predicate.right.value == 77
+
+    def test_range_predicate(self):
+        doc = parse_document("costrule select(C, Id < V) { TotalTime = 1; }")
+        assert doc.rules[0].predicate.op == "<"
+
+    def test_join_rule_with_dotted_attributes(self):
+        doc = parse_document(
+            "costrule join(Employee, Book, x1.id = x2.author_id) { TotalTime = 1; }"
+        )
+        rule_def = doc.rules[0]
+        assert [c.value for c in rule_def.collections] == ["Employee", "Book"]
+        assert rule_def.predicate.left.value == "id"
+        assert rule_def.predicate.right.value == "author_id"
+
+    def test_multiple_formulas_preserved_in_order(self):
+        doc = parse_document(
+            """
+            costrule select(C, A = V) {
+                CountObject = C.CountObject * selectivity(A, V);
+                TotalSize = CountObject * C.ObjectSize;
+                TotalTime = C.TotalTime + C.TotalSize * 25;
+            }
+            """
+        )
+        targets = [f.split(" =")[0] for f in doc.rules[0].formulas]
+        assert targets == ["CountObject", "TotalSize", "TotalTime"]
+
+    def test_string_literal_in_formula_requoted(self):
+        doc = parse_document("costrule scan(C) { TotalTime = width('abc'); }")
+        assert "'abc'" in doc.rules[0].formulas[0]
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(CdlSyntaxError):
+            parse_document("costrule scan(C) { TotalTime = (1 + 2)); }")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(CdlSyntaxError):
+            parse_document("costrule scan(C) { TotalTime = 1 }")
+
+    def test_error_carries_position(self):
+        with pytest.raises(CdlSyntaxError) as exc_info:
+            parse_document("interface E {\n  attribute;\n}")
+        assert exc_info.value.line == 2
+
+
+class TestFigure13RuleText:
+    """The paper's Figure 13 rule must parse as written (modulo ASCII)."""
+
+    SOURCE = """
+    var PageSize = 4096;
+    var IO = 25;
+    var Output = 9;
+
+    costrule select(Collection, Id = value) {
+        // compute the page count to be used in yao formula:
+        CountPage = Collection.TotalSize / PageSize;
+        // compute the costs:
+        CountObject = Collection.CountObject * (value - Collection.Id.Min)
+                      / (Collection.Id.Max - Collection.Id.Min);
+        TotalSize = CountObject * Collection.ObjectSize;
+        TotalTime = IO * (Collection.TotalSize / PageSize)
+                       * (1 - exp(-1 * (CountObject / CountPage)))
+                    + CountObject * Output;
+    }
+    """
+
+    def test_parses(self):
+        doc = parse_document(self.SOURCE)
+        assert len(doc.rules) == 1
+        assert len(doc.variables) == 3
+        rule_def = doc.rules[0]
+        assert rule_def.operator == "select"
+        assert [f.split(" =")[0] for f in rule_def.formulas] == [
+            "CountPage",
+            "CountObject",
+            "TotalSize",
+            "TotalTime",
+        ]
+
+
+class TestDocumentStructure:
+    def test_mixed_declarations(self):
+        doc = parse_document(
+            EMPLOYEE_SOURCE + "var X = 1; costrule scan(Employee) { TotalTime = 1; }"
+        )
+        assert len(doc.interfaces) == 1
+        assert len(doc.variables) == 1
+        assert len(doc.rules) == 1
+
+    def test_garbage_top_level(self):
+        with pytest.raises(CdlSyntaxError):
+            parse_document("banana;")

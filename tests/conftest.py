@@ -1,0 +1,20 @@
+"""Root fixtures shared across the test suite."""
+
+import pytest
+
+from tests.federation_fixtures import (
+    build_files_wrapper,
+    build_oo7_wrapper,
+    build_sales_wrapper,
+)
+from repro.mediator.mediator import Mediator
+
+
+@pytest.fixture
+def federation():
+    """The standard three-source federation (see federation_fixtures)."""
+    mediator = Mediator()
+    mediator.register(build_oo7_wrapper())
+    mediator.register(build_sales_wrapper())
+    mediator.register(build_files_wrapper())
+    return mediator

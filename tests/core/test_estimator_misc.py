@@ -1,0 +1,130 @@
+"""Remaining estimator surface: one-shot helper, context resolution edges,
+explain rendering details."""
+
+import pytest
+
+from repro.algebra.builders import scan
+from repro.algebra.logical import Scan
+from repro.core.estimator import CostEstimator, estimate_once
+from repro.core.generic import CoefficientSet, standard_repository
+from repro.core.rules import rule, scan_pattern, select_eq_pattern, var
+from repro.core.statistics import AttributeStats, CollectionStats, StatisticsCatalog
+from repro.errors import FormulaError
+
+
+def make_catalog():
+    catalog = StatisticsCatalog()
+    catalog.put(
+        CollectionStats.from_extent(
+            "E",
+            100,
+            50,
+            attributes=[
+                AttributeStats(
+                    "a", indexed=True, count_distinct=10, min_value=0, max_value=99
+                )
+            ],
+        )
+    )
+    return catalog
+
+
+class TestEstimateOnce:
+    def test_one_shot_convenience(self):
+        estimate = estimate_once(
+            Scan("E"),
+            standard_repository(),
+            make_catalog(),
+            default_source="w",
+        )
+        assert estimate.root.count_object == 100.0
+
+
+class TestPathResolutionEdges:
+    def make_estimator(self, rules):
+        repository = standard_repository()
+        repository.add_wrapper_rules("w", rules)
+        return CostEstimator(
+            repository, make_catalog(), coefficients=CoefficientSet()
+        )
+
+    def test_bare_attribute_stat_resolves_via_primary_collection(self):
+        # ``A.Min`` where A is the bound attribute name (Figure 7:
+        # "Attribute and Collection may be omitted in non-ambiguous cases").
+        estimator = self.make_estimator(
+            [
+                rule(
+                    select_eq_pattern("E", var("A"), var("V")),
+                    ["TotalTime = A.Min + A.Max"],
+                )
+            ]
+        )
+        plan = scan("E").where_eq("a", 5).build()
+        estimate = estimator.estimate(plan, default_source="w")
+        assert estimate.total_time == 0 + 99
+
+    def test_three_part_path_with_bound_attribute_variable(self):
+        estimator = self.make_estimator(
+            [
+                rule(
+                    select_eq_pattern(var("C"), var("A"), var("V")),
+                    ["TotalTime = C.A.CountDistinct"],
+                )
+            ]
+        )
+        plan = scan("E").where_eq("a", 5).build()
+        estimate = estimator.estimate(plan, default_source="w")
+        assert estimate.total_time == 10.0
+
+    def test_unknown_single_name_raises_formula_error(self):
+        estimator = self.make_estimator(
+            [rule(scan_pattern("E"), ["TotalTime = Mystery"])]
+        )
+        with pytest.raises(FormulaError, match="Mystery"):
+            estimator.estimate(Scan("E"), default_source="w")
+
+    def test_bad_statistic_name_raises(self):
+        estimator = self.make_estimator(
+            [rule(scan_pattern("E"), ["TotalTime = E.Median"])]
+        )
+        with pytest.raises(FormulaError):
+            estimator.estimate(Scan("E"), default_source="w")
+
+    def test_binding_value_usable_in_arithmetic(self):
+        estimator = self.make_estimator(
+            [
+                rule(
+                    select_eq_pattern("E", "a", var("V")),
+                    ["TotalTime = V * 2"],
+                )
+            ]
+        )
+        plan = scan("E").where_eq("a", 21).build()
+        assert estimator.estimate(plan, default_source="w").total_time == 42.0
+
+
+class TestExplainRendering:
+    def test_uncosted_children_marked(self):
+        repository = standard_repository()
+        repository.add_wrapper_rule(
+            "w",
+            rule(
+                select_eq_pattern("E", "a", var("V")),
+                ["TotalTime = 1", "CountObject = 1", "TotalSize = 1"],
+            ),
+        )
+        estimator = CostEstimator(
+            repository, make_catalog(), coefficients=CoefficientSet()
+        )
+        plan = scan("E").where_eq("a", 5).build()
+        text = estimator.estimate(plan, default_source="w").explain()
+        assert "[not costed]" in text  # the scan was never visited
+
+    def test_estimate_for_lookup(self):
+        estimator = CostEstimator(
+            standard_repository(), make_catalog(), coefficients=CoefficientSet()
+        )
+        plan = scan("E").where_eq("a", 5).build()
+        estimate = estimator.estimate(plan, default_source="w")
+        child_estimate = estimate.estimate_for(plan.child)
+        assert child_estimate.node is plan.child

@@ -1,0 +1,142 @@
+"""Property-based invariants of the cost estimator + generic model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.builders import scan
+from repro.algebra.expressions import Comparison, attr, lit
+from repro.algebra.logical import Scan, Select
+from repro.core.estimator import CostEstimator
+from repro.core.formulas import RESULT_VARIABLES
+from repro.core.generic import CoefficientSet, standard_repository
+from repro.core.statistics import AttributeStats, CollectionStats, StatisticsCatalog
+
+
+def make_estimator(count=1000, distinct=100, object_size=100, indexed=True):
+    catalog = StatisticsCatalog()
+    catalog.put(
+        CollectionStats.from_extent(
+            "R",
+            count,
+            object_size,
+            attributes=[
+                AttributeStats(
+                    "a",
+                    indexed=indexed,
+                    count_distinct=min(distinct, count) or 1,
+                    min_value=0,
+                    max_value=max(1, count - 1),
+                )
+            ],
+        )
+    )
+    return CostEstimator(
+        standard_repository(), catalog, coefficients=CoefficientSet()
+    )
+
+
+class TestInvariants:
+    @given(
+        count=st.integers(min_value=1, max_value=10**6),
+        distinct=st.integers(min_value=1, max_value=10**6),
+        object_size=st.integers(min_value=1, max_value=10**4),
+        value=st.integers(min_value=-10, max_value=10**6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_variables_finite_and_nonnegative(
+        self, count, distinct, object_size, value
+    ):
+        estimator = make_estimator(count, distinct, object_size)
+        plan = scan("R").where_eq("a", value).submit_to("w").build()
+        estimate = estimator.estimate(
+            plan, variables=tuple(RESULT_VARIABLES)
+        )
+        for node_estimate in estimate.nodes.values():
+            for variable, val in node_estimate.values.items():
+                assert isinstance(val, (int, float)), variable
+                assert val >= 0, variable
+                assert math.isfinite(float(val)), variable
+
+    @given(
+        count=st.integers(min_value=1, max_value=10**5),
+        value=st.integers(min_value=0, max_value=10**5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_select_never_increases_cardinality(self, count, value):
+        estimator = make_estimator(count=count)
+        plan = scan("R").where_eq("a", value).build()
+        estimate = estimator.estimate(plan, default_source="w")
+        select_count = estimate.root.count_object
+        scan_count = estimate.nodes[plan.child.node_id].count_object
+        assert select_count <= scan_count + 1e-9
+
+    @given(
+        low_frac=st.floats(min_value=0.0, max_value=1.0),
+        high_frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_wider_ranges_cost_at_least_as_much(self, low_frac, high_frac):
+        narrow_frac = min(low_frac, high_frac)
+        wide_frac = max(low_frac, high_frac)
+        estimator = make_estimator(count=10000, distinct=10000)
+        costs = []
+        for fraction in (narrow_frac, wide_frac):
+            threshold = int(fraction * 9999)
+            plan = Select(Scan("R"), Comparison("<=", attr("a"), lit(threshold)))
+            costs.append(estimator.estimate(plan, default_source="w").total_time)
+        assert costs[0] <= costs[1] + 1e-6
+
+    @given(value=st.integers(min_value=0, max_value=999))
+    @settings(max_examples=30, deadline=None)
+    def test_estimates_deterministic(self, value):
+        estimator = make_estimator()
+        plan = scan("R").where_eq("a", value).submit_to("w").build()
+        first = estimator.estimate(plan).total_time
+        second = estimator.estimate(plan).total_time
+        assert first == second
+
+    @given(count=st.integers(min_value=1, max_value=10**5))
+    @settings(max_examples=40, deadline=None)
+    def test_submit_cost_at_least_child_cost(self, count):
+        estimator = make_estimator(count=count)
+        bare = Scan("R")
+        shipped = scan("R").submit_to("w").build()
+        bare_cost = estimator.estimate(bare, default_source="w").total_time
+        shipped_cost = estimator.estimate(shipped).total_time
+        assert shipped_cost >= bare_cost
+
+    @given(
+        count=st.integers(min_value=1, max_value=10**5),
+        value=st.integers(min_value=0, max_value=10**5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_time_decomposition_consistent(self, count, value):
+        """TimeFirst + TimeNext * CountObject reconstructs TotalTime for
+        the chosen pipeline (the §2.3 three-form contract)."""
+        estimator = make_estimator(count=count)
+        plan = scan("R").where_eq("a", value).build()
+        estimate = estimator.estimate(
+            plan,
+            default_source="w",
+            variables=("TotalTime", "TimeFirst", "TimeNext", "CountObject"),
+        )
+        values = estimate.root.values
+        reconstructed = values["TimeFirst"] + values["TimeNext"] * max(
+            1.0, values["CountObject"]
+        )
+        assert reconstructed <= values["TotalTime"] * 1.01 + 1e-6
+
+    @given(
+        count=st.integers(min_value=2, max_value=10**4),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_unindexed_select_costs_at_least_scan(self, count, seed):
+        estimator = make_estimator(count=count, indexed=False)
+        plan = scan("R").where_eq("a", seed).build()
+        select_cost = estimator.estimate(plan, default_source="w").total_time
+        scan_cost = estimator.estimate(Scan("R"), default_source="w").total_time
+        assert select_cost >= scan_cost

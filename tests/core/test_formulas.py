@@ -1,0 +1,243 @@
+"""Unit and property tests for the cost formula language."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.formulas import (
+    BUILTIN_FUNCTIONS,
+    Call,
+    MappingContext,
+    Number,
+    PathRef,
+    PythonFormula,
+    parse_expression,
+    parse_formula,
+    parse_formulas,
+)
+from repro.errors import FormulaError
+
+
+def evaluate(text, values=None, functions=None):
+    expr = parse_expression(text)
+    return expr.compile()(MappingContext(values, functions))
+
+
+class TestParsing:
+    def test_number(self):
+        assert evaluate("42") == 42.0
+
+    def test_decimal_and_exponent(self):
+        assert evaluate("2.5") == 2.5
+        assert evaluate("1e3") == 1000.0
+        assert evaluate("2.5e-1") == 0.25
+
+    def test_precedence(self):
+        assert evaluate("2 + 3 * 4") == 14.0
+        assert evaluate("(2 + 3) * 4") == 20.0
+
+    def test_left_associativity(self):
+        assert evaluate("10 - 4 - 3") == 3.0
+        assert evaluate("16 / 4 / 2") == 2.0
+
+    def test_unary_minus(self):
+        assert evaluate("-3 + 5") == 2.0
+        assert evaluate("2 * -3") == -6.0
+        assert evaluate("--4") == 4.0
+
+    def test_unary_plus(self):
+        assert evaluate("+5") == 5.0
+
+    def test_path_reference(self):
+        assert evaluate("Employee.CountObject", {"Employee.CountObject": 10000}) == 10000
+
+    def test_three_part_path(self):
+        value = evaluate("Employee.salary.Min", {"Employee.salary.Min": 1000})
+        assert value == 1000
+
+    def test_four_part_path_rejected(self):
+        with pytest.raises(FormulaError):
+            parse_expression("a.b.c.d")
+
+    def test_function_call(self):
+        assert evaluate("exp(0)") == 1.0
+        assert evaluate("min(3, 8)") == 3.0
+        assert evaluate("max(3, 8, 2)") == 8.0
+
+    def test_nested_calls(self):
+        assert evaluate("exp(-1 * (0.5 * 70))") == pytest.approx(math.exp(-35))
+
+    def test_string_literal_argument(self):
+        functions = {"width": lambda s: float(len(s))}
+        assert evaluate("width('abc')", functions=functions) == 3.0
+
+    def test_unterminated_string(self):
+        with pytest.raises(FormulaError):
+            parse_expression("f('abc")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(FormulaError):
+            parse_expression("1 + 2 )")
+
+    def test_unexpected_character(self):
+        with pytest.raises(FormulaError):
+            parse_expression("1 @ 2")
+
+    def test_missing_closing_paren(self):
+        with pytest.raises(FormulaError):
+            parse_expression("(1 + 2")
+
+    def test_number_then_path_separator(self):
+        # "Collection.TotalSize/PageSize" style division parses fine.
+        assert evaluate(
+            "C.TotalSize/PageSize", {"C.TotalSize": 8000.0, "PageSize": 4000.0}
+        ) == 2.0
+
+
+class TestEvaluation:
+    def test_division_by_zero(self):
+        with pytest.raises(FormulaError):
+            evaluate("1 / 0")
+
+    def test_unbound_reference(self):
+        with pytest.raises(FormulaError):
+            evaluate("Mystery")
+
+    def test_unknown_function(self):
+        with pytest.raises(FormulaError):
+            evaluate("mystery(1)")
+
+    def test_function_error_wrapped(self):
+        with pytest.raises(FormulaError):
+            evaluate("sqrt(-1)")
+
+    def test_boolean_coerces_to_number(self):
+        assert evaluate("Flag + 1", {"Flag": True}) == 2.0
+
+    def test_string_value_coerces_via_constant(self):
+        value = evaluate("X + 0", {"X": "m"})
+        assert 0.0 < value < 1.0
+
+    def test_builtins_present(self):
+        for name in ("exp", "log", "min", "max", "ceil", "floor", "sqrt"):
+            assert name in BUILTIN_FUNCTIONS
+
+
+class TestReferencesAnalysis:
+    def test_references_collected(self):
+        expr = parse_expression("A.B + f(C.D.E, 3) - X")
+        assert expr.references() == {("A", "B"), ("C", "D", "E"), ("X",)}
+
+    def test_function_names_collected(self):
+        expr = parse_expression("f(g(1), 2) + h(3)")
+        assert expr.function_names() == {"f", "g", "h"}
+
+
+class TestFormula:
+    def test_parse_formula_roundtrip(self):
+        formula = parse_formula("TotalTime = 120 + Employee.TotalSize * 12")
+        assert formula.target == "TotalTime"
+        assert formula.is_result
+        value = formula.evaluate(MappingContext({"Employee.TotalSize": 10.0}))
+        assert value == 240.0
+
+    def test_paper_scan_formula(self):
+        """The §3.3.1 example formula for a linear scan on Employee."""
+        formula = parse_formula(
+            "TotalTime = 120 + Employee.TotalSize * 12 "
+            "+ Employee.CountObject / Employee.CountDistinct"
+        )
+        ctx = MappingContext(
+            {
+                "Employee.TotalSize": 15.0,
+                "Employee.CountObject": 10000.0,
+                "Employee.CountDistinct": 10000.0,
+            }
+        )
+        assert formula.evaluate(ctx) == 120 + 15 * 12 + 1
+
+    def test_local_target_not_result(self):
+        formula = parse_formula("CountPage = C.TotalSize / PageSize")
+        assert not formula.is_result
+
+    def test_missing_equals(self):
+        with pytest.raises(FormulaError):
+            parse_formula("TotalTime 42")
+
+    def test_invalid_target(self):
+        with pytest.raises(FormulaError):
+            parse_formula("9lives = 1")
+
+    def test_parse_formulas_batch(self):
+        formulas = parse_formulas(["A = 1", "B = A + 1"])
+        assert [f.target for f in formulas] == ["A", "B"]
+
+    def test_source_preserved(self):
+        formula = parse_formula("TotalTime = 1 + 2")
+        assert "TotalTime" in str(formula)
+
+    def test_evaluation_error_names_formula(self):
+        formula = parse_formula("TotalTime = 1 / Zero")
+        with pytest.raises(FormulaError, match="TotalTime"):
+            formula.evaluate(MappingContext({"Zero": 0.0}))
+
+
+class TestPythonFormula:
+    def test_native_body_runs(self):
+        formula = PythonFormula("TotalTime", lambda ctx: 42.0)
+        assert formula.evaluate(MappingContext()) == 42.0
+
+    def test_requirements_surface_as_references(self):
+        formula = PythonFormula(
+            "TotalTime",
+            lambda ctx: 0.0,
+            child_requirements=frozenset({"CountObject"}),
+            own_requirements=frozenset({"TotalSize"}),
+        )
+        refs = formula.references()
+        assert ("__child__", "CountObject") in refs
+        assert ("TotalSize",) in refs
+
+    def test_error_wrapped(self):
+        def boom(ctx):
+            raise FormulaError("boom")
+
+        formula = PythonFormula("TotalTime", boom)
+        with pytest.raises(FormulaError, match="boom"):
+            formula.evaluate(MappingContext())
+
+
+class TestProperties:
+    @given(st.integers(min_value=-10**6, max_value=10**6))
+    def test_integer_literals_roundtrip(self, value):
+        assert evaluate(str(value)) == float(value)
+
+    @given(
+        a=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        b=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    )
+    @settings(max_examples=80)
+    def test_addition_matches_python(self, a, b):
+        result = evaluate("A + B", {"A": a, "B": b})
+        assert result == pytest.approx(a + b, nan_ok=True)
+
+    @given(st.text(alphabet="abcdefgh", min_size=1, max_size=8))
+    def test_single_names_parse_as_pathrefs(self, name):
+        expr = parse_expression(name)
+        assert isinstance(expr, PathRef)
+        assert expr.parts == (name,)
+
+    @given(
+        depth=st.integers(min_value=0, max_value=30),
+    )
+    def test_deeply_nested_parens(self, depth):
+        text = "(" * depth + "1" + ")" * depth
+        assert evaluate(text) == 1.0
+
+    def test_expression_str_reparses_to_same_value(self):
+        expr = parse_expression("1 + 2 * (3 - 4) / 5")
+        again = parse_expression(str(expr))
+        ctx = MappingContext()
+        assert expr.compile()(ctx) == again.compile()(ctx)

@@ -1,0 +1,224 @@
+"""Unit tests for the generic cost model's individual rules (§2.3)."""
+
+import math
+
+import pytest
+
+from repro.algebra.builders import count_star, scan
+from repro.algebra.expressions import Comparison, attr, lit
+from repro.algebra.logical import Join, Scan, Select
+from repro.core.estimator import CostEstimator, EstimatorOptions
+from repro.core.generic import (
+    CoefficientSet,
+    GenericCoefficients,
+    MEDIATOR_COEFFICIENTS,
+    all_generic_rules,
+    install_generic_model,
+    standard_repository,
+)
+from repro.core.scopes import RuleRepository
+from repro.core.statistics import AttributeStats, CollectionStats, StatisticsCatalog
+
+
+@pytest.fixture
+def catalog():
+    cat = StatisticsCatalog()
+    cat.put(
+        CollectionStats.from_extent(
+            "R",
+            1000,
+            100,
+            attributes=[
+                AttributeStats("a", indexed=True, count_distinct=100,
+                               min_value=0, max_value=999),
+                AttributeStats("b", indexed=False, count_distinct=10),
+            ],
+        )
+    )
+    cat.put(
+        CollectionStats.from_extent(
+            "S",
+            500,
+            80,
+            attributes=[
+                AttributeStats("a", indexed=True, count_distinct=500),
+            ],
+        )
+    )
+    return cat
+
+
+@pytest.fixture
+def estimator(catalog):
+    return CostEstimator(
+        standard_repository(), catalog, coefficients=CoefficientSet()
+    )
+
+
+def total(estimator, plan, source="w"):
+    return estimator.estimate(plan, default_source=source).total_time
+
+
+class TestScanRule:
+    def test_cost_linear_in_cardinality(self, estimator):
+        coefficients = GenericCoefficients()
+        expected = (
+            coefficients.ms_scan_startup
+            + 1000 * coefficients.ms_per_object_scanned
+        )
+        assert total(estimator, Scan("R")) == pytest.approx(expected)
+
+
+class TestSelectRules:
+    def test_equality_cardinality(self, estimator):
+        plan = scan("R").where_eq("a", 5).build()
+        estimate = estimator.estimate(plan, default_source="w")
+        assert estimate.root.count_object == pytest.approx(10.0)  # 1000/100
+
+    def test_range_cardinality_interpolates(self, estimator):
+        plan = Select(Scan("R"), Comparison("<=", attr("a"), lit(499)))
+        estimate = estimator.estimate(plan, default_source="w")
+        assert estimate.root.count_object == pytest.approx(500, rel=0.01)
+
+    def test_index_path_formula(self, estimator):
+        coefficients = GenericCoefficients()
+        plan = scan("R").where_eq("a", 5).build()
+        expected = coefficients.ms_index_startup + 10 * coefficients.ms_per_object_index
+        assert total(estimator, plan) == pytest.approx(expected)
+
+    def test_unindexed_uses_sequential(self, estimator):
+        coefficients = GenericCoefficients()
+        plan = scan("R").where_eq("b", 5).build()
+        scan_cost = (
+            coefficients.ms_scan_startup + 1000 * coefficients.ms_per_object_scanned
+        )
+        expected = scan_cost + 1000 * coefficients.ms_per_object_filter
+        assert total(estimator, plan) == pytest.approx(expected)
+
+    def test_select_not_on_scan_never_uses_index(self, estimator):
+        # select over project over scan: not an access-path shape.
+        plan = scan("R").keep("a").where_eq("a", 5).build()
+        coefficients = GenericCoefficients()
+        cost = total(estimator, plan)
+        index_cost = (
+            coefficients.ms_index_startup + 10 * coefficients.ms_per_object_index
+        )
+        assert cost > index_cost
+
+
+class TestJoinRules:
+    def make_join(self, right_indexed=True):
+        right = Scan("S") if right_indexed else Scan("R")
+        return Join(
+            Scan("R"),
+            right,
+            Comparison("=", attr("a", "R"), attr("a", "S" if right_indexed else "R")),
+        )
+
+    def test_cardinality_uses_max_distinct(self, estimator):
+        plan = scan("R").join(scan("S"), "a", "a", "R", "S").build()
+        estimate = estimator.estimate(plan, default_source="w")
+        assert estimate.root.count_object == pytest.approx(1000 * 500 / 500)
+
+    def test_index_join_beats_nested_loop_when_indexed(self, estimator):
+        plan = scan("R").join(scan("S"), "a", "a", "R", "S").build()
+        estimate = estimator.estimate(plan, default_source="w")
+        assert "join-index" in estimate.root.provenance["TotalTime"]
+
+    def test_method_choice_is_lowest_value(self, catalog):
+        """Force nested-loop to win by making inputs tiny."""
+        catalog.put(CollectionStats.from_extent("T1", 2, 8))
+        catalog.put(CollectionStats.from_extent("T2", 2, 8))
+        estimator = CostEstimator(
+            standard_repository(), catalog, coefficients=CoefficientSet()
+        )
+        plan = scan("T1").join(scan("T2"), "x", "y", "T1", "T2").build()
+        estimate = estimator.estimate(plan, default_source="w")
+        # 2x2 nested loop is cheaper than sorting both sides.
+        assert "nested-loop" in estimate.root.provenance["TotalTime"]
+
+
+class TestOtherRules:
+    def test_aggregate_without_groups_yields_one_row(self, estimator):
+        plan = scan("R").aggregate([], [count_star()]).build()
+        estimate = estimator.estimate(plan, default_source="w")
+        assert estimate.root.count_object == 1.0
+
+    def test_aggregate_groups_capped_by_input(self, estimator):
+        plan = scan("R").aggregate(["a", "b"], [count_star()]).build()
+        estimate = estimator.estimate(plan, default_source="w")
+        assert estimate.root.count_object <= 1000.0
+
+    def test_project_shrinks_size(self, estimator):
+        base = estimator.estimate(Scan("R"), default_source="w")
+        plan = scan("R").keep("a").build()
+        projected = estimator.estimate(plan, default_source="w")
+        assert projected.root.values["TotalSize"] < base.root.values["TotalSize"]
+
+    def test_submit_uses_mediator_coefficients(self, estimator):
+        plan = scan("R").submit_to("w").build()
+        estimate = estimator.estimate(plan)
+        inner = estimate.nodes[plan.child.node_id]
+        expected = (
+            inner.total_time
+            + 2 * MEDIATOR_COEFFICIENTS.ms_per_message
+            + float(inner.values["TotalSize"]) * MEDIATOR_COEFFICIENTS.ms_per_byte
+        )
+        assert estimate.total_time == pytest.approx(expected)
+
+    def test_distinct_is_blocking(self, estimator):
+        plan = scan("R").distinct().build()
+        estimate = estimator.estimate(
+            plan, default_source="w", variables=("TotalTime", "TimeFirst")
+        )
+        assert estimate.root.values["TimeFirst"] == estimate.root.values["TotalTime"]
+
+
+class TestInstallers:
+    def test_generic_rules_cover_all_operators(self):
+        operators = {r.head.operator for r in all_generic_rules()}
+        assert operators == {
+            "scan",
+            "select",
+            "project",
+            "sort",
+            "distinct",
+            "aggregate",
+            "join",
+            "bindjoin",
+            "union",
+            "submit",
+        }
+
+    def test_install_counts_match(self):
+        repository = RuleRepository()
+        count = install_generic_model(repository)
+        assert len(repository) == count
+
+    def test_every_rule_provides_the_five_variables_somewhere(self):
+        """The §4.2 guarantee: at least one default rule provides every
+        variable for every operator."""
+        from repro.core.formulas import RESULT_VARIABLES
+
+        by_operator: dict[str, set[str]] = {}
+        for generic_rule in all_generic_rules():
+            by_operator.setdefault(generic_rule.head.operator, set()).update(
+                generic_rule.provides
+            )
+        for operator, provided in by_operator.items():
+            assert provided == set(RESULT_VARIABLES), operator
+
+    def test_coefficient_scaling(self):
+        base = GenericCoefficients()
+        doubled = base.scaled(2.0)
+        assert doubled.ms_scan_startup == base.ms_scan_startup * 2
+        assert doubled.ms_per_byte == base.ms_per_byte * 2
+
+    def test_coefficient_set_per_source(self):
+        coefficients = CoefficientSet()
+        special = GenericCoefficients(ms_scan_startup=1.0)
+        coefficients.set_source("w", special)
+        assert coefficients.for_source("w") is special
+        assert coefficients.for_source("other") is coefficients.default
+        assert coefficients.for_source(None) is coefficients.mediator
+        assert coefficients.sources() == ["w"]

@@ -1,0 +1,244 @@
+"""Unit tests for rule heads, unification and specificity (§3.3.2)."""
+
+import pytest
+
+from repro.algebra.builders import scan
+from repro.algebra.expressions import Comparison, attr, eq, lit
+from repro.algebra.logical import Join, Scan, Select
+from repro.core.rules import (
+    AnyPredicate,
+    CostRule,
+    JoinPredPattern,
+    OperatorPattern,
+    SelectPredPattern,
+    Var,
+    join_pattern,
+    most_specific_first,
+    rule,
+    scan_pattern,
+    select_eq_pattern,
+    select_pattern,
+    unary_pattern,
+    union_pattern,
+    var,
+)
+from repro.errors import CostModelError
+
+
+def employee_select(value=10, attribute="salary", op="="):
+    return Select(
+        Scan("Employee"), Comparison(op, attr(attribute), lit(value))
+    )
+
+
+class TestPatternConstruction:
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(CostModelError):
+            OperatorPattern("frobnicate", ("C",))
+
+    def test_join_needs_two_collections(self):
+        with pytest.raises(CostModelError):
+            OperatorPattern("join", (var("C"),))
+
+    def test_select_needs_one_collection(self):
+        with pytest.raises(CostModelError):
+            OperatorPattern("select", (var("A"), var("B")))
+
+    def test_join_pred_on_select_rejected(self):
+        with pytest.raises(CostModelError):
+            OperatorPattern(
+                "select", (var("C"),), JoinPredPattern(var("A"), var("B"))
+            )
+
+    def test_select_pred_on_join_rejected(self):
+        with pytest.raises(CostModelError):
+            OperatorPattern(
+                "join", (var("C1"), var("C2")), SelectPredPattern(var("A"), "=", 1)
+            )
+
+
+class TestScanMatching:
+    def test_named_scan_matches(self):
+        pattern = scan_pattern("Employee")
+        assert pattern.match(Scan("Employee")) == {}
+
+    def test_named_scan_rejects_other(self):
+        assert scan_pattern("Employee").match(Scan("Book")) is None
+
+    def test_variable_binds_collection_name(self):
+        bindings = scan_pattern(var("C")).match(Scan("Employee"))
+        assert bindings == {"C": "Employee"}
+
+    def test_wrong_operator(self):
+        assert scan_pattern(var("C")).match(employee_select()) is None
+
+
+class TestSelectMatching:
+    def test_free_predicate_binds_whole_predicate(self):
+        node = employee_select()
+        bindings = select_pattern(var("C")).match(node)
+        assert bindings is not None
+        assert bindings["C"] is node.child
+        assert bindings["P"] is node.predicate
+
+    def test_collection_name_matches_through_child(self):
+        node = employee_select()
+        assert select_pattern("Employee").match(node) is not None
+        assert select_pattern("Book").match(node) is None
+
+    def test_attribute_and_value_binding(self):
+        node = employee_select(value=77)
+        pattern = select_eq_pattern("Employee", var("A"), var("V"))
+        bindings = pattern.match(node)
+        assert bindings["A"] == "salary"
+        assert bindings["V"] == 77
+
+    def test_bound_value_matches_exactly(self):
+        pattern = select_eq_pattern("Employee", "salary", 77)
+        assert pattern.match(employee_select(value=77)) is not None
+        assert pattern.match(employee_select(value=78)) is None
+
+    def test_bound_attribute_mismatch(self):
+        pattern = select_eq_pattern("Employee", "age", var("V"))
+        assert pattern.match(employee_select()) is None
+
+    def test_operator_must_match(self):
+        pattern = select_eq_pattern("Employee", "salary", var("V"), op="<")
+        assert pattern.match(employee_select(op="=")) is None
+        assert pattern.match(employee_select(op="<")) is not None
+
+    def test_value_attr_comparison_normalized(self):
+        # 10 = salary is matched as salary = 10.
+        node = Select(Scan("Employee"), Comparison("=", lit(10), attr("salary")))
+        pattern = select_eq_pattern("Employee", var("A"), var("V"))
+        bindings = pattern.match(node)
+        assert bindings == {"A": "salary", "V": 10}
+
+    def test_conjunction_only_matches_any_predicate(self):
+        from repro.algebra.expressions import between
+
+        node = Select(Scan("Employee"), between("salary", 1, 9))
+        assert select_eq_pattern("Employee", var("A"), var("V")).match(node) is None
+        assert select_pattern(var("C")).match(node) is not None
+
+    def test_select_over_pipeline_matches_base_collection(self):
+        node = Select(
+            scan("Employee").keep("salary").build(), eq("salary", 1)
+        )
+        assert select_pattern("Employee").match(node) is not None
+
+
+class TestJoinMatching:
+    def make_join(self, left="Employee", right="Book", la="id", ra="author_id"):
+        return Join(
+            Scan(left),
+            Scan(right),
+            Comparison("=", attr(la, left), attr(ra, right)),
+        )
+
+    def test_free_join(self):
+        bindings = join_pattern(var("C1"), var("C2")).match(self.make_join())
+        assert isinstance(bindings["C1"], Scan)
+        assert isinstance(bindings["C2"], Scan)
+
+    def test_named_collections(self):
+        pattern = join_pattern("Employee", "Book")
+        assert pattern.match(self.make_join()) is not None
+        assert pattern.match(self.make_join(left="Author")) is None
+
+    def test_attribute_patterns(self):
+        pattern = join_pattern("Employee", "Book", "id", var("A2"))
+        bindings = pattern.match(self.make_join())
+        assert bindings["A2"] == "author_id"
+
+    def test_attribute_mismatch(self):
+        pattern = join_pattern("Employee", "Book", "name", var("A2"))
+        assert pattern.match(self.make_join()) is None
+
+
+class TestSpecificity:
+    def test_paper_matching_order(self):
+        """The §4.2 example: five select patterns in increasing specificity."""
+        patterns = [
+            select_pattern(var("R")),  # select(R, P)
+            select_pattern("Employee"),  # select(Employee, P)
+            select_eq_pattern("Employee", var("A"), var("V")),
+            select_eq_pattern("Employee", "salary", var("A")),
+            select_eq_pattern("Employee", "salary", 77),
+        ]
+        specs = [p.specificity() for p in patterns]
+        assert specs == sorted(specs)
+        assert len(set(specs)) == len(specs)
+
+    def test_join_matching_order(self):
+        patterns = [
+            join_pattern(var("R1"), var("R2")),
+            join_pattern("Employee", "Book"),
+            join_pattern("Employee", "Book", "id", "id"),
+        ]
+        specs = [p.specificity() for p in patterns]
+        assert specs == sorted(specs)
+
+    def test_most_specific_first_stable_on_order(self):
+        a = rule(select_pattern(var("C")), ["TotalTime = 1"], name="first")
+        b = rule(select_pattern(var("C")), ["TotalTime = 2"], name="second")
+        a.order, b.order = 0, 1
+        assert [r.name for r in most_specific_first([b, a])] == ["first", "second"]
+
+    def test_collection_beats_attribute_binding(self):
+        named = select_pattern("Employee")
+        attr_only = OperatorPattern(
+            "select", (var("C"),), SelectPredPattern("salary", "=", Var("V"))
+        )
+        assert named.specificity() > attr_only.specificity()
+
+
+class TestCostRule:
+    def test_empty_body_rejected(self):
+        with pytest.raises(CostModelError):
+            CostRule(head=scan_pattern(var("C")), formulas=[])
+
+    def test_provides_and_locals(self):
+        r = rule(
+            select_pattern(var("C")),
+            ["CountPage = 5", "TotalTime = CountPage * 2", "CountObject = 1"],
+        )
+        assert r.provides == {"TotalTime", "CountObject"}
+        assert r.locals_ == {"CountPage"}
+
+    def test_formulas_for(self):
+        r = rule(select_pattern(var("C")), ["TotalTime = 1", "TotalTime = 2"])
+        assert len(r.formulas_for("TotalTime")) == 2
+
+    def test_rule_from_mapping(self):
+        r = rule(scan_pattern("E"), {"TotalTime": "42"})
+        assert r.formulas[0].target == "TotalTime"
+
+    def test_str_rendering(self):
+        r = rule(scan_pattern("E"), ["TotalTime = 42"])
+        assert "scan(E)" in str(r)
+        assert "TotalTime" in str(r)
+
+
+class TestOtherOperators:
+    def test_unary_patterns(self):
+        plan = scan("E").order_by("a").build()
+        assert unary_pattern("sort", var("C")).match(plan) is not None
+
+    def test_union_pattern(self):
+        plan = scan("A").union(scan("B")).build()
+        bindings = union_pattern(var("C1"), var("C2")).match(plan)
+        assert bindings is not None
+
+    def test_submit_pattern_sees_through_child(self):
+        plan = scan("E").submit_to("w").build()
+        bindings = unary_pattern("submit", var("C")).match(plan)
+        assert bindings is not None
+
+    def test_project_pattern(self):
+        plan = scan("E").keep("a", "b").build()
+        from repro.core.rules import project_pattern
+
+        assert project_pattern(var("C")).match(plan) is not None
+        assert project_pattern("E").match(plan) is not None
+        assert project_pattern("F").match(plan) is None

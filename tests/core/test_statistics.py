@@ -1,0 +1,179 @@
+"""Unit tests for repro.core.statistics."""
+
+import math
+
+import pytest
+
+from repro.core.statistics import (
+    ATTRIBUTE_STATISTICS,
+    AttributeStats,
+    CollectionStats,
+    Constant,
+    StatisticsCatalog,
+)
+from repro.errors import UnknownStatisticError
+
+
+class TestConstant:
+    def test_wraps_numbers_and_strings(self):
+        assert Constant(5).value == 5
+        assert Constant("Adiba").value == "Adiba"
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            Constant([1, 2])  # type: ignore[arg-type]
+
+    def test_wrapping_a_constant_unwraps(self):
+        assert Constant(Constant(7)).value == 7
+
+    def test_numeric_comparisons(self):
+        assert Constant(3) < Constant(5)
+        assert Constant(5) >= Constant(5)
+        assert Constant(5) == 5
+
+    def test_string_comparisons_are_lexicographic(self):
+        assert Constant("Adiba") < Constant("Valduriez")
+        assert Constant("b") > "a"
+
+    def test_cross_kind_comparison_raises(self):
+        with pytest.raises(TypeError):
+            _ = Constant("a") < Constant(3)
+
+    def test_as_number_identity_for_numbers(self):
+        assert Constant(42).as_number() == 42.0
+
+    def test_as_number_preserves_string_order(self):
+        names = ["Adiba", "Gardarin", "Naacke", "Tomasic", "Valduriez"]
+        numbers = [Constant(n).as_number() for n in names]
+        assert numbers == sorted(numbers)
+        assert all(0.0 <= x < 1.0 for x in numbers)
+
+    def test_hashable(self):
+        assert len({Constant(1), Constant(1), Constant(2)}) == 2
+
+
+class TestAttributeStats:
+    def test_lookup_all_statistics(self):
+        stats = AttributeStats(
+            "salary", indexed=True, count_distinct=10, min_value=1, max_value=9
+        )
+        assert stats.lookup("Indexed") is True
+        assert stats.lookup("CountDistinct") == 10.0
+        assert stats.lookup("Min") == Constant(1)
+        assert stats.lookup("Max") == Constant(9)
+
+    def test_min_max_coerced_to_constant(self):
+        stats = AttributeStats("name", min_value="a", max_value="z")
+        assert isinstance(stats.min_value, Constant)
+        assert isinstance(stats.max_value, Constant)
+
+    def test_unknown_statistic_name(self):
+        stats = AttributeStats("salary")
+        with pytest.raises(UnknownStatisticError):
+            stats.lookup("Median")
+
+    @pytest.mark.parametrize("statistic", ["CountDistinct", "Min", "Max"])
+    def test_missing_values_raise(self, statistic):
+        stats = AttributeStats("salary")
+        with pytest.raises(UnknownStatisticError):
+            stats.lookup(statistic)
+
+    def test_negative_distinct_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeStats("salary", count_distinct=-1)
+
+    def test_has_range(self):
+        assert AttributeStats("a", min_value=0, max_value=1).has_range
+        assert not AttributeStats("a", min_value=0).has_range
+
+
+class TestCollectionStats:
+    def make(self):
+        return CollectionStats.from_extent(
+            "Employee",
+            count_object=10000,
+            object_size=120,
+            attributes=[AttributeStats("salary", indexed=True, count_distinct=1000)],
+        )
+
+    def test_from_extent_derives_total_size(self):
+        stats = self.make()
+        assert stats.total_size == 10000 * 120
+
+    def test_collection_level_lookup(self):
+        stats = self.make()
+        assert stats.lookup("CountObject") == 10000.0
+        assert stats.lookup("TotalSize") == 1200000.0
+        assert stats.lookup("ObjectSize") == 120.0
+
+    def test_attribute_level_lookup(self):
+        stats = self.make()
+        assert stats.lookup("CountDistinct", "salary") == 1000.0
+
+    def test_unknown_attribute(self):
+        with pytest.raises(UnknownStatisticError):
+            self.make().attribute("missing")
+
+    def test_unknown_collection_statistic(self):
+        with pytest.raises(UnknownStatisticError):
+            self.make().lookup("PageCount")
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            CollectionStats("x", count_object=-1, total_size=0, object_size=0)
+
+    def test_page_estimate_rounds_up(self):
+        stats = CollectionStats("x", count_object=10, total_size=4097, object_size=410)
+        assert stats.page_estimate == 2
+
+    def test_page_estimate_minimum_one(self):
+        stats = CollectionStats("x", count_object=0, total_size=0, object_size=0)
+        assert stats.page_estimate == 1
+
+    def test_add_attribute(self):
+        stats = self.make()
+        stats.add_attribute(AttributeStats("name"))
+        assert "name" in stats.attributes
+
+
+class TestStatisticsCatalog:
+    def test_put_get_roundtrip(self):
+        catalog = StatisticsCatalog()
+        stats = CollectionStats.from_extent("E", 10, 8)
+        catalog.put(stats)
+        assert catalog.get("E") is stats
+        assert "E" in catalog
+        assert len(catalog) == 1
+
+    def test_get_missing_raises(self):
+        with pytest.raises(UnknownStatisticError):
+            StatisticsCatalog().get("nope")
+
+    def test_put_replaces(self):
+        catalog = StatisticsCatalog()
+        catalog.put(CollectionStats.from_extent("E", 10, 8))
+        catalog.put(CollectionStats.from_extent("E", 20, 8))
+        assert catalog.get("E").count_object == 20
+
+    def test_names_sorted(self):
+        catalog = StatisticsCatalog()
+        catalog.put(CollectionStats.from_extent("B", 1, 1))
+        catalog.put(CollectionStats.from_extent("A", 1, 1))
+        assert catalog.names() == ["A", "B"]
+
+    def test_remove(self):
+        catalog = StatisticsCatalog()
+        catalog.put(CollectionStats.from_extent("E", 10, 8))
+        catalog.remove("E")
+        assert "E" not in catalog
+        catalog.remove("E")  # idempotent
+
+    def test_iteration(self):
+        catalog = StatisticsCatalog()
+        catalog.put(CollectionStats.from_extent("E", 10, 8))
+        assert [s.name for s in catalog] == ["E"]
+
+
+def test_attribute_statistics_tuple_matches_paper():
+    """Figure 7 names all four attribute statistics."""
+    assert set(ATTRIBUTE_STATISTICS) == {"Indexed", "CountDistinct", "Min", "Max"}

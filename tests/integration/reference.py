@@ -1,0 +1,167 @@
+"""A naive reference evaluator for QuerySpecs over raw row lists.
+
+Used by the differential tests: whatever plan the optimizer picks and
+however the executor runs it, the answer must equal this straightforward
+evaluation (nested loops, no indexes, no cost model).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.algebra.expressions import AttributeRef
+from repro.algebra.logical import AggregateSpec
+from repro.mediator.queryspec import QuerySpec
+
+Row = dict[str, Any]
+
+
+def evaluate(spec: QuerySpec, tables: dict[str, list[Row]]) -> list[Row]:
+    """Evaluate a query spec directly over the raw rows."""
+    # Filter each collection.
+    filtered: dict[str, list[Row]] = {}
+    for collection in spec.collections:
+        rows = [dict(r) for r in tables[collection]]
+        for predicate in spec.filters_for(collection):
+            rows = [r for r in rows if predicate.evaluate(r)]
+        filtered[collection] = rows
+
+    # Join by nested loops in FROM order.
+    current = [
+        {"__tables__": {spec.collections[0]: row}, **row}
+        for row in filtered[spec.collections[0]]
+    ]
+    placed = {spec.collections[0]}
+    remaining = list(spec.collections[1:])
+    while remaining:
+        progressed = False
+        for collection in list(remaining):
+            connecting = spec.joins_between(placed, {collection})
+            if not connecting and len(spec.collections) > 1:
+                continue
+            next_rows: list[Row] = []
+            for combined in current:
+                for row in filtered[collection]:
+                    candidate_tables = dict(combined["__tables__"])
+                    candidate_tables[collection] = row
+                    if all(
+                        _join_holds(join, candidate_tables)
+                        for join in connecting
+                    ):
+                        merged = {
+                            key: value
+                            for key, value in combined.items()
+                            if key != "__tables__"
+                        }
+                        merged.update(row)
+                        merged["__tables__"] = candidate_tables
+                        next_rows.append(merged)
+            current = next_rows
+            placed.add(collection)
+            remaining.remove(collection)
+            progressed = True
+            break
+        if not progressed:
+            raise AssertionError(f"disconnected join graph: {remaining}")
+    rows = [
+        {key: value for key, value in row.items() if key != "__tables__"}
+        for row in current
+    ]
+
+    # Grouping / aggregates.  ORDER BY keys missing from the projection
+    # sort before projection (mirroring the optimizer's decoration rule).
+    sorted_early = False
+    if (
+        spec.order_by
+        and spec.projection is not None
+        and not all(key in spec.projection for key in spec.order_by)
+    ):
+        rows = sorted(
+            rows,
+            key=lambda r: tuple(
+                AttributeRef(k).evaluate(r) for k in spec.order_by
+            ),
+            reverse=spec.order_descending,
+        )
+        sorted_early = True
+    if spec.aggregates or spec.group_by:
+        rows = _aggregate(rows, spec.group_by, spec.aggregates)
+    elif spec.projection is not None:
+        renames = spec.projection_renames
+        rows = [
+            {
+                name: AttributeRef(renames.get(name, name)).evaluate(row)
+                for name in spec.projection
+            }
+            for row in rows
+        ]
+    if spec.distinct:
+        seen = set()
+        unique: list[Row] = []
+        for row in rows:
+            key = tuple(sorted(row.items()))
+            if key not in seen:
+                seen.add(key)
+                unique.append(row)
+        rows = unique
+    if spec.order_by and not sorted_early:
+        rows = sorted(
+            rows,
+            key=lambda r: tuple(
+                AttributeRef(k).evaluate(r) for k in spec.order_by
+            ),
+            reverse=spec.order_descending,
+        )
+    return rows
+
+
+def _join_holds(join, tables: dict[str, Row]) -> bool:
+    left = join.left
+    right = join.right
+    left_row = tables.get(left.collection)
+    right_row = tables.get(right.collection)
+    if left_row is None or right_row is None:
+        return True  # the other side is not placed yet
+    return left_row[left.name] == right_row[right.name]
+
+
+def _aggregate(
+    rows: list[Row], group_by: list[str], aggregates: list[AggregateSpec]
+) -> list[Row]:
+    groups: dict[tuple, list[Row]] = {}
+    for row in rows:
+        key = tuple(AttributeRef(k).evaluate(row) for k in group_by)
+        groups.setdefault(key, []).append(row)
+    if not groups and not group_by:
+        groups[()] = []
+    results = []
+    for key, members in groups.items():
+        result: Row = dict(zip(group_by, key))
+        for spec in aggregates:
+            result[spec.alias] = _aggregate_value(spec, members)
+        results.append(result)
+    return results
+
+
+def _aggregate_value(spec: AggregateSpec, rows: list[Row]) -> Any:
+    if spec.function == "count":
+        if spec.attribute is None:
+            return len(rows)
+        return sum(1 for r in rows if r.get(spec.attribute) is not None)
+    values = [r[spec.attribute] for r in rows if r.get(spec.attribute) is not None]
+    if not values:
+        return None
+    if spec.function == "sum":
+        return sum(values)
+    if spec.function == "avg":
+        return sum(values) / len(values)
+    if spec.function == "min":
+        return min(values)
+    return max(values)
+
+
+def fingerprint(rows: list[Row], keys: list[str]) -> list[tuple]:
+    """Order-insensitive multiset view over selected attributes."""
+    return sorted(
+        tuple(AttributeRef(k).evaluate(row) for k in keys) for row in rows
+    )

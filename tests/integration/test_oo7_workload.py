@@ -1,0 +1,82 @@
+"""Integration: the OO7 workload end-to-end through the mediator.
+
+Answers are checked against ground truth computed from the generated
+data, under both the statistics-only and the rules-exporting wrapper —
+cost-model configuration must never change query *answers*.
+"""
+
+import pytest
+
+from repro.mediator.mediator import Mediator
+from repro.oo7 import TINY, generate, load_database
+from repro.oo7.workload import build_workload, expected_q8_pairs
+from repro.wrappers import ObjectStoreWrapper
+
+SEED = 7
+
+
+def make_mediator(export_rules):
+    mediator = Mediator()
+    mediator.register(
+        ObjectStoreWrapper("oo7", load_database(TINY, SEED), export_rules=export_rules)
+    )
+    return mediator
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(TINY, SEED)
+
+
+@pytest.fixture(scope="module", params=[True, False], ids=["rules", "no-rules"])
+def mediator(request):
+    return make_mediator(request.param)
+
+
+def test_workload_has_all_query_families(workload):
+    labels = {q.label.split(".")[0] for q in workload}
+    assert labels == {"Q1", "Q2", "Q3", "Q4", "Q5", "Q7", "Q8"}
+
+
+def test_every_query_returns_expected_rows(mediator, workload):
+    for query in workload:
+        result = mediator.query(query.sql)
+        assert result.count == query.expected_rows, query.label
+
+
+def test_q7_is_ordered(mediator):
+    result = mediator.query(
+        "SELECT Id, buildDate FROM AtomicParts ORDER BY buildDate"
+    )
+    dates = [row["buildDate"] for row in result.rows]
+    assert dates == sorted(dates)
+
+
+def test_q8_count_matches_ground_truth(mediator):
+    data = generate(TINY, SEED)
+    result = mediator.query(
+        "SELECT COUNT(*) AS pairs FROM AtomicParts, Documents "
+        "WHERE AtomicParts.partOf = Documents.compPartId"
+    )
+    assert result.rows[0]["pairs"] == expected_q8_pairs(data)
+
+
+def test_estimates_positive_for_all_queries(mediator, workload):
+    for query in workload:
+        optimized = mediator.plan(query.sql)
+        assert optimized.estimated_total_ms > 0, query.label
+
+
+def test_rules_configuration_estimates_selections_better():
+    """On the range queries (Q2/Q3) the Yao rules beat the generic model."""
+    with_rules = make_mediator(True)
+    without_rules = make_mediator(False)
+    for query in build_workload(TINY, SEED):
+        if not query.label.startswith(("Q2", "Q3")):
+            continue
+        actual = with_rules.query(query.sql).elapsed_ms
+        est_rules = with_rules.plan(query.sql).estimated_total_ms
+        est_plain = without_rules.plan(query.sql).estimated_total_ms
+        error_rules = abs(est_rules - actual) / actual
+        error_plain = abs(est_plain - actual) / actual
+        assert error_rules <= error_plain, query.label

@@ -1,0 +1,72 @@
+"""The §2.1 administrative re-registration workflow.
+
+"This interface is necessary when the cost formulas are improved by the
+wrapper implementor, or the statistics become out of date."  A relational
+source keeps growing after registration; its exported statistics drift
+until the administrator re-registers the wrapper.
+"""
+
+import pytest
+
+from repro.mediator.mediator import Mediator
+from repro.sources.relationaldb import RelationalDatabase
+from repro.wrappers import RelationalWrapper
+
+
+@pytest.fixture
+def setup():
+    mediator = Mediator()
+    db = RelationalDatabase()
+    db.create_table(
+        "Events",
+        [{"eid": i, "kind": i % 5} for i in range(100)],
+        row_size=40,
+        indexed_columns=["eid"],
+    )
+    wrapper = RelationalWrapper("log", db, export_rules=True)
+    mediator.register(wrapper)
+    return mediator, db, wrapper
+
+
+class TestStatisticsDrift:
+    def test_catalog_snapshot_goes_stale(self, setup):
+        mediator, db, _wrapper = setup
+        for i in range(100, 1100):
+            db.insert("Events", {"eid": i, "kind": i % 5})
+        # The catalog still reflects registration time...
+        assert mediator.catalog.statistics.get("Events").count_object == 100
+        # ...so the cardinality estimate is ~10x off.
+        estimate = mediator.plan("SELECT * FROM Events").estimate
+        submit = estimate.plan
+        assert estimate.root.count_object == pytest.approx(100.0)
+
+    def test_reregistration_refreshes_everything(self, setup):
+        mediator, db, wrapper = setup
+        for i in range(100, 1100):
+            db.insert("Events", {"eid": i, "kind": i % 5})
+        rule_count = mediator.register(wrapper)  # re-register
+        assert mediator.catalog.statistics.get("Events").count_object == 1100
+        estimate = mediator.plan("SELECT * FROM Events").estimate
+        assert estimate.root.count_object == pytest.approx(1100.0)
+        # Rules were replaced, not duplicated.
+        assert len(mediator.repository.rules_for_source("log")) == rule_count
+
+    def test_improved_formulas_take_effect(self, setup):
+        """Re-registering after the implementor 'improves' the formulas
+        (here: toggling rule export on a statistics-only wrapper)."""
+        mediator, db, _wrapper = setup
+        plain = RelationalWrapper("log", db, export_rules=False)
+        mediator.register(plain)
+        assert mediator.repository.rules_for_source("log") == []
+        improved = RelationalWrapper("log", db, export_rules=True)
+        count = mediator.register(improved)
+        assert count > 0
+        assert len(mediator.repository.rules_for_source("log")) == count
+
+    def test_answers_always_fresh_regardless_of_stale_stats(self, setup):
+        """Stale statistics mislead the optimizer, never the executor."""
+        mediator, db, _wrapper = setup
+        for i in range(100, 200):
+            db.insert("Events", {"eid": i, "kind": i % 5})
+        result = mediator.query("SELECT * FROM Events WHERE kind = 0")
+        assert result.count == 40  # 200 rows / 5 kinds

@@ -1,0 +1,90 @@
+"""Tests for the §2.1 administrative interface."""
+
+import pytest
+
+from repro.cdl import compile_source
+from repro.mediator.admin import AdminConsole
+from repro.mediator.mediator import Mediator
+from repro.sources.relationaldb import RelationalDatabase
+from repro.wrappers import RelationalWrapper
+
+
+@pytest.fixture
+def setup(federation):
+    return AdminConsole(federation)
+
+
+class TestInspection:
+    def test_catalog_report(self, setup):
+        report = setup.catalog_report()
+        assert "AtomicParts @ oo7" in report
+        assert "AuditLog @ files (no stats" in report
+
+    def test_rules_report_shows_scopes(self, setup):
+        report = setup.rules_report()
+        assert "default:" in report
+        assert "predicate:" in report  # oo7's Yao rules
+
+    def test_wrapper_rules_listing(self, setup):
+        rules = setup.wrapper_rules("oo7")
+        assert rules
+        assert any("select(AtomicParts" in r for r in rules)
+        assert setup.wrapper_rules("sales") == []
+
+    def test_dump_cost_info_is_valid_cdl(self, setup):
+        dump = setup.dump_cost_info("oo7")
+        compiled = compile_source(
+            dump,
+            known_collections={"AtomicParts"},
+            known_attributes={"Id", "buildDate"},
+        )
+        assert compiled.rules
+
+    def test_dump_for_ruleless_wrapper(self, setup):
+        assert "no cost rules" in setup.dump_cost_info("sales")
+
+
+class TestDrift:
+    def make(self):
+        mediator = Mediator()
+        db = RelationalDatabase()
+        db.create_table(
+            "T", [{"x": i} for i in range(100)], row_size=20,
+            indexed_columns=["x"],
+        )
+        wrapper = RelationalWrapper("w", db)
+        mediator.register(wrapper)
+        return mediator, db
+
+    def test_no_drift_initially(self):
+        mediator, _db = self.make()
+        console = AdminConsole(mediator)
+        reports = console.check_drift()
+        assert all(not r.is_stale for r in reports)
+        assert reports[0].drift_ratio == pytest.approx(1.0)
+
+    def test_drift_detected_after_inserts(self):
+        mediator, db = self.make()
+        for i in range(100, 150):
+            db.insert("T", {"x": i})
+        console = AdminConsole(mediator)
+        report = console.check_drift()[0]
+        assert report.is_stale
+        assert report.drift_ratio == pytest.approx(1.5)
+
+    def test_refresh_stale_reregisters(self):
+        mediator, db = self.make()
+        for i in range(100, 150):
+            db.insert("T", {"x": i})
+        console = AdminConsole(mediator)
+        refreshed = console.refresh_stale()
+        assert refreshed == ["w"]
+        assert mediator.catalog.statistics.get("T").count_object == 150
+        # Now clean.
+        assert console.refresh_stale() == []
+
+    def test_refresh_single(self):
+        mediator, db = self.make()
+        db.insert("T", {"x": 999})
+        AdminConsole(mediator).refresh("w")
+        assert mediator.catalog.statistics.get("T").count_object == 101

@@ -1,0 +1,85 @@
+"""Unit tests for the mediator catalog."""
+
+import pytest
+
+from repro.core.statistics import AttributeStats, CollectionStats
+from repro.errors import UnknownAttributeError, UnknownCollectionError
+from repro.mediator.catalog import MediatorCatalog
+
+
+def stats(name, attrs):
+    return CollectionStats.from_extent(
+        name, 10, 10, attributes=[AttributeStats(a) for a in attrs]
+    )
+
+
+class TestCollections:
+    def test_add_and_lookup(self):
+        catalog = MediatorCatalog()
+        catalog.add_collection("E", "w1", ("a", "b"), stats("E", ["a", "b"]))
+        assert catalog.wrapper_for("E") == "w1"
+        assert "E" in catalog
+        assert catalog.entry("E").has_statistics
+
+    def test_unknown_collection(self):
+        with pytest.raises(UnknownCollectionError):
+            MediatorCatalog().entry("nope")
+
+    def test_collection_owned_by_other_wrapper_rejected(self):
+        catalog = MediatorCatalog()
+        catalog.add_collection("E", "w1")
+        with pytest.raises(UnknownCollectionError):
+            catalog.add_collection("E", "w2")
+
+    def test_reregistration_same_wrapper_allowed(self):
+        catalog = MediatorCatalog()
+        catalog.add_collection("E", "w1", ("a",))
+        catalog.add_collection("E", "w1", ("a", "b"))
+        assert catalog.attributes_of("E") == ("a", "b")
+
+    def test_attributes_fall_back_to_statistics(self):
+        catalog = MediatorCatalog()
+        catalog.add_collection("E", "w1", (), stats("E", ["x", "y"]))
+        assert set(catalog.attributes_of("E")) == {"x", "y"}
+
+
+class TestResolution:
+    def make(self):
+        catalog = MediatorCatalog()
+        catalog.add_collection("E", "w1", ("a", "shared"))
+        catalog.add_collection("F", "w2", ("b", "shared"))
+        return catalog
+
+    def test_unique_owner(self):
+        catalog = self.make()
+        assert catalog.resolve_attribute("a", ["E", "F"]) == "E"
+
+    def test_ambiguous(self):
+        with pytest.raises(UnknownAttributeError, match="ambiguous"):
+            self.make().resolve_attribute("shared", ["E", "F"])
+
+    def test_unknown(self):
+        with pytest.raises(UnknownAttributeError):
+            self.make().resolve_attribute("zzz", ["E", "F"])
+
+
+class TestWrapperRemoval:
+    def test_remove_wrapper_drops_collections_and_stats(self):
+        catalog = MediatorCatalog()
+        catalog.add_collection("E", "w1", ("a",), stats("E", ["a"]))
+        catalog.add_collection("F", "w2", ("b",), stats("F", ["b"]))
+
+        class FakeWrapper:
+            name = "w1"
+
+        catalog.add_wrapper(FakeWrapper())  # type: ignore[arg-type]
+        catalog.remove_wrapper("w1")
+        assert "E" not in catalog
+        assert "F" in catalog
+        assert "E" not in catalog.statistics
+
+    def test_describe(self):
+        catalog = MediatorCatalog()
+        catalog.add_collection("E", "w1", ("a",), stats("E", ["a"]))
+        text = catalog.describe()
+        assert "E @ w1" in text

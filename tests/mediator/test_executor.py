@@ -1,0 +1,122 @@
+"""Unit tests for the mediator-side executor."""
+
+import pytest
+
+from repro.algebra.builders import count_star, scan
+from repro.algebra.logical import Scan
+from repro.errors import PlanError
+from repro.mediator.executor import MEDIATOR_PROFILE, MediatorExecutor
+
+
+@pytest.fixture
+def executor(federation):
+    return federation.executor
+
+
+class TestSubmitDispatch:
+    def test_submit_returns_wrapper_rows(self, federation):
+        plan = scan("Suppliers").where_eq("city", "city0").submit_to("sales").build()
+        result = federation.executor.execute(plan)
+        assert result.count == 10
+        assert all(r["city"] == "city0" for r in result.rows)
+
+    def test_submit_log_records_each_dispatch(self, federation):
+        plan = (
+            scan("Orders")
+            .submit_to("sales")
+            .join(scan("Suppliers").submit_to("sales"), "supplier", "sid")
+            .build()
+        )
+        result = federation.executor.execute(plan)
+        assert len(result.submit_log) == 2
+        wrappers = {node.wrapper for node, _res in result.submit_log}
+        assert wrappers == {"sales"}
+
+    def test_mediator_clock_includes_wrapper_time(self, federation):
+        plan = scan("AtomicParts").submit_to("oo7").build()
+        result = federation.executor.execute(plan)
+        wrapper_time = result.submit_log[0][1].total_time_ms
+        # Mediator total = wrapper time + 2 messages + transfer.
+        assert result.total_time_ms > wrapper_time
+        assert result.total_time_ms >= wrapper_time + 2 * MEDIATOR_PROFILE.net_ms_per_message
+
+    def test_payload_uses_catalog_object_size(self, federation):
+        plan = scan("AtomicParts").submit_to("oo7").build()
+        start_bytes = federation.executor.clock.stats.bytes_shipped
+        result = federation.executor.execute(plan)
+        shipped = federation.executor.clock.stats.bytes_shipped - start_bytes
+        assert shipped == result.count * 56  # AtomicParts object size
+
+    def test_bare_scan_rejected(self, federation):
+        with pytest.raises(PlanError, match="without a submit"):
+            federation.executor.execute(Scan("Suppliers"))
+
+
+class TestMediatorOperators:
+    def test_select_above_submit(self, federation):
+        plan = (
+            scan("Suppliers").submit_to("sales").where_eq("city", "city1").build()
+        )
+        result = federation.executor.execute(plan)
+        assert result.count == 10
+
+    def test_project_and_sort(self, federation):
+        plan = (
+            scan("Suppliers")
+            .submit_to("sales")
+            .keep("sid")
+            .order_by("sid", descending=True)
+            .build()
+        )
+        result = federation.executor.execute(plan)
+        sids = [r["sid"] for r in result.rows]
+        assert sids == sorted(sids, reverse=True)
+        assert all(set(r) == {"sid"} for r in result.rows)
+
+    def test_distinct(self, federation):
+        plan = (
+            scan("Suppliers").submit_to("sales").keep("city").distinct().build()
+        )
+        result = federation.executor.execute(plan)
+        assert result.count == 5
+
+    def test_aggregate(self, federation):
+        plan = (
+            scan("Suppliers")
+            .submit_to("sales")
+            .aggregate(["city"], [count_star("n")])
+            .build()
+        )
+        result = federation.executor.execute(plan)
+        assert sorted(r["n"] for r in result.rows) == [10] * 5
+
+    def test_union(self, federation):
+        plan = (
+            scan("Suppliers")
+            .submit_to("sales")
+            .union(scan("Suppliers").submit_to("sales"))
+            .build()
+        )
+        result = federation.executor.execute(plan)
+        assert result.count == 100
+
+    def test_cross_wrapper_join(self, federation):
+        plan = (
+            scan("AtomicParts")
+            .where_eq("Id", 3)
+            .submit_to("oo7")
+            .join(
+                scan("Suppliers").submit_to("sales"),
+                "type",
+                "partType",
+            )
+            .build()
+        )
+        result = federation.executor.execute(plan)
+        assert result.count == 5  # one part type matches 5 suppliers
+        assert all("sid" in r and "Id" in r for r in result.rows)
+
+    def test_time_first_before_total(self, federation):
+        plan = scan("Suppliers").submit_to("sales").build()
+        result = federation.executor.execute(plan)
+        assert 0 < result.time_first_ms <= result.total_time_ms

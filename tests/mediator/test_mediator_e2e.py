@@ -1,0 +1,195 @@
+"""End-to-end mediator tests: registration → SQL → plan → rows."""
+
+import pytest
+
+from repro.algebra.logical import Join, Submit
+from repro.errors import QueryError, RegistrationError
+from repro.mediator.mediator import Mediator
+
+from tests.federation_fixtures import build_oo7_wrapper, build_sales_wrapper
+
+
+class TestRegistration:
+    def test_wrapper_rules_integrated(self, federation):
+        oo7_rules = federation.repository.rules_for_source("oo7")
+        assert len(oo7_rules) > 0
+        assert federation.repository.rules_for_source("sales") == []
+
+    def test_catalog_filled(self, federation):
+        names = federation.catalog.collection_names()
+        assert "AtomicParts" in names
+        assert "Suppliers" in names
+        assert "AuditLog" in names
+
+    def test_stats_only_for_exporting_wrappers(self, federation):
+        assert "AtomicParts" in federation.catalog.statistics
+        assert "AuditLog" not in federation.catalog.statistics
+
+    def test_reregistration_replaces(self):
+        mediator = Mediator()
+        mediator.register(build_oo7_wrapper())
+        first = len(mediator.repository.rules_for_source("oo7"))
+        mediator.register(build_oo7_wrapper())
+        assert len(mediator.repository.rules_for_source("oo7")) == first
+
+    def test_flatfile_attributes_discovered(self, federation):
+        # No stats exported, but registration peeked at the engine rows.
+        assert "severity" in federation.catalog.attributes_of("AuditLog")
+
+
+class TestSingleSourceQueries:
+    def test_exact_match(self, federation):
+        result = federation.query("SELECT * FROM AtomicParts WHERE Id = 7")
+        assert result.count == 1
+        assert result.rows[0]["Id"] == 7
+
+    def test_range_query(self, federation):
+        result = federation.query(
+            "SELECT * FROM AtomicParts WHERE Id BETWEEN 10 AND 19"
+        )
+        assert sorted(r["Id"] for r in result.rows) == list(range(10, 20))
+
+    def test_projection(self, federation):
+        result = federation.query("SELECT Id FROM AtomicParts WHERE Id < 3")
+        assert all(set(r) == {"Id"} for r in result.rows)
+
+    def test_order_by(self, federation):
+        result = federation.query(
+            "SELECT Id FROM AtomicParts WHERE Id < 20 ORDER BY Id DESC"
+        )
+        ids = [r["Id"] for r in result.rows]
+        assert ids == sorted(ids, reverse=True)
+
+    def test_group_by_count(self, federation):
+        result = federation.query(
+            "SELECT type, COUNT(*) AS n FROM AtomicParts GROUP BY type"
+        )
+        assert sum(r["n"] for r in result.rows) == 200  # TINY: 20 comp × 10
+
+    def test_distinct(self, federation):
+        result = federation.query("SELECT DISTINCT severity FROM AuditLog")
+        assert sorted(r["severity"] for r in result.rows) == [0, 1, 2]
+
+    def test_flatfile_query_runs(self, federation):
+        result = federation.query("SELECT * FROM AuditLog WHERE severity = 2")
+        assert result.count == 40
+
+    def test_timing_positive_and_estimated(self, federation):
+        result = federation.query("SELECT * FROM AtomicParts WHERE Id = 7")
+        assert result.elapsed_ms > 0
+        assert result.estimated_ms > 0
+        assert 0 < result.time_first_ms <= result.elapsed_ms
+
+
+class TestCrossSourceQueries:
+    def test_two_source_join(self, federation):
+        result = federation.query(
+            "SELECT * FROM AtomicParts, Suppliers "
+            "WHERE AtomicParts.type = Suppliers.partType "
+            "AND Suppliers.city = 'city1'"
+        )
+        assert result.count > 0
+        for row in result.rows:
+            assert row["type"] == row["partType"]
+            assert row["city"] == "city1"
+
+    def test_cross_source_join_runs_at_mediator(self, federation):
+        optimized = federation.plan(
+            "SELECT * FROM AtomicParts, Suppliers "
+            "WHERE AtomicParts.type = Suppliers.partType"
+        )
+        joins = [n for n in optimized.plan.walk() if isinstance(n, Join)]
+        assert joins, "expected a mediator-side join"
+        submits = [n for n in optimized.plan.walk() if isinstance(n, Submit)]
+        assert {s.wrapper for s in submits} == {"oo7", "sales"}
+
+    def test_same_wrapper_join_chooses_cheapest_placement(self, federation):
+        """Both placements (pushed-down wrapper join vs. two submits +
+        mediator join) are enumerated; the winner must be at least as
+        cheap as either hand-built alternative."""
+        from repro.algebra.builders import scan
+        from repro.algebra.expressions import eq
+
+        sql = (
+            "SELECT * FROM Orders, Suppliers "
+            "WHERE Orders.supplier = Suppliers.sid AND Suppliers.city = 'city0'"
+        )
+        optimized = federation.plan(sql)
+        pushed = (
+            scan("Orders")
+            .join(
+                scan("Suppliers").where(eq("city", "city0")).build(),
+                "supplier",
+                "sid",
+            )
+            .submit_to("sales")
+            .build()
+        )
+        mediator_side = (
+            scan("Orders")
+            .submit_to("sales")
+            .join(
+                scan("Suppliers").where(eq("city", "city0")).submit_to("sales"),
+                "supplier",
+                "sid",
+            )
+            .build()
+        )
+        est_pushed = federation.estimator.estimate(pushed).total_time
+        est_mediator = federation.estimator.estimate(mediator_side).total_time
+        assert optimized.estimated_total_ms <= min(est_pushed, est_mediator) * 1.001
+
+        result = federation.query(sql)
+        assert result.count == 80  # 10 suppliers × 8 orders each
+
+    def test_three_source_query(self, federation):
+        result = federation.query(
+            "SELECT * FROM Orders, Suppliers, AtomicParts "
+            "WHERE Orders.supplier = Suppliers.sid "
+            "AND Suppliers.partType = AtomicParts.type "
+            "AND AtomicParts.Id < 10"
+        )
+        assert result.count > 0
+
+    def test_disconnected_join_graph_rejected(self, federation):
+        with pytest.raises(QueryError):
+            federation.query("SELECT * FROM AtomicParts, Suppliers")
+
+
+class TestExplainAndPlans:
+    def test_explain_mentions_scopes(self, federation):
+        text = federation.explain("SELECT * FROM AtomicParts WHERE Id = 7")
+        assert "estimated TotalTime" in text
+        assert "submit[oo7]" in text
+        # The Yao rule exported by the wrapper is predicate-scope.
+        assert "predicate[oo7]" in text
+
+    def test_estimate_close_to_measurement(self, federation):
+        """The headline: with wrapper rules the estimate tracks reality."""
+        result = federation.query("SELECT * FROM AtomicParts WHERE Id = 7")
+        assert result.estimated_ms == pytest.approx(result.elapsed_ms, rel=0.25)
+
+    def test_execute_plan_direct(self, federation):
+        from repro.algebra.builders import scan
+
+        plan = scan("AtomicParts").where_eq("Id", 3).submit_to("oo7").build()
+        result = federation.execute_plan(plan)
+        assert result.count == 1
+
+
+class TestErrors:
+    def test_failing_wrapper_registration(self):
+        from repro.wrappers.base import CostInfoExport, Wrapper
+
+        class BrokenWrapper(Wrapper):
+            def __init__(self):
+                super().__init__("broken")
+
+            def export_cost_info(self):
+                return CostInfoExport(cdl_source="costrule nope(C) { x = ; }")
+
+            def execute(self, plan):
+                raise NotImplementedError
+
+        with pytest.raises(RegistrationError):
+            Mediator().register(BrokenWrapper())

@@ -1,0 +1,157 @@
+"""Unit tests for the optimizer's enumeration and pushdown behaviour."""
+
+import pytest
+
+from repro.algebra.expressions import eq
+from repro.algebra.logical import Join, Project, Select, Sort, Submit
+from repro.errors import QueryError
+from repro.mediator.optimizer import Optimizer, OptimizerOptions
+from repro.mediator.queryspec import QuerySpec
+
+from tests.federation_fixtures import build_files_wrapper, build_sales_wrapper
+
+
+@pytest.fixture
+def federation_optimizer(federation):
+    return federation.optimizer
+
+
+def spec_for(federation, sql):
+    return federation.parse(sql)
+
+
+class TestAccessPlans:
+    def test_filters_pushed_into_capable_wrapper(self, federation):
+        spec = spec_for(
+            federation, "SELECT * FROM Suppliers WHERE city = 'city0'"
+        )
+        result = federation.optimizer.optimize(spec)
+        submit = next(n for n in result.plan.walk() if isinstance(n, Submit))
+        assert any(isinstance(n, Select) for n in submit.child.walk())
+
+    def test_filters_stay_pushed_for_flatfile_select_capability(self, federation):
+        # The flat file supports select, so filters go inside the Submit.
+        spec = spec_for(federation, "SELECT * FROM AuditLog WHERE severity = 1")
+        result = federation.optimizer.optimize(spec)
+        submit = next(n for n in result.plan.walk() if isinstance(n, Submit))
+        assert any(isinstance(n, Select) for n in submit.child.walk())
+
+    def test_push_filters_disabled(self, federation):
+        federation.optimizer.options = OptimizerOptions(push_filters=False)
+        spec = spec_for(
+            federation, "SELECT * FROM Suppliers WHERE city = 'city0'"
+        )
+        result = federation.optimizer.optimize(spec)
+        submit = next(n for n in result.plan.walk() if isinstance(n, Submit))
+        # The filter sits above the submit now.
+        assert not any(isinstance(n, Select) for n in submit.child.walk())
+        assert any(isinstance(n, Select) for n in result.plan.walk())
+
+
+class TestJoinEnumeration:
+    def test_every_collection_gets_one_submit_or_shares_one(self, federation):
+        spec = spec_for(
+            federation,
+            "SELECT * FROM Orders, Suppliers "
+            "WHERE Orders.supplier = Suppliers.sid",
+        )
+        result = federation.optimizer.optimize(spec)
+        scanned = result.plan.base_collections()
+        assert scanned == {"Orders", "Suppliers"}
+
+    def test_pushdown_disabled_forces_mediator_join(self, federation):
+        federation.optimizer.options = OptimizerOptions(
+            push_joins_to_wrappers=False, use_bind_join=False
+        )
+        spec = spec_for(
+            federation,
+            "SELECT * FROM Orders, Suppliers "
+            "WHERE Orders.supplier = Suppliers.sid",
+        )
+        result = federation.optimizer.optimize(spec)
+        joins = [n for n in result.plan.walk() if isinstance(n, Join)]
+        submits = [n for n in result.plan.walk() if isinstance(n, Submit)]
+        assert len(joins) == 1
+        assert len(submits) == 2
+
+    def test_greedy_matches_dp_on_connected_chain(self, federation):
+        sql = (
+            "SELECT * FROM Orders, Suppliers, AtomicParts "
+            "WHERE Orders.supplier = Suppliers.sid "
+            "AND Suppliers.partType = AtomicParts.type AND AtomicParts.Id < 20"
+        )
+        spec = spec_for(federation, sql)
+        dp = federation.optimizer.optimize(spec)
+        federation.optimizer.options = OptimizerOptions(
+            max_exhaustive_collections=1
+        )
+        greedy = federation.optimizer.optimize(spec_for(federation, sql))
+        # Greedy may differ in cost, never in the answer set; both must be
+        # executable plans over all three collections.
+        assert greedy.plan.base_collections() == dp.plan.base_collections()
+        assert greedy.estimated_total_ms >= dp.estimated_total_ms * 0.999
+
+    def test_disconnected_graph_raises_in_greedy_too(self, federation):
+        federation.optimizer.options = OptimizerOptions(
+            max_exhaustive_collections=1
+        )
+        spec = QuerySpec(collections=["Orders", "AuditLog"])
+        with pytest.raises(QueryError):
+            federation.optimizer.optimize(spec)
+
+
+class TestDecorations:
+    def test_projection_applied(self, federation):
+        spec = spec_for(federation, "SELECT sid FROM Suppliers")
+        result = federation.optimizer.optimize(spec)
+        assert any(isinstance(n, Project) for n in result.plan.walk())
+
+    def test_order_by_applied(self, federation):
+        spec = spec_for(federation, "SELECT * FROM Suppliers ORDER BY sid")
+        result = federation.optimizer.optimize(spec)
+        assert any(isinstance(n, Sort) for n in result.plan.walk())
+
+    def test_single_source_pushdown_candidate_considered(self, federation):
+        spec = spec_for(
+            federation,
+            "SELECT partType, COUNT(*) AS n FROM Suppliers GROUP BY partType",
+        )
+        result = federation.optimizer.optimize(spec)
+        # Two decorated candidates (mediator-side + pushed) were costed.
+        assert result.stats.candidates_considered >= 2
+
+    def test_flatfile_cannot_take_aggregate_pushdown(self, federation):
+        spec = spec_for(
+            federation,
+            "SELECT severity, COUNT(*) AS n FROM AuditLog GROUP BY severity",
+        )
+        result = federation.optimizer.optimize(spec)
+        # The aggregate must sit above the Submit (files can't aggregate).
+        submit = next(n for n in result.plan.walk() if isinstance(n, Submit))
+        assert all(
+            n.operator_name != "aggregate" for n in submit.child.walk()
+        )
+
+
+class TestPruning:
+    def test_pruning_reduces_or_equals_work(self, federation):
+        sql = (
+            "SELECT * FROM Orders, Suppliers, AtomicParts "
+            "WHERE Orders.supplier = Suppliers.sid "
+            "AND Suppliers.partType = AtomicParts.type AND AtomicParts.Id < 20"
+        )
+        federation.optimizer.options = OptimizerOptions(use_pruning=True)
+        pruned = federation.optimizer.optimize(spec_for(federation, sql))
+        federation.optimizer.options = OptimizerOptions(use_pruning=False)
+        unpruned = federation.optimizer.optimize(spec_for(federation, sql))
+        assert pruned.stats.formulas_evaluated <= unpruned.stats.formulas_evaluated
+        # Same winning plan cost either way.
+        assert pruned.estimated_total_ms == pytest.approx(
+            unpruned.estimated_total_ms
+        )
+
+    def test_stats_counters_populated(self, federation):
+        spec = spec_for(federation, "SELECT * FROM Suppliers")
+        result = federation.optimizer.optimize(spec)
+        assert result.stats.candidates_considered >= 1
+        assert result.stats.formulas_evaluated > 0

@@ -1,0 +1,83 @@
+"""Unit tests for the normalized query representation."""
+
+import pytest
+
+from repro.algebra.expressions import Comparison, attr, eq
+from repro.errors import QueryError
+from repro.mediator.queryspec import QuerySpec
+
+
+def join(left_col, left_attr, right_col, right_attr):
+    return Comparison("=", attr(left_attr, left_col), attr(right_attr, right_col))
+
+
+class TestValidation:
+    def test_needs_collections(self):
+        with pytest.raises(QueryError):
+            QuerySpec(collections=[])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(QueryError):
+            QuerySpec(collections=["A", "A"])
+
+    def test_filter_on_foreign_collection_rejected(self):
+        with pytest.raises(QueryError):
+            QuerySpec(collections=["A"], filters={"B": [eq("x", 1)]})
+
+    def test_join_must_be_attr_attr(self):
+        with pytest.raises(QueryError):
+            QuerySpec(collections=["A", "B"], joins=[eq("x", 1)])
+
+    def test_join_must_qualify_both_sides(self):
+        unqualified = Comparison("=", attr("x"), attr("y", "B"))
+        with pytest.raises(QueryError):
+            QuerySpec(collections=["A", "B"], joins=[unqualified])
+
+    def test_valid_spec(self):
+        spec = QuerySpec(
+            collections=["A", "B"],
+            filters={"A": [eq("x", 1)]},
+            joins=[join("A", "x", "B", "y")],
+        )
+        assert spec.filters_for("A")
+        assert spec.filters_for("B") == []
+
+
+class TestJoinGraphHelpers:
+    def make(self):
+        return QuerySpec(
+            collections=["A", "B", "C"],
+            joins=[join("A", "x", "B", "y"), join("B", "z", "C", "w")],
+        )
+
+    def test_joins_between_direct(self):
+        spec = self.make()
+        found = spec.joins_between({"A"}, {"B"})
+        assert len(found) == 1
+        assert found[0].left.collection == "A"
+
+    def test_joins_between_flips_orientation(self):
+        spec = self.make()
+        found = spec.joins_between({"B"}, {"A"})
+        assert len(found) == 1
+        assert found[0].left.collection == "B"
+        assert found[0].right.collection == "A"
+
+    def test_joins_between_disconnected(self):
+        spec = self.make()
+        assert spec.joins_between({"A"}, {"C"}) == []
+
+    def test_joins_between_groups(self):
+        spec = self.make()
+        found = spec.joins_between({"A", "B"}, {"C"})
+        assert len(found) == 1
+
+    def test_joins_within(self):
+        spec = self.make()
+        assert len(spec.joins_within({"A", "B"})) == 1
+        assert len(spec.joins_within({"A", "B", "C"})) == 2
+        assert spec.joins_within({"A", "C"}) == []
+
+    def test_single_collection_flag(self):
+        assert QuerySpec(collections=["A"]).is_single_collection
+        assert not self.make().is_single_collection

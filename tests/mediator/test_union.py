@@ -1,0 +1,109 @@
+"""Tests for UNION / UNION ALL support end to end."""
+
+import pytest
+
+from repro.errors import QueryError, SqlSyntaxError
+from repro.mediator.queryspec import QuerySpec, UnionSpec
+from repro.sqlfe.parser import parse_sql
+from repro.sqlfe.sql_ast import SelectQuery, UnionQuery
+
+
+class TestParsing:
+    def test_plain_select_unchanged(self):
+        assert isinstance(parse_sql("SELECT * FROM E"), SelectQuery)
+
+    def test_union_all(self):
+        statement = parse_sql("SELECT a FROM E UNION ALL SELECT a FROM F")
+        assert isinstance(statement, UnionQuery)
+        assert not statement.distinct
+        assert len(statement.branches) == 2
+
+    def test_bare_union_dedups(self):
+        statement = parse_sql("SELECT a FROM E UNION SELECT a FROM F")
+        assert statement.distinct
+
+    def test_chain_of_three(self):
+        statement = parse_sql(
+            "SELECT a FROM E UNION ALL SELECT a FROM F UNION ALL SELECT a FROM G"
+        )
+        assert len(statement.branches) == 3
+
+    def test_mixed_forces_distinct(self):
+        statement = parse_sql(
+            "SELECT a FROM E UNION ALL SELECT a FROM F UNION SELECT a FROM G"
+        )
+        assert statement.distinct
+
+    def test_trailing_garbage_still_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT a FROM E UNION SELECT a FROM F banana")
+
+
+class TestUnionSpecValidation:
+    def make_branch(self, collection, projection):
+        return QuerySpec(collections=[collection], projection=projection)
+
+    def test_compatible_branches(self):
+        spec = UnionSpec(
+            branches=[
+                self.make_branch("E", ["a"]),
+                self.make_branch("F", ["a"]),
+            ]
+        )
+        assert spec.distinct
+
+    def test_needs_two_branches(self):
+        with pytest.raises(QueryError):
+            UnionSpec(branches=[self.make_branch("E", ["a"])])
+
+    def test_star_branch_rejected(self):
+        with pytest.raises(QueryError, match="SELECT \\*"):
+            UnionSpec(
+                branches=[
+                    self.make_branch("E", None),
+                    self.make_branch("F", ["a"]),
+                ]
+            )
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(QueryError, match="not compatible"):
+            UnionSpec(
+                branches=[
+                    self.make_branch("E", ["a"]),
+                    self.make_branch("F", ["b"]),
+                ]
+            )
+
+
+class TestExecution:
+    def test_union_all_concatenates(self, federation):
+        result = federation.query(
+            "SELECT sid FROM Suppliers WHERE city = 'city0' "
+            "UNION ALL SELECT sid FROM Suppliers WHERE city = 'city1'"
+        )
+        assert result.count == 20
+
+    def test_union_deduplicates(self, federation):
+        result = federation.query(
+            "SELECT partType FROM Suppliers WHERE city = 'city0' "
+            "UNION SELECT partType FROM Suppliers WHERE city = 'city0'"
+        )
+        # 10 suppliers in city0 share 10 part types... but each appears
+        # twice across the branches; distinct collapses everything.
+        assert result.count == len(
+            {r["partType"] for r in result.rows}
+        )
+
+    def test_cross_wrapper_union(self, federation):
+        result = federation.query(
+            "SELECT type FROM AtomicParts WHERE Id < 5 "
+            "UNION ALL SELECT partType AS type FROM Suppliers WHERE sid < 5"
+        )
+        assert result.count == 10
+
+    def test_union_estimates_positive(self, federation):
+        optimized = federation.plan(
+            "SELECT sid FROM Suppliers UNION ALL SELECT oid AS sid FROM Orders"
+        )
+        assert optimized.estimated_total_ms > 0
+        assert optimized.plan.operator_name == "union"

@@ -1,0 +1,106 @@
+"""Tests for the OO7 schema configurations and generator."""
+
+import pytest
+
+from repro.oo7 import schema
+from repro.oo7.generator import EXTENT_LAYOUT, generate, load_database
+
+
+class TestConfigs:
+    def test_paper_config_matches_section5(self):
+        """70 000 AtomicParts of 56 bytes on 1000 pages at 96 % fill."""
+        config = schema.PAPER
+        assert config.num_atomic_parts == 70000
+        assert schema.ATOMIC_PART_BYTES == 56
+
+    def test_small_config_matches_oo7_spec(self):
+        config = schema.SMALL
+        assert config.num_atomic_parts == 10000
+        assert config.num_base_assemblies == 3**6
+        assert config.num_complex_assemblies == sum(3**i for i in range(6))
+
+    def test_connection_counts(self):
+        assert schema.TINY.num_connections == (
+            schema.TINY.num_atomic_parts * 3
+        )
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate(schema.TINY, seed=7)
+
+    def test_cardinalities_match_config(self, data):
+        config = schema.TINY
+        assert len(data.atomic_parts) == config.num_atomic_parts
+        assert len(data.composite_parts) == config.num_composite_parts
+        assert len(data.documents) == config.num_composite_parts
+        assert len(data.connections) == config.num_connections
+        assert len(data.base_assemblies) == config.num_base_assemblies
+        assert len(data.complex_assemblies) == config.num_complex_assemblies
+        assert len(data.modules) == config.num_modules
+
+    def test_atomic_ids_unique_and_uniform(self, data):
+        ids = [p["Id"] for p in data.atomic_parts]
+        assert ids == list(range(len(ids)))
+
+    def test_foreign_keys_valid(self, data):
+        comp_ids = {c["Id"] for c in data.composite_parts}
+        assert all(p["partOf"] in comp_ids for p in data.atomic_parts)
+        atomic_ids = {p["Id"] for p in data.atomic_parts}
+        assert all(c["fromId"] in atomic_ids for c in data.connections)
+        assert all(c["toId"] in atomic_ids for c in data.connections)
+        assert all(b["componentId"] in comp_ids for b in data.base_assemblies)
+
+    def test_connections_stay_within_composite(self, data):
+        part_of = {p["Id"]: p["partOf"] for p in data.atomic_parts}
+        for connection in data.connections:
+            assert part_of[connection["fromId"]] == part_of[connection["toId"]]
+
+    def test_build_dates_in_range(self, data):
+        for part in data.atomic_parts:
+            assert schema.MIN_BUILD_DATE <= part["buildDate"] <= schema.MAX_BUILD_DATE
+
+    def test_deterministic(self):
+        first = generate(schema.TINY, seed=3)
+        second = generate(schema.TINY, seed=3)
+        assert first.atomic_parts == second.atomic_parts
+        assert first.connections == second.connections
+
+    def test_seed_changes_data(self):
+        first = generate(schema.TINY, seed=1)
+        second = generate(schema.TINY, seed=2)
+        assert first.atomic_parts != second.atomic_parts
+
+    def test_assembly_tree_structure(self, data):
+        config = schema.TINY
+        by_id = {a["Id"]: a for a in data.complex_assemblies}
+        roots = [a for a in data.complex_assemblies if a["parent"] == -1]
+        assert len(roots) == config.num_modules
+        for assembly in data.complex_assemblies:
+            if assembly["parent"] != -1:
+                assert by_id[assembly["parent"]]["level"] == assembly["level"] - 1
+
+
+class TestLoading:
+    def test_load_all_extents(self):
+        db = load_database(schema.TINY)
+        assert set(db.collection_names()) == set(EXTENT_LAYOUT)
+
+    def test_load_subset(self):
+        db = load_database(schema.TINY, extents=("AtomicParts",))
+        assert db.collection_names() == ["AtomicParts"]
+
+    def test_paper_layout_produces_1000_pages(self):
+        db = load_database(schema.PAPER, extents=("AtomicParts",))
+        assert db.page_count("AtomicParts") == 1000
+        stats = db.export_statistics("AtomicParts")
+        assert stats.count_object == 70000
+        assert stats.object_size == 56
+        assert stats.attribute("Id").indexed
+
+    def test_indexes_built_per_layout(self):
+        db = load_database(schema.TINY)
+        assert db.has_index("AtomicParts", "buildDate")
+        assert db.has_index("Connections", "fromId")
+        assert not db.has_index("Connections", "toId")

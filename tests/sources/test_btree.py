@@ -1,0 +1,161 @@
+"""Unit and property tests for the B+tree index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_
+from repro.sources.btree import BPlusTree
+
+
+def build(keys, order=4):
+    tree = BPlusTree(order=order)
+    for i, key in enumerate(keys):
+        tree.insert(key, (i // 10, i % 10))
+    return tree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert tree.search(5) == []
+        assert list(tree.range_search()) == []
+        assert len(tree) == 0
+        assert tree.height() == 1
+
+    def test_insert_and_search(self):
+        tree = build([5, 3, 8])
+        assert tree.search(3) == [(0, 1)]
+        assert tree.search(9) == []
+
+    def test_duplicate_keys_accumulate(self):
+        tree = BPlusTree()
+        tree.insert(7, (0, 0))
+        tree.insert(7, (0, 1))
+        assert tree.search(7) == [(0, 0), (0, 1)]
+        assert tree.key_count == 1
+        assert tree.entry_count == 2
+
+    def test_none_key_rejected(self):
+        with pytest.raises(IndexError_):
+            BPlusTree().insert(None, (0, 0))
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(IndexError_):
+            BPlusTree(order=2)
+
+    def test_string_keys(self):
+        tree = build(["pear", "apple", "mango"])
+        assert tree.search("apple") == [(0, 1)]
+        keys = [k for k, _ in tree.range_search("b", "z")]
+        assert keys == ["mango", "pear"]
+
+
+class TestSplitsAndHeight:
+    def test_leaf_split_grows_height(self):
+        tree = build(list(range(20)), order=4)
+        assert tree.height() >= 2
+        for key in range(20):
+            assert tree.search(key), key
+
+    def test_large_tree_correct(self):
+        keys = list(range(2000))
+        random.Random(42).shuffle(keys)
+        tree = build(keys, order=8)
+        assert tree.height() >= 3
+        for key in (0, 999, 1999, 1234):
+            assert len(tree.search(key)) == 1
+
+    def test_visits_match_height(self):
+        tree = build(list(range(500)), order=4)
+        assert tree.visits_for(250) == tree.height()
+
+    def test_keys_iterates_in_order(self):
+        keys = [9, 1, 7, 3, 5]
+        tree = build(keys)
+        assert list(tree.keys()) == sorted(keys)
+
+
+class TestRangeSearch:
+    def test_inclusive_range(self):
+        tree = build(list(range(10)))
+        keys = [k for k, _ in tree.range_search(3, 6)]
+        assert keys == [3, 4, 5, 6]
+
+    def test_exclusive_bounds(self):
+        tree = build(list(range(10)))
+        keys = [
+            k
+            for k, _ in tree.range_search(
+                3, 6, low_inclusive=False, high_inclusive=False
+            )
+        ]
+        assert keys == [4, 5]
+
+    def test_open_low(self):
+        tree = build(list(range(10)))
+        assert [k for k, _ in tree.range_search(None, 2)] == [0, 1, 2]
+
+    def test_open_high(self):
+        tree = build(list(range(10)))
+        assert [k for k, _ in tree.range_search(7, None)] == [7, 8, 9]
+
+    def test_full_range(self):
+        tree = build(list(range(10)))
+        assert [k for k, _ in tree.range_search()] == list(range(10))
+
+    def test_empty_range(self):
+        tree = build(list(range(10)))
+        assert list(tree.range_search(6, 3)) == []
+
+    def test_range_spanning_leaf_boundaries(self):
+        tree = build(list(range(100)), order=4)
+        keys = [k for k, _ in tree.range_search(10, 90)]
+        assert keys == list(range(10, 91))
+
+    def test_bounds_absent_from_tree(self):
+        tree = build([0, 10, 20, 30])
+        assert [k for k, _ in tree.range_search(5, 25)] == [10, 20]
+
+
+class TestProperties:
+    @given(
+        keys=st.lists(st.integers(-1000, 1000), min_size=0, max_size=300),
+        order=st.integers(3, 16),
+    )
+    @settings(max_examples=50)
+    def test_property_all_inserted_keys_found(self, keys, order):
+        tree = BPlusTree(order=order)
+        for i, key in enumerate(keys):
+            tree.insert(key, (i, 0))
+        for key in keys:
+            assert tree.search(key)
+        assert list(tree.keys()) == sorted(set(keys))
+
+    @given(
+        keys=st.lists(st.integers(0, 500), min_size=1, max_size=200, unique=True),
+        low=st.integers(0, 500),
+        high=st.integers(0, 500),
+    )
+    @settings(max_examples=50)
+    def test_property_range_matches_filter(self, keys, low, high):
+        tree = BPlusTree(order=5)
+        for i, key in enumerate(keys):
+            tree.insert(key, (i, 0))
+        found = [k for k, _ in tree.range_search(low, high)]
+        assert found == sorted(k for k in keys if low <= k <= high)
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=200))
+    @settings(max_examples=40)
+    def test_property_entry_count_tracks_inserts(self, keys):
+        tree = BPlusTree(order=4)
+        for i, key in enumerate(keys):
+            tree.insert(key, (i, 0))
+        assert len(tree) == len(keys)
+        assert tree.key_count == len(set(keys))
+
+    def test_build_classmethod(self):
+        tree = BPlusTree.build([(k, (k, 0)) for k in range(10)], order=4)
+        assert len(tree) == 10

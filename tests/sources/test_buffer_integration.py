@@ -1,0 +1,72 @@
+"""Tests for the buffer pool integrated into the storage engine."""
+
+import pytest
+
+from repro.sources.clock import CostProfile, SimClock
+from repro.sources.storage_engine import StorageEngine
+
+
+def make_engine(buffer_pages):
+    engine = StorageEngine(
+        SimClock(CostProfile(io_ms=10.0, cpu_ms_per_object=0.0)),
+        buffer_pages=buffer_pages,
+    )
+    engine.create_collection(
+        "T",
+        [{"id": i} for i in range(100)],
+        object_size=40,
+        indexed_attributes=["id"],
+        placement="sequential",
+        page_size=400,  # 10 rows per page -> 10 pages
+        fill_factor=1.0,
+    )
+    return engine
+
+
+class TestColdCache:
+    def test_default_recharges_every_operation(self):
+        engine = make_engine(buffer_pages=0)
+        list(engine.seq_scan("T"))
+        list(engine.seq_scan("T"))
+        assert engine.clock.stats.page_reads == 20
+
+
+class TestWarmCache:
+    def test_repeat_scan_is_free_when_everything_fits(self):
+        engine = make_engine(buffer_pages=10)
+        list(engine.seq_scan("T"))
+        first = engine.clock.stats.page_reads
+        list(engine.seq_scan("T"))
+        assert engine.clock.stats.page_reads == first  # all hits
+
+    def test_small_pool_still_misses(self):
+        engine = make_engine(buffer_pages=2)
+        list(engine.seq_scan("T"))
+        list(engine.seq_scan("T"))
+        # Sequential flooding through a 2-page LRU: everything misses.
+        assert engine.clock.stats.page_reads == 20
+
+    def test_index_point_lookups_become_hits(self):
+        engine = make_engine(buffer_pages=10)
+        list(engine.index_scan("T", "id", value=5))
+        first = engine.clock.stats.page_reads
+        list(engine.index_scan("T", "id", value=5))
+        assert engine.clock.stats.page_reads == first
+
+    def test_warm_cache_reduces_measured_time(self):
+        cold = make_engine(buffer_pages=0)
+        warm = make_engine(buffer_pages=10)
+        for engine in (cold, warm):
+            list(engine.seq_scan("T"))
+            list(engine.seq_scan("T"))
+        assert warm.clock.now_ms < cold.clock.now_ms
+
+    def test_within_operation_distinct_page_accounting_unchanged(self):
+        """Inside one index scan, each page still costs exactly one read
+        on a cold pool — the Yao quantity is untouched by buffering."""
+        cold = make_engine(buffer_pages=0)
+        warm = make_engine(buffer_pages=10)
+        for engine in (cold, warm):
+            engine.clock.reset()
+            list(engine.index_scan("T", "id", low=0, high=49))
+        assert cold.clock.stats.page_reads == warm.clock.stats.page_reads == 5

@@ -1,0 +1,73 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.sources.clock import ClockStats, CostProfile, SimClock, Stopwatch
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_ms == 0.0
+
+    def test_page_read_charges_io(self):
+        clock = SimClock(CostProfile(io_ms=25.0))
+        clock.charge_page_read(4)
+        assert clock.now_ms == 100.0
+        assert clock.stats.page_reads == 4
+
+    def test_objects_charge_cpu(self):
+        clock = SimClock(CostProfile(cpu_ms_per_object=9.0))
+        clock.charge_objects(10)
+        assert clock.now_ms == 90.0
+        assert clock.stats.objects_processed == 10
+
+    def test_message_charges_latency_and_bytes(self):
+        clock = SimClock(CostProfile(net_ms_per_message=100.0, net_ms_per_byte=0.01))
+        clock.charge_message(payload_bytes=1000)
+        assert clock.now_ms == 110.0
+        assert clock.stats.messages == 1
+        assert clock.stats.bytes_shipped == 1000
+
+    def test_seek_charges_overhead(self):
+        clock = SimClock(CostProfile(seek_ms=5.0))
+        clock.charge_seek()
+        assert clock.now_ms == 5.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_elapsed_since(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        mark = clock.now_ms
+        clock.advance(5.0)
+        assert clock.elapsed_since(mark) == 5.0
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.charge_page_read()
+        clock.reset()
+        assert clock.now_ms == 0.0
+        assert clock.stats == ClockStats()
+
+    def test_default_profile_matches_paper(self):
+        profile = CostProfile()
+        assert profile.io_ms == 25.0
+        assert profile.cpu_ms_per_object == 9.0
+
+
+class TestStopwatch:
+    def test_measures_span(self):
+        clock = SimClock()
+        clock.advance(7.0)
+        watch = Stopwatch(clock)
+        clock.advance(3.0)
+        assert watch.elapsed_ms == 3.0
+
+    def test_restart(self):
+        clock = SimClock()
+        watch = Stopwatch(clock)
+        clock.advance(3.0)
+        watch.restart()
+        assert watch.elapsed_ms == 0.0

@@ -1,0 +1,179 @@
+"""Unit tests for pages, placement policies, and the buffer pool."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PageError
+from repro.sources.clock import SimClock
+from repro.sources.pages import (
+    BufferPool,
+    ClusteredPlacement,
+    Page,
+    PagedFile,
+    ScatteredPlacement,
+    SequentialPlacement,
+)
+
+
+def rows(n):
+    return [{"id": i} for i in range(n)]
+
+
+class TestPage:
+    def test_append_returns_slot(self):
+        page = Page(0, capacity=100)
+        assert page.append({"x": 1}, 40) == 0
+        assert page.append({"x": 2}, 40) == 1
+        assert len(page) == 2
+
+    def test_overflow_rejected(self):
+        page = Page(0, capacity=100)
+        page.append({}, 80)
+        with pytest.raises(PageError):
+            page.append({}, 30)
+
+    def test_oversized_record_rejected(self):
+        with pytest.raises(PageError):
+            Page(0, capacity=10).append({}, 11)
+
+
+class TestPagedFile:
+    def test_bulk_load_packs_by_fill_factor(self):
+        # 4096 * 0.96 = 3932 usable; 56-byte objects -> 70 per page.
+        file = PagedFile(page_size=4096, fill_factor=0.96)
+        file.bulk_load(rows(700), record_size=56)
+        assert file.page_count == 10
+        assert len(file.pages[0]) == 70
+
+    def test_paper_page_count(self):
+        """70 000 AtomicParts of 56 bytes on 4096-byte pages at 96 % fill
+        occupy the paper's 1000 pages."""
+        file = PagedFile(page_size=4096, fill_factor=0.96)
+        file.bulk_load(rows(70000), record_size=56)
+        assert file.page_count == 1000
+
+    def test_rids_returned_in_input_order(self):
+        file = PagedFile()
+        rids = file.bulk_load(rows(10), record_size=100)
+        for i, rid in enumerate(rids):
+            assert file.fetch(rid) == {"id": i}
+
+    def test_double_load_rejected(self):
+        file = PagedFile()
+        file.bulk_load(rows(1), record_size=10)
+        with pytest.raises(PageError):
+            file.bulk_load(rows(1), record_size=10)
+
+    def test_bad_fill_factor(self):
+        with pytest.raises(PageError):
+            PagedFile(fill_factor=0.0)
+        with pytest.raises(PageError):
+            PagedFile(fill_factor=1.5)
+
+    def test_variable_record_sizes(self):
+        file = PagedFile(page_size=100, fill_factor=1.0)
+        file.bulk_load(rows(4), record_size=lambda r: 30 + r["id"] * 20)
+        assert file.record_count == 4
+        assert file.total_bytes == 30 + 50 + 70 + 90
+
+    def test_fetch_bad_rid(self):
+        file = PagedFile()
+        file.bulk_load(rows(1), record_size=10)
+        with pytest.raises(PageError):
+            file.fetch((5, 0))
+        with pytest.raises(PageError):
+            file.fetch((0, 5))
+
+    def test_scan_rids_covers_everything(self):
+        file = PagedFile(page_size=64, fill_factor=1.0)
+        file.bulk_load(rows(10), record_size=30)
+        scanned = list(file.scan_rids())
+        assert len(scanned) == 10
+        assert {row["id"] for _rid, row in scanned} == set(range(10))
+
+
+class TestPlacement:
+    def test_sequential_preserves_order(self):
+        assert SequentialPlacement().order(rows(5)) == [0, 1, 2, 3, 4]
+
+    def test_clustered_sorts_by_attribute(self):
+        data = [{"k": 3}, {"k": 1}, {"k": 2}]
+        assert ClusteredPlacement("k").order(data) == [1, 2, 0]
+
+    def test_scattered_is_deterministic_permutation(self):
+        order1 = ScatteredPlacement(seed=7).order(rows(100))
+        order2 = ScatteredPlacement(seed=7).order(rows(100))
+        assert order1 == order2
+        assert sorted(order1) == list(range(100))
+        assert order1 != list(range(100))
+
+    def test_scattered_seed_changes_order(self):
+        assert ScatteredPlacement(1).order(rows(50)) != ScatteredPlacement(2).order(
+            rows(50)
+        )
+
+    def test_clustered_placement_groups_keys_on_pages(self):
+        file = PagedFile(page_size=100, fill_factor=1.0)
+        data = [{"k": i % 10} for i in range(50)]
+        file.bulk_load(data, record_size=20, placement=ClusteredPlacement("k"))
+        # Every page holds 5 records; with clustering, each page holds at
+        # most 2 distinct keys (5 copies of each key are contiguous).
+        for page in file.pages:
+            assert len({r["k"] for r in page.records}) <= 2
+
+    @given(n=st.integers(min_value=1, max_value=200), seed=st.integers(0, 2**16))
+    @settings(max_examples=30)
+    def test_property_scatter_is_bijection(self, n, seed):
+        order = ScatteredPlacement(seed).order(rows(n))
+        assert sorted(order) == list(range(n))
+
+
+class TestBufferPool:
+    def make(self, capacity):
+        file = PagedFile(page_size=64, fill_factor=1.0)
+        file.bulk_load(rows(12), record_size=30)  # 2 per page -> 6 pages
+        clock = SimClock()
+        return BufferPool(file, clock, capacity=capacity), clock
+
+    def test_capacity_zero_always_misses(self):
+        pool, clock = self.make(0)
+        pool.access(0)
+        pool.access(0)
+        assert pool.misses == 2
+        assert clock.stats.page_reads == 2
+
+    def test_hit_is_free(self):
+        pool, clock = self.make(4)
+        pool.access(0)
+        pool.access(0)
+        assert (pool.hits, pool.misses) == (1, 1)
+        assert clock.stats.page_reads == 1
+
+    def test_lru_eviction(self):
+        pool, _clock = self.make(2)
+        pool.access(0)
+        pool.access(1)
+        pool.access(2)  # evicts page 0
+        pool.access(0)  # miss again
+        assert pool.misses == 4
+
+    def test_mru_refresh_prevents_eviction(self):
+        pool, _clock = self.make(2)
+        pool.access(0)
+        pool.access(1)
+        pool.access(0)  # refresh 0; 1 becomes LRU
+        pool.access(2)  # evicts 1
+        pool.access(0)  # still resident
+        assert pool.hits == 2
+
+    def test_fetch_returns_row(self):
+        pool, _clock = self.make(2)
+        assert pool.fetch((0, 1)) == {"id": 1}
+
+    def test_clear(self):
+        pool, _clock = self.make(2)
+        pool.access(0)
+        pool.clear()
+        pool.access(0)
+        assert pool.misses == 1

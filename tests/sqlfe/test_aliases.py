@@ -1,0 +1,52 @@
+"""Tests for column aliases flowing through translation and execution."""
+
+import pytest
+
+from repro.errors import QueryError
+
+
+class TestAliasTranslation:
+    def test_alias_recorded_as_rename(self, federation):
+        spec = federation.parse("SELECT sid AS supplier_id FROM Suppliers")
+        assert spec.projection == ["supplier_id"]
+        assert spec.projection_renames == {"supplier_id": "sid"}
+
+    def test_unaliased_columns_have_no_renames(self, federation):
+        spec = federation.parse("SELECT sid, city FROM Suppliers")
+        assert spec.projection == ["sid", "city"]
+        assert spec.projection_renames == {}
+
+    def test_mixed(self, federation):
+        spec = federation.parse("SELECT sid, city AS location FROM Suppliers")
+        assert spec.projection == ["sid", "location"]
+        assert spec.projection_renames == {"location": "city"}
+
+
+class TestAliasExecution:
+    def test_rows_carry_alias_names(self, federation):
+        result = federation.query(
+            "SELECT sid AS supplier_id, city FROM Suppliers WHERE sid = 3"
+        )
+        assert result.rows == [{"supplier_id": 3, "city": "city3"}]
+
+    def test_alias_in_union_compatibility(self, federation):
+        result = federation.query(
+            "SELECT sid AS k FROM Suppliers WHERE sid < 3 "
+            "UNION ALL SELECT oid AS k FROM Orders WHERE oid < 2"
+        )
+        assert sorted(r["k"] for r in result.rows) == [0, 0, 1, 1, 2]
+
+    def test_incompatible_aliases_rejected(self, federation):
+        with pytest.raises(QueryError, match="not compatible"):
+            federation.parse(
+                "SELECT sid AS a FROM Suppliers UNION ALL "
+                "SELECT oid AS b FROM Orders"
+            )
+
+    def test_distinct_over_aliased_projection(self, federation):
+        result = federation.query(
+            "SELECT DISTINCT city AS place FROM Suppliers"
+        )
+        assert sorted(r["place"] for r in result.rows) == [
+            f"city{i}" for i in range(5)
+        ]

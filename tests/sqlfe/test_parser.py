@@ -1,0 +1,163 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sqlfe.parser import parse_sql
+from repro.sqlfe.sql_ast import (
+    AndCond,
+    BetweenCond,
+    ColumnRef,
+    ComparisonCond,
+    Literal,
+    NotCond,
+    OrCond,
+)
+
+
+class TestSelectList:
+    def test_select_star(self):
+        query = parse_sql("SELECT * FROM Emp")
+        assert query.select_star
+        assert query.collections == ["Emp"]
+
+    def test_columns(self):
+        query = parse_sql("SELECT name, Emp.salary FROM Emp")
+        assert query.items[0].column == ColumnRef("name")
+        assert query.items[1].column == ColumnRef("salary", "Emp")
+
+    def test_aliases(self):
+        query = parse_sql("SELECT salary AS pay FROM Emp")
+        assert query.items[0].alias == "pay"
+        assert query.items[0].output_name == "pay"
+
+    def test_aggregates(self):
+        query = parse_sql("SELECT COUNT(*) AS n, AVG(salary) FROM Emp")
+        assert query.items[0].aggregate == "count"
+        assert query.items[0].aggregate_arg is None
+        assert query.items[1].aggregate == "avg"
+        assert query.items[1].output_name == "avg(salary)"
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT SUM(*) FROM Emp")
+
+    def test_keywords_case_insensitive(self):
+        query = parse_sql("select * from Emp where salary = 1")
+        assert query.collections == ["Emp"]
+
+
+class TestFromClause:
+    def test_comma_list(self):
+        query = parse_sql("SELECT * FROM A, B, C")
+        assert query.collections == ["A", "B", "C"]
+
+    def test_join_on(self):
+        query = parse_sql("SELECT * FROM A JOIN B ON A.x = B.y")
+        assert query.collections == ["A", "B"]
+        join = query.joins_on[0]
+        assert join.left == ColumnRef("x", "A")
+        assert join.right == ColumnRef("y", "B")
+
+    def test_chained_joins(self):
+        query = parse_sql(
+            "SELECT * FROM A JOIN B ON A.x = B.y JOIN C ON B.z = C.w"
+        )
+        assert query.collections == ["A", "B", "C"]
+        assert len(query.joins_on) == 2
+
+
+class TestWhere:
+    def test_simple_comparison(self):
+        query = parse_sql("SELECT * FROM E WHERE salary = 100")
+        condition = query.where
+        assert isinstance(condition, ComparisonCond)
+        assert condition.op == "="
+        assert condition.right == Literal(100)
+
+    def test_all_operators(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            query = parse_sql(f"SELECT * FROM E WHERE x {op} 1")
+            assert query.where.op == op
+
+    def test_diamond_not_equal(self):
+        query = parse_sql("SELECT * FROM E WHERE x <> 1")
+        assert query.where.op == "!="
+
+    def test_string_literal(self):
+        query = parse_sql("SELECT * FROM E WHERE name = 'Naacke'")
+        assert query.where.right == Literal("Naacke")
+
+    def test_float_literal(self):
+        query = parse_sql("SELECT * FROM E WHERE x = 2.5")
+        assert query.where.right == Literal(2.5)
+
+    def test_and_or_not_precedence(self):
+        query = parse_sql("SELECT * FROM E WHERE a = 1 OR b = 2 AND c = 3")
+        condition = query.where
+        assert isinstance(condition, OrCond)
+        assert isinstance(condition.right, AndCond)
+
+    def test_parentheses(self):
+        query = parse_sql("SELECT * FROM E WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(query.where, AndCond)
+        assert isinstance(query.where.left, OrCond)
+
+    def test_not(self):
+        query = parse_sql("SELECT * FROM E WHERE NOT a = 1")
+        assert isinstance(query.where, NotCond)
+
+    def test_between(self):
+        query = parse_sql("SELECT * FROM E WHERE x BETWEEN 1 AND 9")
+        condition = query.where
+        assert isinstance(condition, BetweenCond)
+        assert (condition.low.value, condition.high.value) == (1, 9)
+
+    def test_comments_skipped(self):
+        query = parse_sql("SELECT * -- everything\nFROM E")
+        assert query.collections == ["E"]
+
+
+class TestGroupOrder:
+    def test_group_by(self):
+        query = parse_sql("SELECT dept, COUNT(*) AS n FROM E GROUP BY dept")
+        assert query.group_by == [ColumnRef("dept")]
+
+    def test_order_by_defaults_ascending(self):
+        query = parse_sql("SELECT * FROM E ORDER BY salary")
+        assert query.order_by == [ColumnRef("salary")]
+        assert not query.order_descending
+
+    def test_order_by_desc(self):
+        query = parse_sql("SELECT * FROM E ORDER BY salary DESC")
+        assert query.order_descending
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT dept FROM E").distinct
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT *")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT * FROM E banana")
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT * FROM E WHERE name = 'oops")
+
+    def test_bad_operator(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT * FROM E WHERE a ~ 1")
+
+    def test_join_on_requires_comparison(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT * FROM A JOIN B ON A.x BETWEEN 1 AND 2")
+
+    def test_error_position(self):
+        with pytest.raises(SqlSyntaxError) as exc_info:
+            parse_sql("SELECT *\nFROM E WHERE @")
+        assert exc_info.value.line == 2

@@ -1,0 +1,143 @@
+"""Tests for SQL → QuerySpec translation against a catalog."""
+
+import pytest
+
+from repro.algebra.expressions import And, Comparison, Or
+from repro.core.statistics import AttributeStats, CollectionStats
+from repro.errors import QueryError, UnknownAttributeError, UnknownCollectionError
+from repro.mediator.catalog import MediatorCatalog
+from repro.sqlfe.translator import translate_sql
+
+
+@pytest.fixture
+def catalog():
+    catalog = MediatorCatalog()
+    emp = CollectionStats.from_extent(
+        "Emp",
+        100,
+        50,
+        attributes=[
+            AttributeStats("eid"),
+            AttributeStats("dept"),
+            AttributeStats("salary"),
+        ],
+    )
+    dept = CollectionStats.from_extent(
+        "Dept", 10, 30, attributes=[AttributeStats("did"), AttributeStats("city")]
+    )
+    catalog.add_collection("Emp", "w1", ("eid", "dept", "salary"), emp)
+    catalog.add_collection("Dept", "w2", ("did", "city"), dept)
+    return catalog
+
+
+class TestResolution:
+    def test_unqualified_attribute_resolved(self, catalog):
+        spec = translate_sql("SELECT * FROM Emp WHERE salary = 1", catalog)
+        predicate = spec.filters["Emp"][0]
+        assert predicate.left.collection == "Emp"
+
+    def test_qualified_attribute_kept(self, catalog):
+        spec = translate_sql("SELECT * FROM Emp WHERE Emp.salary = 1", catalog)
+        assert spec.filters["Emp"][0].left.collection == "Emp"
+
+    def test_unknown_collection(self, catalog):
+        with pytest.raises(UnknownCollectionError):
+            translate_sql("SELECT * FROM Nope", catalog)
+
+    def test_unknown_attribute(self, catalog):
+        with pytest.raises(UnknownAttributeError):
+            translate_sql("SELECT * FROM Emp WHERE zzz = 1", catalog)
+
+    def test_qualifier_not_in_from(self, catalog):
+        with pytest.raises(QueryError):
+            translate_sql("SELECT * FROM Emp WHERE Dept.city = 'x'", catalog)
+
+
+class TestClassification:
+    def test_filters_and_joins_split(self, catalog):
+        spec = translate_sql(
+            "SELECT * FROM Emp, Dept "
+            "WHERE Emp.dept = Dept.did AND salary > 10 AND city = 'Paris'",
+            catalog,
+        )
+        assert len(spec.joins) == 1
+        assert [str(p) for p in spec.filters["Emp"]] == ["Emp.salary > 10"]
+        assert [str(p) for p in spec.filters["Dept"]] == ["Dept.city = 'Paris'"]
+
+    def test_join_on_syntax(self, catalog):
+        spec = translate_sql(
+            "SELECT * FROM Emp JOIN Dept ON Emp.dept = Dept.did", catalog
+        )
+        assert len(spec.joins) == 1
+
+    def test_single_collection_or_is_filter(self, catalog):
+        spec = translate_sql(
+            "SELECT * FROM Emp WHERE salary = 1 OR salary = 2", catalog
+        )
+        assert isinstance(spec.filters["Emp"][0], Or)
+
+    def test_between_becomes_range_filter(self, catalog):
+        spec = translate_sql(
+            "SELECT * FROM Emp WHERE salary BETWEEN 5 AND 9", catalog
+        )
+        # BETWEEN expands to two conjuncts classified separately.
+        predicates = spec.filters["Emp"]
+        assert len(predicates) == 2
+        assert {p.op for p in predicates} == {">=", "<="}
+
+    def test_cross_collection_or_rejected(self, catalog):
+        with pytest.raises(QueryError):
+            translate_sql(
+                "SELECT * FROM Emp, Dept "
+                "WHERE Emp.dept = Dept.did AND (salary = 1 OR city = 'x')",
+                catalog,
+            )
+
+    def test_non_equi_join_rejected(self, catalog):
+        with pytest.raises(QueryError):
+            translate_sql(
+                "SELECT * FROM Emp, Dept WHERE Emp.dept < Dept.did", catalog
+            )
+
+
+class TestSelectShapes:
+    def test_projection(self, catalog):
+        spec = translate_sql("SELECT eid, salary FROM Emp", catalog)
+        assert spec.projection == ["eid", "salary"]
+
+    def test_star_projection(self, catalog):
+        spec = translate_sql("SELECT * FROM Emp", catalog)
+        assert spec.projection is None
+
+    def test_aggregates(self, catalog):
+        spec = translate_sql(
+            "SELECT dept, COUNT(*) AS n, AVG(salary) AS pay "
+            "FROM Emp GROUP BY dept",
+            catalog,
+        )
+        assert spec.group_by == ["dept"]
+        assert [a.alias for a in spec.aggregates] == ["n", "pay"]
+
+    def test_group_by_without_aggregate_rejected(self, catalog):
+        with pytest.raises(QueryError):
+            translate_sql("SELECT dept FROM Emp GROUP BY dept", catalog)
+
+    def test_stray_column_with_aggregate_rejected(self, catalog):
+        with pytest.raises(QueryError):
+            translate_sql(
+                "SELECT salary, COUNT(*) AS n FROM Emp GROUP BY dept", catalog
+            )
+
+    def test_order_and_distinct(self, catalog):
+        spec = translate_sql(
+            "SELECT DISTINCT dept FROM Emp ORDER BY dept DESC", catalog
+        )
+        assert spec.distinct
+        assert spec.order_by == ["dept"]
+        assert spec.order_descending
+
+
+class TestQuerySpecValidation:
+    def test_duplicate_collections_rejected(self, catalog):
+        with pytest.raises(QueryError):
+            translate_sql("SELECT * FROM Emp, Emp", catalog)

@@ -1,0 +1,79 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.CdlError,
+            errors.CdlSyntaxError,
+            errors.CdlCompileError,
+            errors.CostModelError,
+            errors.FormulaError,
+            errors.UnknownStatisticError,
+            errors.NoApplicableRuleError,
+            errors.CalibrationError,
+            errors.QueryError,
+            errors.SqlSyntaxError,
+            errors.PlanError,
+            errors.UnknownCollectionError,
+            errors.UnknownAttributeError,
+            errors.CapabilityError,
+            errors.RegistrationError,
+            errors.StorageError,
+            errors.PageError,
+            errors.IndexError_,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_cdl_errors_group(self):
+        assert issubclass(errors.CdlSyntaxError, errors.CdlError)
+        assert issubclass(errors.CdlCompileError, errors.CdlError)
+
+    def test_cost_errors_group(self):
+        for exc in (
+            errors.FormulaError,
+            errors.UnknownStatisticError,
+            errors.NoApplicableRuleError,
+            errors.CalibrationError,
+        ):
+            assert issubclass(exc, errors.CostModelError)
+
+    def test_query_errors_group(self):
+        for exc in (
+            errors.SqlSyntaxError,
+            errors.PlanError,
+            errors.UnknownCollectionError,
+            errors.CapabilityError,
+            errors.RegistrationError,
+        ):
+            assert issubclass(exc, errors.QueryError)
+
+
+class TestPositions:
+    def test_cdl_syntax_error_formats_position(self):
+        error = errors.CdlSyntaxError("bad token", line=3, column=7)
+        assert "line 3" in str(error)
+        assert error.line == 3
+        assert error.column == 7
+
+    def test_sql_syntax_error_without_position(self):
+        error = errors.SqlSyntaxError("oops")
+        assert str(error) == "oops"
+        assert error.line == 0
+
+    def test_catch_all_at_boundary(self):
+        """A client can guard the whole mediator with one except clause."""
+        from repro.mediator.mediator import Mediator
+
+        mediator = Mediator()
+        with pytest.raises(errors.ReproError):
+            mediator.query("SELECT * FROM Nowhere")
+        with pytest.raises(errors.ReproError):
+            mediator.query("SELECT FROM WHERE")

@@ -1,0 +1,210 @@
+"""Tests for the concrete wrappers and their cost-info exports."""
+
+import pytest
+
+from repro.algebra.builders import scan
+from repro.algebra.expressions import Comparison, attr, lit
+from repro.algebra.logical import Scan, Select
+from repro.cdl import compile_source
+from repro.errors import CapabilityError, StorageError
+from repro.sources.objectdb import ObjectDatabase
+from repro.sources.relationaldb import RelationalDatabase
+from repro.wrappers import (
+    FlatFileWrapper,
+    ObjectStoreWrapper,
+    RelationalWrapper,
+    WebSourceWrapper,
+    parse_delimited,
+)
+
+
+def make_objectstore(n=700, clustering="scattered"):
+    db = ObjectDatabase()
+    db.create_extent(
+        "AtomicParts",
+        [{"Id": i, "buildDate": i % 100} for i in range(n)],
+        object_size=56,
+        indexed_attributes=["Id"],
+        clustering=clustering,
+    )
+    return ObjectStoreWrapper("oo7", db)
+
+
+class TestObjectStoreWrapper:
+    def test_exports_statistics(self):
+        wrapper = make_objectstore()
+        info = wrapper.export_cost_info()
+        stats = info.statistics[0]
+        assert stats.name == "AtomicParts"
+        assert stats.count_object == 700
+        assert stats.attribute("Id").indexed
+
+    def test_exported_cdl_compiles(self):
+        wrapper = make_objectstore()
+        info = wrapper.export_cost_info()
+        assert info.cdl_source is not None
+        compiled = compile_source(
+            info.cdl_source, known_collections={"AtomicParts"},
+            known_attributes={"Id"},
+        )
+        # scan + (1 equality + 4 range) rules for the indexed attribute
+        assert len(compiled.rules) == 6
+        assert compiled.variables["IO"] == 25.0
+        assert compiled.variables["Output"] == 9.0
+
+    def test_compiled_info_merges_cdl_and_statistics(self):
+        wrapper = make_objectstore()
+        compiled = wrapper.export_cost_info().compiled()
+        assert [s.name for s in compiled.statistics] == ["AtomicParts"]
+        assert len(compiled.rules) == 6
+
+    def test_rules_are_collection_bound(self):
+        wrapper = make_objectstore()
+        compiled = wrapper.export_cost_info().compiled()
+        select_rules = [
+            r for r in compiled.rules if r.head.operator == "select"
+        ]
+        node = Select(
+            Scan("AtomicParts"), Comparison("<=", attr("Id"), lit(100))
+        )
+        assert any(r.match(node) is not None for r in select_rules)
+
+    def test_no_rules_when_disabled(self):
+        db = ObjectDatabase()
+        db.create_extent("E", [{"Id": 1}], object_size=56)
+        wrapper = ObjectStoreWrapper("oo7", db, export_rules=False)
+        assert wrapper.export_cost_info().cdl_source is None
+
+    def test_clustered_rules_differ_from_scattered(self):
+        scattered = make_objectstore(clustering="scattered")
+        clustered = make_objectstore(clustering="clustered:Id")
+        s_cdl = scattered.export_cost_info().cdl_source
+        c_cdl = clustered.export_cost_info().cdl_source
+        assert "exp(" in s_cdl  # Yao formula
+        assert "ceil(" in c_cdl  # consecutive pages
+
+    def test_execute_select_measures_time(self):
+        wrapper = make_objectstore()
+        plan = Select(Scan("AtomicParts"), Comparison("<=", attr("Id"), lit(69)))
+        result = wrapper.execute(plan)
+        assert result.count == 70
+        assert result.total_time_ms > 0
+        assert 0 < result.time_first_ms <= result.total_time_ms
+
+    def test_collection_names(self):
+        assert make_objectstore().collection_names() == ["AtomicParts"]
+
+
+class TestRelationalWrapper:
+    def make(self, export_rules=False):
+        db = RelationalDatabase()
+        db.create_table(
+            "orders",
+            [{"oid": i, "cust": i % 50} for i in range(500)],
+            row_size=64,
+            indexed_columns=["oid"],
+        )
+        return RelationalWrapper("rdb", db, export_rules=export_rules)
+
+    def test_stats_only_by_default(self):
+        info = self.make().export_cost_info()
+        assert info.cdl_source is None
+        assert info.statistics[0].count_object == 500
+
+    def test_rules_on_request_compile(self):
+        info = self.make(export_rules=True).export_cost_info()
+        compiled = compile_source(
+            info.cdl_source, known_collections={"orders"},
+            known_attributes={"oid"},
+        )
+        assert len(compiled.rules) == 2  # scan + oid lookup
+
+    def test_execute_join_capability(self):
+        wrapper = self.make()
+        db = wrapper.database
+        db.create_table("cust", [{"cid": c} for c in range(50)], row_size=32)
+        plan = scan("orders").join(scan("cust"), "cust", "cid").build()
+        result = wrapper.execute(plan)
+        assert result.count == 500
+
+
+class TestFlatFileWrapper:
+    def test_parse_delimited_types(self):
+        rows = parse_delimited("1,2.5,abc\n# comment\n2,3.5,def", ["a", "b", "c"])
+        assert rows == [
+            {"a": 1, "b": 2.5, "c": "abc"},
+            {"a": 2, "b": 3.5, "c": "def"},
+        ]
+
+    def test_parse_bad_arity(self):
+        with pytest.raises(StorageError):
+            parse_delimited("1,2", ["a"])
+
+    def test_exports_nothing_by_default(self):
+        wrapper = FlatFileWrapper(
+            "files", "log", rows=[{"a": 1}, {"a": 2}]
+        )
+        info = wrapper.export_cost_info()
+        assert info.statistics == []
+        assert info.collection_names() == ["log"]
+
+    def test_exports_sampled_statistics_on_request(self):
+        wrapper = FlatFileWrapper(
+            "files", "log", rows=[{"a": 1}, {"a": 2}], export_statistics=True
+        )
+        info = wrapper.export_cost_info()
+        assert info.statistics[0].count_object == 2
+
+    def test_join_rejected_by_capabilities(self):
+        wrapper = FlatFileWrapper("files", "log", rows=[{"a": 1}])
+        plan = scan("log").join(scan("log"), "a", "a").build()
+        with pytest.raises(CapabilityError):
+            wrapper.execute(plan)
+
+    def test_scan_and_select_work(self):
+        wrapper = FlatFileWrapper(
+            "files", "log", rows=[{"a": i} for i in range(10)]
+        )
+        result = wrapper.execute(scan("log").where_eq("a", 3).build())
+        assert result.rows == [{"a": 3}]
+
+    def test_path_loading(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1,x\n2,y\n")
+        wrapper = FlatFileWrapper(
+            "files", "rows", path=path, columns=["n", "s"]
+        )
+        assert wrapper.execute(scan("rows").build()).count == 2
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(StorageError):
+            FlatFileWrapper("f", "c")
+        with pytest.raises(StorageError):
+            FlatFileWrapper("f", "c", rows=[], path="x")
+
+
+class TestWebSourceWrapper:
+    def make(self):
+        wrapper = WebSourceWrapper("api", latency_ms=500.0)
+        wrapper.add_collection(
+            "tickets", [{"tid": i, "sev": i % 4} for i in range(100)]
+        )
+        return wrapper
+
+    def test_latency_dominates_small_queries(self):
+        wrapper = self.make()
+        result = wrapper.execute(scan("tickets").where_eq("tid", 3).build())
+        assert result.count == 1
+        assert result.total_time_ms >= 2 * 500.0
+
+    def test_time_first_includes_latency(self):
+        wrapper = self.make()
+        result = wrapper.execute(scan("tickets").build())
+        assert result.time_first_ms >= 500.0
+
+    def test_exports_latency_rules(self):
+        wrapper = self.make()
+        info = wrapper.export_cost_info()
+        compiled = compile_source(info.cdl_source)
+        assert compiled.variables["Latency"] == 500.0
+        assert len(compiled.rules) == 2
