@@ -14,6 +14,7 @@ from repro.bench.clustering import run_clustering
 from repro.bench.fig12 import run_fig12
 from repro.bench.history_bench import run_history
 from repro.bench.overhead import run_overhead
+from repro.bench.parallel import run_parallel_experiment
 from repro.bench.plan_quality import run_plan_quality
 from repro.oo7 import PAPER, SMALL, TINY
 
@@ -89,6 +90,14 @@ def main() -> None:
         f"single calibrated model on clustered "
         f"{clustering.calibration_error_on_clustered.mean_relative_error:.3f}"
     )
+
+    banner("E8 — concurrent submit dispatch + subanswer cache")
+    parallel = run_parallel_experiment()
+    print(parallel.dispatch_table())
+    print()
+    print(parallel.cap_table())
+    print()
+    print(parallel.cache_table())
 
 
 if __name__ == "__main__":

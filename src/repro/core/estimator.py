@@ -73,6 +73,16 @@ class EstimatorOptions:
     conflict_policy: ConflictPolicy = ConflictPolicy.LOWEST
     #: Step-1 optimization: propagate required variables / cut child calls.
     propagate_required: bool = True
+    #: Mirror the executor's concurrent submit dispatch: mediator-side
+    #: binary operators whose children all reach wrappers through Submits
+    #: combine child TotalTimes as max-of-wrapper-waits plus serialized
+    #: communication instead of the paper's additive sum, so the optimizer
+    #: prefers plans whose submits overlap.  Off by default (the §2.3
+    #: additive formulas).
+    parallel_submits: bool = False
+    #: Concurrency slots assumed by the parallel combinator (None = unbounded);
+    #: should match ``ExecutorOptions.max_concurrency``.
+    max_concurrency: int | None = None
     #: Cache computed (node, variable) values across estimate() calls.
     #: Sound because a node's estimate never depends on its parents, and
     #: the optimizer reuses subplan objects across candidate plans (the

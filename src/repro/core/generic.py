@@ -45,8 +45,9 @@ from repro.algebra.expressions import (
     Predicate,
     TruePredicate,
 )
-from repro.algebra.logical import BindJoin, Join, PlanNode, Scan, Select
+from repro.algebra.logical import BindJoin, Join, PlanNode, Scan, Select, Submit
 from repro.core import selectivity as sel_mod
+from repro.sources.clock import ParallelClock
 from repro.core.formulas import PythonFormula, Value
 from repro.core.rules import (
     CostRule,
@@ -158,6 +159,53 @@ def _coeffs(ctx) -> GenericCoefficients:
     if isinstance(holder, GenericCoefficients):
         return holder
     return GenericCoefficients()
+
+
+def _mediator_coeffs(ctx) -> GenericCoefficients:
+    holder = ctx.coefficients
+    if isinstance(holder, CoefficientSet):
+        return holder.mediator
+    return _coeffs(ctx)
+
+
+def _parallel_children_total(ctx) -> float | None:
+    """Parallel-aware TotalTime combinator for mediator-side binary nodes.
+
+    Mirrors the executor's concurrent submit dispatch: when every child of
+    a mediator-executed Join/Union reaches wrappers through Submit nodes,
+    their wrapper waits overlap — the combined input cost is the
+    list-scheduled makespan of the per-child wrapper shares plus the
+    (serialized) per-branch communication.  Returns ``None`` when the
+    additive §2.3 combination applies: option off, node owned by a
+    wrapper, or some child never leaves the mediator.
+    """
+    options = ctx.options
+    if not getattr(options, "parallel_submits", False) or ctx.source is not None:
+        return None
+    children = ctx.node.children
+    if len(children) < 2:
+        return None
+    submits_per_child = [
+        [d for d in child.walk() if isinstance(d, Submit)] for child in children
+    ]
+    if any(not submits for submits in submits_per_child):
+        return None
+    coeffs = _mediator_coeffs(ctx)
+    waits: list[float] = []
+    communication = 0.0
+    for index, (child, submits) in enumerate(zip(children, submits_per_child)):
+        total = ctx.child_value("TotalTime", index)
+        comm = 0.0
+        for submit in submits:
+            size = float(ctx.estimation.value_of(submit, "TotalSize"))
+            comm += 2.0 * coeffs.ms_per_message + size * coeffs.ms_per_byte
+        comm = min(comm, total)
+        communication += comm
+        waits.append(total - comm)
+    makespan = ParallelClock.makespan(
+        waits, getattr(options, "max_concurrency", None)
+    )
+    return makespan + communication
 
 
 # ---------------------------------------------------------------------------
@@ -665,11 +713,12 @@ def _join_rules() -> list[CostRule]:
         coeffs = _coeffs(ctx)
         n1 = ctx.child_value("CountObject", 0)
         n2 = ctx.child_value("CountObject", 1)
-        return (
-            ctx.child_value("TotalTime", 0)
-            + ctx.child_value("TotalTime", 1)
-            + n1 * n2 * coeffs.ms_per_pair_nested_loop
-        )
+        inputs = _parallel_children_total(ctx)
+        if inputs is None:
+            inputs = ctx.child_value("TotalTime", 0) + ctx.child_value(
+                "TotalTime", 1
+            )
+        return inputs + n1 * n2 * coeffs.ms_per_pair_nested_loop
 
     def total_time_sort_merge(ctx) -> Value:
         if _index_join_applicable(ctx, ctx.node):
@@ -681,12 +730,12 @@ def _join_rules() -> list[CostRule]:
             n1 * math.log2(n1 + 2.0) + n2 * math.log2(n2 + 2.0)
         )
         merge_cost = (n1 + n2) * coeffs.ms_per_object_merge
-        return (
-            ctx.child_value("TotalTime", 0)
-            + ctx.child_value("TotalTime", 1)
-            + sort_cost
-            + merge_cost
-        )
+        inputs = _parallel_children_total(ctx)
+        if inputs is None:
+            inputs = ctx.child_value("TotalTime", 0) + ctx.child_value(
+                "TotalTime", 1
+            )
+        return inputs + sort_cost + merge_cost
 
     def total_time_index(ctx) -> Value:
         node = ctx.node
@@ -847,7 +896,17 @@ def _bindjoin_rules() -> list[CostRule]:
         )
         batches = math.ceil(keys / node.batch_size)
         communication = 2.0 * batches * mediator_coeffs.ms_per_message
-        return ctx.child_value("TotalTime") + communication + keys * probe_cost
+        probe_time = keys * probe_cost
+        if getattr(ctx.options, "parallel_submits", False) and batches > 1:
+            # Probe batches dispatch as one wave: the inner-source waits
+            # overlap (communication stays serialized at the mediator).
+            batch_keys = [float(node.batch_size)] * (batches - 1)
+            batch_keys.append(keys - node.batch_size * (batches - 1))
+            probe_time = ParallelClock.makespan(
+                [k * probe_cost for k in batch_keys],
+                getattr(ctx.options, "max_concurrency", None),
+            )
+        return ctx.child_value("TotalTime") + communication + probe_time
 
     def time_first(ctx) -> Value:
         holder = ctx.coefficients
@@ -901,11 +960,12 @@ def _union_rules() -> list[CostRule]:
     def total_time(ctx) -> Value:
         coeffs = _coeffs(ctx)
         count = ctx.own_value("CountObject")
-        return (
-            ctx.child_value("TotalTime", 0)
-            + ctx.child_value("TotalTime", 1)
-            + count * coeffs.ms_per_object_output
-        )
+        inputs = _parallel_children_total(ctx)
+        if inputs is None:
+            inputs = ctx.child_value("TotalTime", 0) + ctx.child_value(
+                "TotalTime", 1
+            )
+        return inputs + count * coeffs.ms_per_object_output
 
     def time_first(ctx) -> Value:
         return min(ctx.child_value("TimeFirst", 0), ctx.child_value("TimeFirst", 1))

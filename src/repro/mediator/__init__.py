@@ -1,8 +1,13 @@
 """The mediator: catalog, registration, optimizer, executor, facade."""
 
 from repro.mediator.admin import AdminConsole, DriftReport
+from repro.mediator.cache import CacheStats, SubanswerCache
 from repro.mediator.catalog import MediatorCatalog
-from repro.mediator.executor import MEDIATOR_PROFILE, MediatorExecutor
+from repro.mediator.executor import (
+    MEDIATOR_PROFILE,
+    ExecutorOptions,
+    MediatorExecutor,
+)
 from repro.mediator.mediator import Mediator, QueryResult
 from repro.mediator.optimizer import (
     OptimizationResult,
@@ -12,10 +17,14 @@ from repro.mediator.optimizer import (
 )
 from repro.mediator.queryspec import QuerySpec, UnionSpec
 from repro.mediator.registration import register_wrapper
+from repro.mediator.scheduler import DispatchOutcome, SubmitScheduler
 
 __all__ = [
     "AdminConsole",
+    "CacheStats",
+    "DispatchOutcome",
     "DriftReport",
+    "ExecutorOptions",
     "MEDIATOR_PROFILE",
     "UnionSpec",
     "Mediator",
@@ -27,5 +36,7 @@ __all__ = [
     "OptimizerStats",
     "QueryResult",
     "QuerySpec",
+    "SubanswerCache",
+    "SubmitScheduler",
     "register_wrapper",
 ]

@@ -7,10 +7,19 @@ in-memory rows.  All time is accounted on the mediator's simulated clock:
 wrapper execution advances it by the wrapper's measured response time,
 communication charges the configured per-message/per-byte costs, and
 local operators charge per-row CPU.
+
+Dispatch goes through a :class:`~repro.mediator.scheduler.
+SubmitScheduler`.  By default it runs the paper's sequential model
+(additive ``TotalTime``); with ``ExecutorOptions(parallel_submits=True)``
+independent Submit subtrees — and the probe batches of a ``BindJoin`` —
+are dispatched as concurrent waves whose wrapper waits overlap (see
+``docs/execution.md``).  An optional subanswer cache memoizes identical
+wrapper subqueries within and across queries.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Iterator
 
 from repro.algebra.expressions import AttributeRef, Or, conjunction, eq
@@ -28,7 +37,13 @@ from repro.algebra.logical import (
     Union,
 )
 from repro.errors import PlanError
+from repro.mediator.cache import SubanswerCache
 from repro.mediator.catalog import MediatorCatalog
+from repro.mediator.scheduler import (
+    DispatchOutcome,
+    SubmitScheduler,
+    estimate_payload_bytes,
+)
 from repro.sources.clock import CostProfile, SimClock
 from repro.sources.pages import Row
 from repro.wrappers.base import ExecutionResult
@@ -46,32 +61,109 @@ MEDIATOR_PROFILE = CostProfile(
 )
 
 
+@dataclass
+class ExecutorOptions:
+    """Execution-model knobs of the mediator engine.
+
+    The defaults reproduce the paper's sequential, additive accounting
+    exactly (the §2.3 numbers and all seed tests are unchanged).
+    """
+
+    #: Dispatch independent Submit subtrees (and BindJoin probe batches)
+    #: as concurrent waves: the clock charges the max over the wave's
+    #: wrapper times plus per-branch communication, instead of the sum.
+    parallel_submits: bool = False
+    #: Concurrency slots per wave; ``None`` means unbounded.
+    max_concurrency: int | None = None
+    #: Memoize identical wrapper subqueries (by plan fingerprint) within
+    #: and across queries; hits skip wrapper execution entirely.
+    cache_subanswers: bool = False
+    #: Entry bound of the subanswer cache (FIFO eviction).
+    cache_max_entries: int = 1024
+
+
 class MediatorExecutor:
     """Runs complete mediator plans."""
 
     def __init__(
-        self, catalog: MediatorCatalog, clock: SimClock | None = None
+        self,
+        catalog: MediatorCatalog,
+        clock: SimClock | None = None,
+        options: ExecutorOptions | None = None,
+        cache: SubanswerCache | None = None,
     ) -> None:
         self.catalog = catalog
         self.clock = clock if clock is not None else SimClock(MEDIATOR_PROFILE)
+        self.options = options if options is not None else ExecutorOptions()
+        if cache is None and self.options.cache_subanswers:
+            cache = SubanswerCache(max_entries=self.options.cache_max_entries)
+        self.cache = cache
+        self.scheduler = SubmitScheduler(
+            catalog,
+            self.clock,
+            max_concurrency=self.options.max_concurrency,
+            cache=self.cache,
+        )
         self._submit_log: list[tuple[Submit, ExecutionResult]] = []
+        self._prefetched: dict[int, DispatchOutcome] = {}
+
+    @property
+    def parallel_stats(self):
+        """Cumulative wave accounting of the concurrent dispatcher."""
+        return self.scheduler.parallel.stats
 
     def execute(self, plan: PlanNode) -> ExecutionResult:
         """Execute a plan; returns rows plus mediator-measured times."""
         self._submit_log = []
+        self._prefetched = {}
+        hits_before = self.cache.stats.hits if self.cache is not None else 0
+        misses_before = self.cache.stats.misses if self.cache is not None else 0
+        saved_before = self.scheduler.parallel.stats.saved_ms
         start = self.clock.now_ms
+        if self.options.parallel_submits:
+            self._prefetch_submits(plan)
         time_first: float | None = None
         rows: list[Row] = []
         for row in self._run(plan):
             if time_first is None:
                 time_first = self.clock.elapsed_since(start)
             rows.append(row)
+        total = self.clock.elapsed_since(start)
         return ExecutionResult(
             rows=rows,
-            total_time_ms=self.clock.elapsed_since(start),
-            time_first_ms=time_first if time_first is not None else 0.0,
+            total_time_ms=total,
+            # An empty answer still took the whole execution to discover:
+            # its first-tuple time is the elapsed total, not zero (a zero
+            # would understate TimeFirst below TotalTime).
+            time_first_ms=time_first if time_first is not None else total,
             submit_log=list(self._submit_log),
+            cache_hits=(
+                self.cache.stats.hits - hits_before if self.cache is not None else 0
+            ),
+            cache_misses=(
+                self.cache.stats.misses - misses_before
+                if self.cache is not None
+                else 0
+            ),
+            parallel_saved_ms=self.scheduler.parallel.stats.saved_ms - saved_before,
         )
+
+    def _prefetch_submits(self, plan: PlanNode) -> None:
+        """Dispatch every Submit subtree of the plan as one wave.
+
+        Distinct Submit subtrees never depend on each other (wrapper
+        subqueries are self-contained; only BindJoin parameterizes its
+        probes, and those are built at run time, not as plan Submits), so
+        the whole set is one independent wave.
+        """
+        submits = [node for node in plan.walk() if isinstance(node, Submit)]
+        if not submits:
+            return
+        outcomes = self.scheduler.dispatch_wave(submits)
+        self._prefetched = {
+            submit.node_id: outcome
+            for submit, outcome in zip(submits, outcomes)
+        }
 
     # -- operators ---------------------------------------------------------------
 
@@ -128,25 +220,20 @@ class MediatorExecutor:
             raise PlanError(f"mediator cannot execute {node.operator_name!r}")
 
     def _run_submit(self, node: Submit) -> Iterator[Row]:
-        wrapper = self.catalog.wrapper(node.wrapper)
-        self.clock.charge_message()  # ship the subquery
-        result: ExecutionResult = wrapper.execute(node.child)
-        self._submit_log.append((node, result))
-        # The mediator waits for the wrapper (sequential execution model,
-        # matching the additive TotalTime formulas of the cost model).
-        self.clock.advance(result.total_time_ms)
-        payload = self._payload_bytes(node.child, len(result.rows))
-        self.clock.charge_message(payload_bytes=payload)
-        yield from result.rows
+        outcome = self._prefetched.pop(node.node_id, None)
+        if outcome is None:
+            outcome = self.scheduler.dispatch_one(node)
+        if not outcome.cached:
+            # Logged at consumption (not dispatch) so the log order matches
+            # the sequential executor's; cache hits are excluded — history
+            # must only learn from real, measured executions.
+            self._submit_log.append((node, outcome.result))
+        yield from outcome.result.rows
 
     def _payload_bytes(self, subplan: PlanNode, row_count: int) -> int:
-        """Approximate result size: rows × average object size of the
-        subplan's primary collection (100 bytes when unknown)."""
-        width = 100
-        primary = subplan.primary_collection()
-        if primary is not None and primary in self.catalog.statistics:
-            width = max(1, self.catalog.statistics.get(primary).object_size)
-        return row_count * width
+        """Approximate result-transfer size; projected subplans ship only
+        the projected share of each object (see scheduler module)."""
+        return estimate_payload_bytes(self.catalog.statistics, subplan, row_count)
 
     def _run_aggregate(self, node: Aggregate) -> Iterator[Row]:
         groups: dict[tuple, list[Row]] = {}
@@ -177,7 +264,6 @@ class MediatorExecutor:
     def _run_bindjoin(self, node: BindJoin) -> Iterator[Row]:
         """Dependent join: outer first, then keyed probe batches at the
         inner wrapper (one request per batch of distinct join keys)."""
-        wrapper = self.catalog.wrapper(node.wrapper)
         outer_rows = list(self._run(node.outer))
         keys: list[Any] = []
         seen: set[Any] = set()
@@ -187,8 +273,8 @@ class MediatorExecutor:
             if key is not None and key not in seen:
                 seen.add(key)
                 keys.append(key)
-        inner_by_key: dict[Any, list[Row]] = {}
         inner_name = node.inner_attribute.name
+        probes: list[Submit] = []
         for start in range(0, len(keys), node.batch_size):
             batch = keys[start : start + node.batch_size]
             key_predicate = eq(inner_name, batch[0])
@@ -198,12 +284,20 @@ class MediatorExecutor:
             if node.inner_filters is not None:
                 predicates.append(node.inner_filters)
             subplan = Select(Scan(node.inner_collection), conjunction(predicates))
-            self.clock.charge_message()  # ship the probe batch
-            result: ExecutionResult = wrapper.execute(subplan)
-            self.clock.advance(result.total_time_ms)
-            payload = self._payload_bytes(subplan, len(result.rows))
-            self.clock.charge_message(payload_bytes=payload)
-            for row in result.rows:
+            probes.append(Submit(subplan, node.wrapper))
+        # The probe batches are mutually independent: one wave when the
+        # executor is parallel, one dispatch each otherwise.
+        if self.options.parallel_submits and len(probes) > 1:
+            outcomes = self.scheduler.dispatch_wave(probes)
+        else:
+            outcomes = [self.scheduler.dispatch_one(probe) for probe in probes]
+        inner_by_key: dict[Any, list[Row]] = {}
+        for outcome in outcomes:
+            if not outcome.cached:
+                # Probe batches feed the §4.3.1 history like any other
+                # dispatched subquery.
+                self._submit_log.append((outcome.submit, outcome.result))
+            for row in outcome.result.rows:
                 inner_by_key.setdefault(
                     AttributeRef(inner_name).evaluate(row), []
                 ).append(row)

@@ -24,7 +24,7 @@ from repro.core.generic import CoefficientSet, standard_repository
 from repro.core.history import HistoryStore
 from repro.core.scopes import RuleRepository
 from repro.mediator.catalog import MediatorCatalog
-from repro.mediator.executor import MediatorExecutor
+from repro.mediator.executor import ExecutorOptions, MediatorExecutor
 from repro.mediator.optimizer import (
     OptimizationResult,
     Optimizer,
@@ -48,6 +48,12 @@ class QueryResult:
     estimate: PlanEstimate
     optimizer_stats: OptimizerStats = field(default_factory=OptimizerStats)
     sql: str | None = None
+    #: Subanswer-cache activity during this query (zero when disabled).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Simulated time concurrent submit waves saved versus sequential
+    #: dispatch (zero in the default sequential mode).
+    parallel_saved_ms: float = 0.0
 
     @property
     def count(self) -> int:
@@ -67,6 +73,7 @@ class Mediator:
         optimizer_options: OptimizerOptions | None = None,
         repository: RuleRepository | None = None,
         record_history: bool = False,
+        executor_options: ExecutorOptions | None = None,
     ) -> None:
         self.catalog = MediatorCatalog()
         self.repository = (
@@ -79,14 +86,28 @@ class Mediator:
             options=estimator_options,
             coefficients=self.coefficients,
         )
+        if executor_options is not None and estimator_options is None:
+            # Keep what the optimizer believes aligned with how the
+            # executor will actually dispatch, unless the caller pinned
+            # the estimator's behaviour explicitly.
+            self.estimator.options.parallel_submits = (
+                executor_options.parallel_submits
+            )
+            self.estimator.options.max_concurrency = (
+                executor_options.max_concurrency
+            )
         self.optimizer = Optimizer(self.catalog, self.estimator, optimizer_options)
-        self.executor = MediatorExecutor(self.catalog)
+        self.executor = MediatorExecutor(self.catalog, options=executor_options)
         self.history = HistoryStore(self.repository) if record_history else None
 
     # -- registration phase (§2.1) ---------------------------------------------
 
     def register(self, wrapper: Wrapper) -> int:
         """Register (or re-register) a wrapper; returns its rule count."""
+        if self.executor.cache is not None:
+            # Re-registration means the source's data or rules changed;
+            # memoized subanswers from it are no longer trustworthy.
+            self.executor.cache.invalidate_wrapper(wrapper.name)
         return register_wrapper(
             wrapper, self.catalog, self.repository, self.estimator
         )
@@ -119,6 +140,9 @@ class Mediator:
             estimate=optimized.estimate,
             optimizer_stats=optimized.stats,
             sql=sql,
+            cache_hits=execution.cache_hits,
+            cache_misses=execution.cache_misses,
+            parallel_saved_ms=execution.parallel_saved_ms,
         )
 
     def execute_plan(self, plan: PlanNode) -> QueryResult:
@@ -134,6 +158,9 @@ class Mediator:
             plan=plan,
             estimate=estimate,
             sql=None,
+            cache_hits=execution.cache_hits,
+            cache_misses=execution.cache_misses,
+            parallel_saved_ms=execution.parallel_saved_ms,
         )
 
     def explain(self, query: str | QuerySpec) -> str:
@@ -144,4 +171,6 @@ class Mediator:
             f"({optimized.stats.candidates_considered} candidates, "
             f"{optimized.stats.candidates_pruned} pruned)"
         )
+        if self.executor.cache is not None:
+            header += f"\nsubanswer cache: {self.executor.cache.stats}"
         return header + "\n" + optimized.estimate.explain()

@@ -68,6 +68,14 @@ class OptimizerOptions:
     bind_join_batch_size: int = 50
     max_exhaustive_collections: int = 7
     objective: str = "total_time"
+    #: Cost plans for a concurrently-dispatching executor: ``True``/``False``
+    #: forces the estimator's parallel-aware TotalTime combinator on/off
+    #: (see ``EstimatorOptions.parallel_submits``); ``None`` leaves the
+    #: estimator's own setting alone.  With the combinator on, the
+    #: enumerator's candidates whose submits overlap genuinely cost less,
+    #: so the optimizer prefers them.
+    parallel_submits: "bool | None" = None
+    max_concurrency: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.objective not in ("total_time", "time_first"):
@@ -116,6 +124,9 @@ class Optimizer:
         self.catalog = catalog
         self.estimator = estimator
         self.options = options or OptimizerOptions()
+        if self.options.parallel_submits is not None:
+            estimator.options.parallel_submits = self.options.parallel_submits
+            estimator.options.max_concurrency = self.options.max_concurrency
 
     # -- public entry point ---------------------------------------------------
 

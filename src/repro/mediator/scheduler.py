@@ -1,0 +1,174 @@
+"""Concurrent dispatch of wrapper subqueries.
+
+The sequential execution model (the seed executor, matching the paper's
+additive ``TotalTime`` formulas) ships one subquery, waits for the full
+wrapper response time, ships the next.  But independent ``Submit``
+subtrees — the children of ``Join``/``Union`` access plans, and the probe
+batches of a ``BindJoin`` — have no data dependencies between them: a
+mediator that dispatches them concurrently waits only for the slowest
+branch per concurrency slot (FedQPL's explicit *multiway* operators over
+federation members model exactly this).
+
+:class:`SubmitScheduler` implements both modes over the mediator's
+simulated clock:
+
+* :meth:`dispatch_one` — the sequential model: request message + full
+  wrapper wait + response message, per subquery;
+* :meth:`dispatch_wave` — the concurrent model: request/response
+  messages stay serialized (one mediator network interface) but the
+  wrapper waits overlap, charged as the wave's list-scheduled makespan
+  through :class:`~repro.sources.clock.ParallelClock`.
+
+Both paths consult an optional :class:`~repro.mediator.cache.
+SubanswerCache`: a hit skips wrapper execution and communication
+entirely and charges zero time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.logical import PlanNode, Project, Submit
+from repro.core.statistics import StatisticsCatalog
+from repro.mediator.cache import CacheEntry, SubanswerCache
+from repro.mediator.catalog import MediatorCatalog
+from repro.sources.clock import ParallelClock, SimClock, WaveStats
+from repro.wrappers.base import ExecutionResult
+
+
+def estimate_payload_bytes(
+    statistics: StatisticsCatalog, subplan: PlanNode, row_count: int
+) -> int:
+    """Approximate result-transfer size of one wrapper subanswer.
+
+    Width starts from the average object size of the subplan's primary
+    collection (100 bytes when unknown).  When the subplan projects a
+    narrow attribute list, only the projected share of the object is
+    shipped: per-attribute width is derived from the statistics as
+    ``object_size / attribute count`` (no finer per-attribute width is
+    exported, §3.2), so a 2-of-8-attribute projection ships a quarter of
+    the object.
+    """
+    width = 100.0
+    stats = None
+    primary = subplan.primary_collection()
+    if primary is not None and primary in statistics:
+        stats = statistics.get(primary)
+        width = float(max(1, stats.object_size))
+    projection = next(
+        (node for node in subplan.walk() if isinstance(node, Project)), None
+    )
+    if projection is not None and stats is not None and stats.attributes:
+        fraction = min(1.0, len(projection.attributes) / len(stats.attributes))
+        width = max(1.0, width * fraction)
+    return int(row_count * width)
+
+
+@dataclass
+class DispatchOutcome:
+    """One dispatched (or cache-served) subquery."""
+
+    submit: Submit
+    result: ExecutionResult
+    #: True when the subanswer came from the cache — no wrapper execution
+    #: happened and nothing should be recorded in the submit log.
+    cached: bool = False
+
+
+class SubmitScheduler:
+    """Dispatches Submit nodes to wrappers on the mediator's clock."""
+
+    def __init__(
+        self,
+        catalog: MediatorCatalog,
+        clock: SimClock,
+        max_concurrency: int | None = None,
+        cache: SubanswerCache | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.clock = clock
+        self.cache = cache
+        self.parallel = ParallelClock(clock, max_concurrency)
+        self.last_wave: WaveStats | None = None
+
+    # -- cache plumbing -----------------------------------------------------
+
+    def _cached_outcome(self, submit: Submit) -> DispatchOutcome | None:
+        if self.cache is None:
+            return None
+        entry: CacheEntry | None = self.cache.lookup(submit.wrapper, submit.child)
+        if entry is None:
+            return None
+        # Copies keep cached subanswers immutable under downstream row
+        # merging and client-side mutation.
+        rows = [dict(row) for row in entry.rows]
+        return DispatchOutcome(
+            submit=submit,
+            result=ExecutionResult(rows=rows, total_time_ms=0.0, time_first_ms=0.0),
+            cached=True,
+        )
+
+    def _store(self, submit: Submit, result: ExecutionResult) -> None:
+        if self.cache is not None:
+            # Store copies: the caller's rows flow on to clients who may
+            # mutate them in place.
+            rows = [dict(row) for row in result.rows]
+            self.cache.store(
+                submit.wrapper, submit.child, rows, result.total_time_ms
+            )
+
+    # -- sequential dispatch ----------------------------------------------------
+
+    def dispatch_one(self, submit: Submit) -> DispatchOutcome:
+        """The additive model: the mediator waits for the whole wrapper."""
+        cached = self._cached_outcome(submit)
+        if cached is not None:
+            return cached
+        wrapper = self.catalog.wrapper(submit.wrapper)
+        self.clock.charge_message()  # ship the subquery
+        result: ExecutionResult = wrapper.execute(submit.child)
+        self.clock.advance(result.total_time_ms)
+        payload = estimate_payload_bytes(
+            self.catalog.statistics, submit.child, len(result.rows)
+        )
+        self.clock.charge_message(payload_bytes=payload)
+        self._store(submit, result)
+        return DispatchOutcome(submit=submit, result=result)
+
+    # -- concurrent dispatch -----------------------------------------------------
+
+    def dispatch_wave(self, submits: "list[Submit]") -> "list[DispatchOutcome]":
+        """Dispatch independent subqueries as one concurrent wave.
+
+        Wrapper waits are charged as the wave's makespan (max over
+        branches, under the concurrency cap); request and response
+        messages remain serialized per-branch charges.  Branches execute
+        in input order, so results — and the wrapper engines' own clocks —
+        stay deterministic.
+        """
+        outcomes: list[DispatchOutcome] = []
+        self.parallel.begin_wave()
+        for submit in submits:
+            # Within-wave duplicates hit the cache too: earlier branches
+            # store their subanswer before later ones look it up.
+            cached = self._cached_outcome(submit)
+            if cached is not None:
+                outcomes.append(cached)
+                continue
+            wrapper = self.catalog.wrapper(submit.wrapper)
+            self.parallel.charge_message()  # ship the subquery
+            result = wrapper.execute(submit.child)
+            self.parallel.charge_branch(result.total_time_ms)
+            self._store(submit, result)
+            outcomes.append(DispatchOutcome(submit=submit, result=result))
+        self.last_wave = self.parallel.commit_wave()
+        for outcome in outcomes:
+            if outcome.cached:
+                continue
+            payload = estimate_payload_bytes(
+                self.catalog.statistics,
+                outcome.submit.child,
+                len(outcome.result.rows),
+            )
+            self.parallel.charge_message(payload_bytes=payload)
+        return outcomes

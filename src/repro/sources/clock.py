@@ -130,6 +130,139 @@ class SimClock:
 
 
 @dataclass
+class WaveStats:
+    """Accounting of one committed wave of concurrent branches."""
+
+    branches: int = 0
+    #: Sum of the branch durations — what a sequential executor would pay.
+    sequential_ms: float = 0.0
+    #: List-scheduled completion time actually charged to the clock.
+    makespan_ms: float = 0.0
+
+    @property
+    def saved_ms(self) -> float:
+        """Simulated time the overlap saved versus sequential dispatch."""
+        return self.sequential_ms - self.makespan_ms
+
+
+@dataclass
+class ParallelStats:
+    """Cumulative counters across all waves of one :class:`ParallelClock`."""
+
+    waves: int = 0
+    branches: int = 0
+    sequential_ms: float = 0.0
+    makespan_ms: float = 0.0
+
+    @property
+    def saved_ms(self) -> float:
+        return self.sequential_ms - self.makespan_ms
+
+
+class ParallelClock:
+    """Wave accounting over a :class:`SimClock`.
+
+    The sequential execution model advances the clock by the *sum* of the
+    wrapper response times it waits for.  A mediator that dispatches
+    independent subqueries concurrently only waits for the *slowest* one
+    (per concurrency slot).  This class models that: branch durations are
+    recorded with :meth:`charge_branch` between :meth:`begin_wave` and
+    :meth:`commit_wave`, and the commit advances the underlying clock by
+    the wave's list-scheduled makespan instead of the branch-duration sum.
+
+    Everything stays deterministic: branches are *executed* one after
+    another by the caller (no threads); only the time accounting treats
+    them as overlapping.  Serialized charges (the mediator's single
+    network interface shipping request/response messages) keep going
+    through the underlying clock directly.
+    """
+
+    def __init__(
+        self, clock: SimClock, max_concurrency: int | None = None
+    ) -> None:
+        if max_concurrency is not None and max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1, got {max_concurrency}"
+            )
+        self.clock = clock
+        self.max_concurrency = max_concurrency
+        self.stats = ParallelStats()
+        self._wave: list[float] | None = None
+
+    @staticmethod
+    def makespan(
+        durations: "list[float]", max_concurrency: int | None = None
+    ) -> float:
+        """Completion time of ``durations`` under greedy list scheduling.
+
+        Branches are assigned, in order, to the earliest-available of
+        ``max_concurrency`` slots (unbounded when ``None``); the makespan
+        is the latest slot finish time.  With one slot this degenerates to
+        the sequential sum, with unbounded slots to the plain max.
+        """
+        if not durations:
+            return 0.0
+        slots_count = (
+            len(durations)
+            if max_concurrency is None
+            else max(1, min(max_concurrency, len(durations)))
+        )
+        slots = [0.0] * slots_count
+        for duration in durations:
+            if duration < 0:
+                raise ValueError(f"negative branch duration: {duration}")
+            earliest = min(range(slots_count), key=lambda i: slots[i])
+            slots[earliest] += duration
+        return max(slots)
+
+    # -- wave lifecycle -----------------------------------------------------
+
+    @property
+    def in_wave(self) -> bool:
+        return self._wave is not None
+
+    def begin_wave(self) -> None:
+        if self._wave is not None:
+            raise RuntimeError("a wave is already open (waves do not nest)")
+        self._wave = []
+
+    def charge_branch(self, duration_ms: float) -> None:
+        """Record one concurrent branch duration for the open wave."""
+        if self._wave is None:
+            raise RuntimeError("charge_branch outside begin_wave/commit_wave")
+        if duration_ms < 0:
+            raise ValueError(f"negative branch duration: {duration_ms}")
+        self._wave.append(duration_ms)
+
+    def charge_message(self, payload_bytes: int = 0) -> None:
+        """Serialized communication: passes straight through to the clock."""
+        self.clock.charge_message(payload_bytes=payload_bytes)
+
+    def commit_wave(self) -> WaveStats:
+        """Advance the clock by the wave's makespan; return its accounting."""
+        if self._wave is None:
+            raise RuntimeError("commit_wave without begin_wave")
+        durations, self._wave = self._wave, None
+        wave = WaveStats(
+            branches=len(durations),
+            sequential_ms=sum(durations),
+            makespan_ms=self.makespan(durations, self.max_concurrency),
+        )
+        self.clock.advance(wave.makespan_ms)
+        self.stats.waves += 1
+        self.stats.branches += wave.branches
+        self.stats.sequential_ms += wave.sequential_ms
+        self.stats.makespan_ms += wave.makespan_ms
+        return wave
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParallelClock(max_concurrency={self.max_concurrency}, "
+            f"{self.stats})"
+        )
+
+
+@dataclass
 class Stopwatch:
     """Convenience for measuring a span of simulated time.
 

@@ -40,13 +40,20 @@ class ExecutionResult:
 
     ``submit_log`` is filled by the *mediator* executor: one
     ``(Submit node, ExecutionResult)`` pair per dispatched subquery, the
-    raw material of §4.3.1 history recording.
+    raw material of §4.3.1 history recording.  The cache and parallel
+    counters are likewise mediator-side diagnostics (zero for plain
+    wrapper executions).
     """
 
     rows: list[Row]
     total_time_ms: float
     time_first_ms: float = 0.0
     submit_log: list = field(default_factory=list)
+    #: Subanswer-cache activity during this execution.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Simulated time the concurrent waves saved versus sequential dispatch.
+    parallel_saved_ms: float = 0.0
 
     @property
     def count(self) -> int:
@@ -197,8 +204,11 @@ class StorageWrapper(Wrapper):
             if time_first is None:
                 time_first = clock.elapsed_since(start)
             rows.append(row)
+        total = clock.elapsed_since(start)
         return ExecutionResult(
             rows=rows,
-            total_time_ms=clock.elapsed_since(start),
-            time_first_ms=time_first if time_first is not None else 0.0,
+            total_time_ms=total,
+            # Discovering emptiness costs the full execution: report the
+            # elapsed total rather than understating TimeFirst as zero.
+            time_first_ms=time_first if time_first is not None else total,
         )

@@ -1,0 +1,91 @@
+"""Regression tests for the executor cost-accounting fixes.
+
+Three bugs rode along with the scheduler work:
+
+* bindjoin probe batches never reached the submit log, so §4.3.1 history
+  learned nothing from them;
+* result payloads ignored projections, overcharging transfer for narrow
+  subanswers;
+* an empty result reported ``TimeFirst = 0`` even though discovering
+  emptiness cost the whole execution.
+"""
+
+import pytest
+
+from repro.algebra.builders import scan
+from repro.algebra.expressions import eq
+from repro.algebra.logical import Scan, Select, Submit
+from repro.mediator.mediator import Mediator
+from tests.federation_fixtures import build_sales_wrapper
+from tests.mediator.test_bindjoin import bindjoin_plan, build_media_federation
+
+
+class TestBindJoinFeedsHistory:
+    def test_probe_batches_logged(self):
+        media = build_media_federation()
+        node = bindjoin_plan(media)
+        node.batch_size = 5
+        result = media.executor.execute(node)
+        # 1 outer submit + 20 distinct keys / 5 per batch = 4 probes.
+        assert len(result.submit_log) == 5
+        probes = [entry for entry in result.submit_log if entry[0].wrapper == "media"]
+        assert len(probes) == 4
+        for probe_node, probe_result in probes:
+            assert isinstance(probe_node, Submit)
+            assert probe_node.child.primary_collection() == "Images"
+            assert probe_result.total_time_ms > 0
+
+    def test_history_learns_from_probes(self):
+        media = build_media_federation()
+        media_with_history = Mediator(record_history=True)
+        # Rebuild the same federation on the history-enabled mediator.
+        for name in ("media", "meta"):
+            media_with_history.register(media.catalog.wrapper(name))
+        node = bindjoin_plan(media_with_history)
+        node.batch_size = 5
+        media_with_history.execute_plan(node)
+        # One query-scope rule per outer submit plus one per probe batch.
+        assert len(media_with_history.history) == 5
+
+
+class TestProjectedPayload:
+    def test_projection_ships_projected_share(self, federation):
+        plan = scan("Suppliers").keep("sid").submit_to("sales").build()
+        clock = federation.executor.clock
+        before = clock.stats.bytes_shipped
+        result = federation.executor.execute(plan)
+        shipped = clock.stats.bytes_shipped - before
+        stats = federation.catalog.statistics.get("Suppliers")
+        fraction = min(1.0, 1 / len(stats.attributes))
+        width = max(1.0, float(max(1, stats.object_size)) * fraction)
+        assert shipped == int(result.count * width)
+        # Strictly less than shipping whole objects.
+        assert shipped < result.count * stats.object_size
+
+    def test_unprojected_scan_ships_whole_objects(self, federation):
+        plan = scan("Suppliers").submit_to("sales").build()
+        clock = federation.executor.clock
+        before = clock.stats.bytes_shipped
+        result = federation.executor.execute(plan)
+        shipped = clock.stats.bytes_shipped - before
+        stats = federation.catalog.statistics.get("Suppliers")
+        assert shipped == result.count * stats.object_size
+
+
+class TestEmptyResultTimeFirst:
+    def test_mediator_empty_answer_reports_elapsed(self, federation):
+        plan = (
+            scan("Suppliers").where_eq("city", "nowhere").submit_to("sales").build()
+        )
+        result = federation.executor.execute(plan)
+        assert result.count == 0
+        assert result.total_time_ms > 0
+        assert result.time_first_ms == pytest.approx(result.total_time_ms)
+
+    def test_wrapper_empty_answer_reports_elapsed(self):
+        wrapper = build_sales_wrapper()
+        plan = Select(Scan("Suppliers"), eq("city", "nowhere"))
+        result = wrapper.execute(plan)
+        assert result.count == 0
+        assert result.total_time_ms > 0
+        assert result.time_first_ms == pytest.approx(result.total_time_ms)

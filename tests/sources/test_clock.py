@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.sources.clock import ClockStats, CostProfile, SimClock, Stopwatch
+from repro.sources.clock import (
+    ClockStats,
+    CostProfile,
+    ParallelClock,
+    SimClock,
+    Stopwatch,
+)
 
 
 class TestSimClock:
@@ -55,6 +61,99 @@ class TestSimClock:
         profile = CostProfile()
         assert profile.io_ms == 25.0
         assert profile.cpu_ms_per_object == 9.0
+
+
+class TestMakespan:
+    def test_empty_wave_is_free(self):
+        assert ParallelClock.makespan([]) == 0.0
+
+    def test_unbounded_is_max(self):
+        assert ParallelClock.makespan([5.0, 3.0, 4.0]) == 5.0
+
+    def test_single_slot_is_sum(self):
+        assert ParallelClock.makespan([5.0, 3.0, 4.0], max_concurrency=1) == 12.0
+
+    def test_two_slots_list_schedules(self):
+        # Greedy earliest-slot: 6 | 2+2+2 = both slots finish at 6.
+        assert ParallelClock.makespan([6.0, 2.0, 2.0, 2.0], max_concurrency=2) == 6.0
+
+    def test_cap_beyond_branch_count_is_max(self):
+        assert ParallelClock.makespan([4.0, 1.0], max_concurrency=16) == 4.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelClock.makespan([1.0, -2.0])
+
+
+class TestParallelClock:
+    def test_wave_advances_by_makespan_not_sum(self):
+        clock = SimClock()
+        parallel = ParallelClock(clock)
+        parallel.begin_wave()
+        parallel.charge_branch(30.0)
+        parallel.charge_branch(50.0)
+        parallel.charge_branch(20.0)
+        wave = parallel.commit_wave()
+        assert clock.now_ms == 50.0
+        assert wave.sequential_ms == 100.0
+        assert wave.makespan_ms == 50.0
+        assert wave.saved_ms == 50.0
+
+    def test_messages_stay_serialized(self):
+        clock = SimClock(CostProfile(net_ms_per_message=10.0))
+        parallel = ParallelClock(clock)
+        parallel.begin_wave()
+        parallel.charge_message()
+        parallel.charge_branch(100.0)
+        parallel.charge_message()
+        parallel.charge_branch(40.0)
+        parallel.commit_wave()
+        # 2 messages (sum) + max(100, 40).
+        assert clock.now_ms == 120.0
+        assert clock.stats.messages == 2
+
+    def test_concurrency_cap_applies(self):
+        clock = SimClock()
+        parallel = ParallelClock(clock, max_concurrency=2)
+        parallel.begin_wave()
+        for duration in (10.0, 10.0, 10.0, 10.0):
+            parallel.charge_branch(duration)
+        wave = parallel.commit_wave()
+        assert wave.makespan_ms == 20.0
+        assert clock.now_ms == 20.0
+
+    def test_cumulative_stats_accumulate(self):
+        parallel = ParallelClock(SimClock())
+        for _ in range(2):
+            parallel.begin_wave()
+            parallel.charge_branch(4.0)
+            parallel.charge_branch(6.0)
+            parallel.commit_wave()
+        assert parallel.stats.waves == 2
+        assert parallel.stats.branches == 4
+        assert parallel.stats.sequential_ms == 20.0
+        assert parallel.stats.makespan_ms == 12.0
+        assert parallel.stats.saved_ms == 8.0
+
+    def test_waves_do_not_nest(self):
+        parallel = ParallelClock(SimClock())
+        parallel.begin_wave()
+        with pytest.raises(RuntimeError):
+            parallel.begin_wave()
+
+    def test_branch_outside_wave_rejected(self):
+        parallel = ParallelClock(SimClock())
+        with pytest.raises(RuntimeError):
+            parallel.charge_branch(1.0)
+
+    def test_commit_without_wave_rejected(self):
+        parallel = ParallelClock(SimClock())
+        with pytest.raises(RuntimeError):
+            parallel.commit_wave()
+
+    def test_bad_concurrency_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelClock(SimClock(), max_concurrency=0)
 
 
 class TestStopwatch:
