@@ -49,7 +49,10 @@ class TestSubanswerCache:
         assert experiment.second_run.rows == experiment.first_run.rows
 
     def test_counters_visible_in_explain(self, experiment):
-        assert "subanswer cache: 3 hits / 3 misses" in experiment.explain_text
+        assert (
+            "subanswer cache (lifetime): 3 hits / 3 misses"
+            in experiment.explain_text
+        )
 
 
 def test_print_parallel_tables(experiment):

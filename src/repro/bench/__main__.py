@@ -1,11 +1,15 @@
 """Run every experiment and print all tables: ``python -m repro.bench``.
 
 Options:
-    --fast   use reduced scales (TINY OO7, fewer repetitions)
+    --fast            use reduced scales (TINY OO7, fewer repetitions)
+    --out-dir DIR     also write machine-readable results (currently
+                      ``BENCH_E8.json`` and ``BENCH_E9.json``) into DIR
 """
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 
 from repro.bench.accuracy import run_accuracy
@@ -16,6 +20,7 @@ from repro.bench.history_bench import run_history
 from repro.bench.overhead import run_overhead
 from repro.bench.parallel import run_parallel_experiment
 from repro.bench.plan_quality import run_plan_quality
+from repro.bench.telemetry import run_telemetry_experiment
 from repro.oo7 import PAPER, SMALL, TINY
 
 
@@ -26,8 +31,29 @@ def banner(title: str) -> None:
     print("#" * 72)
 
 
+def write_json(out_dir: str | None, filename: str, payload: dict) -> None:
+    if out_dir is None:
+        return
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {path}")
+
+
+def parse_out_dir(argv: list[str]) -> str | None:
+    if "--out-dir" not in argv:
+        return None
+    index = argv.index("--out-dir")
+    if index + 1 >= len(argv):
+        raise SystemExit("--out-dir requires a directory argument")
+    return argv[index + 1]
+
+
 def main() -> None:
     fast = "--fast" in sys.argv
+    out_dir = parse_out_dir(sys.argv)
     oo7_config = SMALL if fast else PAPER
 
     banner("Figure 12 (§5) — index scan: experiment / calibration / Yao rule")
@@ -98,6 +124,19 @@ def main() -> None:
     print(parallel.cap_table())
     print()
     print(parallel.cache_table())
+    write_json(out_dir, "BENCH_E8.json", parallel.to_json_dict())
+
+    banner("E9 — telemetry overhead and payoff")
+    telemetry = run_telemetry_experiment(repetitions=5 if fast else 9)
+    print(telemetry.overhead_table())
+    print()
+    print(telemetry.trace_table())
+    print(
+        f"\nenabled-telemetry overhead: "
+        f"{telemetry.overhead_enabled_pct:+.1f}% wall-clock; "
+        f"simulated clocks identical: {telemetry.simulated_ms_identical}"
+    )
+    write_json(out_dir, "BENCH_E9.json", telemetry.to_json_dict())
 
 
 if __name__ == "__main__":

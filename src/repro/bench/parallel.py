@@ -25,6 +25,7 @@ from repro.bench.harness import format_table
 from repro.mediator.executor import ExecutorOptions
 from repro.mediator.mediator import Mediator, QueryResult
 from repro.mediator.optimizer import OptimizerOptions
+from repro.obs import ObservabilityOptions
 from repro.sources.clock import CostProfile, SimClock
 from repro.sources.storage_engine import StorageEngine
 from repro.wrappers.base import StorageWrapper
@@ -54,10 +55,13 @@ WORKLOAD: tuple[tuple[str, str], ...] = (
 )
 
 
-def build_federation(options: ExecutorOptions | None = None) -> Mediator:
+def build_federation(
+    options: ExecutorOptions | None = None,
+    observability: "ObservabilityOptions | None" = None,
+) -> Mediator:
     """A fresh three-branch federation (fresh engines: comparisons across
     execution modes must not share wrapper-side buffer state)."""
-    mediator = Mediator(executor_options=options)
+    mediator = Mediator(executor_options=options, observability=observability)
     for index, (region, io_ms) in enumerate(REGIONS):
         engine = StorageEngine(
             SimClock(CostProfile(io_ms=io_ms, cpu_ms_per_object=0.1 * (index + 1)))
@@ -121,6 +125,40 @@ class ParallelExperiment:
             self.cache_rows,
             title="E8c — subanswer cache on a repeated query",
         )
+
+    def to_json_dict(self) -> dict:
+        """Machine-readable form of every table (``BENCH_E8.json``)."""
+        return {
+            "experiment": "E8",
+            "dispatch": [
+                {
+                    "query": label,
+                    "sequential_ms": sequential,
+                    "concurrent_ms": concurrent,
+                    "saved_ms": saved,
+                    "rows_identical": identical,
+                }
+                for label, sequential, concurrent, saved, identical
+                in self.dispatch_rows
+            ],
+            "concurrency_cap": [
+                {
+                    "query": label,
+                    "sequential_ms": sequential,
+                    "capped_to_one_ms": capped,
+                }
+                for label, sequential, capped in self.cap_rows
+            ],
+            "cache": [
+                {
+                    "run": label,
+                    "elapsed_ms": elapsed,
+                    "cache_hits": hits,
+                    "cache_misses": misses,
+                }
+                for label, elapsed, hits, misses in self.cache_rows
+            ],
+        }
 
 
 def run_dispatch_comparison() -> ParallelExperiment:

@@ -57,6 +57,7 @@ from repro.errors import (
     NoApplicableRuleError,
     UnknownStatisticError,
 )
+from repro.obs.trace import NULL_TRACER, SpanTracer
 
 
 class ConflictPolicy(Enum):
@@ -150,6 +151,33 @@ class PlanEstimate:
 
     def estimate_for(self, node: PlanNode) -> NodeEstimate:
         return self.nodes[node.node_id]
+
+    def to_dict(self) -> dict:
+        """Machine-readable plan estimate (the `explain(format="json")`
+        payload): the plan tree with per-node values and provenance."""
+
+        def node_dict(node: PlanNode) -> dict:
+            estimate = self.nodes.get(node.node_id)
+            payload: dict[str, Any] = {
+                "operator": node.operator_name,
+                "describe": node.describe(),
+            }
+            if estimate is not None:
+                payload["values"] = {
+                    variable: (
+                        float(value) if isinstance(value, (int, float)) else value
+                    )
+                    for variable, value in estimate.values.items()
+                }
+                payload["provenance"] = dict(estimate.provenance)
+            payload["children"] = [node_dict(child) for child in node.children]
+            return payload
+
+        return {
+            "pruned": self.pruned,
+            "total_time_ms": self.total_time,
+            "plan": node_dict(self.plan),
+        }
 
     def explain(self) -> str:
         """Indented plan rendering with costs and rule provenance."""
@@ -540,6 +568,8 @@ class CostEstimator:
         self._environments: dict[str, SourceEnvironment] = {}
         self._default_stats_cache: dict[str, CollectionStats] = {}
         self.last_counters = EstimatorCounters()
+        #: Telemetry sink; defaults to the shared no-op tracer.
+        self.tracer: SpanTracer = NULL_TRACER
         #: (node_id, variable) -> (value, provenance); None when disabled.
         self.subplan_cache: dict[tuple[int, str], tuple[Value, str]] | None = (
             {} if self.options.cache_subplans else None
@@ -615,6 +645,32 @@ class CostEstimator:
             A :class:`PlanEstimate`; ``pruned`` is True when the bound cut
             the estimation short.
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._estimate(plan, default_source, bound_ms, variables)
+        span = tracer.start("estimate", kind="estimate", plan=plan.describe())
+        try:
+            result = self._estimate(plan, default_source, bound_ms, variables)
+        except Exception:
+            tracer.end(span, error=True)
+            raise
+        counters = self.last_counters
+        tracer.end(
+            span,
+            total_ms=result.total_time,
+            pruned=result.pruned,
+            nodes_visited=counters.nodes_visited,
+            formulas_evaluated=counters.formulas_evaluated,
+        )
+        return result
+
+    def _estimate(
+        self,
+        plan: PlanNode,
+        default_source: str | None,
+        bound_ms: float | None,
+        variables: tuple[str, ...],
+    ) -> PlanEstimate:
         sources = self._assign_sources(plan, default_source)
         estimation = _Estimation(self, sources, bound_ms)
         pruned = False

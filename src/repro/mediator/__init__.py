@@ -18,6 +18,7 @@ from repro.mediator.optimizer import (
 from repro.mediator.queryspec import QuerySpec, UnionSpec
 from repro.mediator.registration import register_wrapper
 from repro.mediator.scheduler import DispatchOutcome, SubmitScheduler
+from repro.obs import ObservabilityOptions, QueryTelemetry
 
 __all__ = [
     "AdminConsole",
@@ -26,6 +27,8 @@ __all__ = [
     "DriftReport",
     "ExecutorOptions",
     "MEDIATOR_PROFILE",
+    "ObservabilityOptions",
+    "QueryTelemetry",
     "UnionSpec",
     "Mediator",
     "MediatorCatalog",

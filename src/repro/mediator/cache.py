@@ -65,7 +65,16 @@ class SubanswerCache:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self.stats = CacheStats()
+        #: Per-wrapper hit/miss breakdown (observability: the metrics
+        #: registry exports cache behaviour per source, not just globally).
+        self.stats_by_wrapper: dict[str, CacheStats] = {}
         self._entries: dict[tuple[str, str], CacheEntry] = {}
+
+    def _wrapper_stats(self, wrapper: str) -> CacheStats:
+        stats = self.stats_by_wrapper.get(wrapper)
+        if stats is None:
+            stats = self.stats_by_wrapper[wrapper] = CacheStats()
+        return stats
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -79,8 +88,10 @@ class SubanswerCache:
         entry = self._entries.get(self.key_for(wrapper, subplan))
         if entry is None:
             self.stats.misses += 1
+            self._wrapper_stats(wrapper).misses += 1
             return None
         self.stats.hits += 1
+        self._wrapper_stats(wrapper).hits += 1
         entry.uses += 1
         return entry
 

@@ -44,6 +44,7 @@ from repro.mediator.scheduler import (
     SubmitScheduler,
     estimate_payload_bytes,
 )
+from repro.obs.trace import NULL_TRACER, SpanTracer
 from repro.sources.clock import CostProfile, SimClock
 from repro.sources.pages import Row
 from repro.wrappers.base import ExecutionResult
@@ -106,6 +107,15 @@ class MediatorExecutor:
         )
         self._submit_log: list[tuple[Submit, ExecutionResult]] = []
         self._prefetched: dict[int, DispatchOutcome] = {}
+        #: Telemetry sink; defaults to the shared no-op tracer.
+        self.tracer: SpanTracer = NULL_TRACER
+        self._trace_compose = False
+
+    def set_tracer(self, tracer: SpanTracer, trace_compose: bool = True) -> None:
+        """Install a span tracer on the executor and its scheduler."""
+        self.tracer = tracer
+        self.scheduler.tracer = tracer
+        self._trace_compose = tracer.enabled and trace_compose
 
     @property
     def parallel_stats(self):
@@ -171,6 +181,32 @@ class MediatorExecutor:
         self.clock.advance(self.clock.profile.cpu_ms_per_eval * rows)
 
     def _run(self, node: PlanNode) -> Iterator[Row]:
+        """Dispatch one plan node, optionally wrapped in a compose span.
+
+        The traced path adds one generator layer per node; the default
+        returns the operator's iterator untouched, so disabled telemetry
+        costs nothing per row.
+        """
+        if not self._trace_compose or isinstance(node, Submit):
+            # Submit spans are emitted by the scheduler (which also sees
+            # cache hits and waves); composition spans cover the rest.
+            return self._run_node(node)
+        return self._traced_run(node)
+
+    def _traced_run(self, node: PlanNode) -> Iterator[Row]:
+        tracer = self.tracer
+        span = tracer.start(
+            f"compose:{node.operator_name}", kind="compose", node=node.describe()
+        )
+        rows = 0
+        try:
+            for row in self._run_node(node):
+                rows += 1
+                yield row
+        finally:
+            tracer.end(span, rows=rows)
+
+    def _run_node(self, node: PlanNode) -> Iterator[Row]:
         if isinstance(node, Submit):
             yield from self._run_submit(node)
         elif isinstance(node, Scan):

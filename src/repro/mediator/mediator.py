@@ -16,6 +16,7 @@ Ties the whole architecture together:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.algebra.logical import PlanNode
@@ -33,6 +34,8 @@ from repro.mediator.optimizer import (
 )
 from repro.mediator.queryspec import QuerySpec, UnionSpec
 from repro.mediator.registration import register_wrapper
+from repro.obs import ObservabilityOptions, QueryTelemetry
+from repro.obs.trace import NULL_TRACER, Span, SpanTracer
 from repro.sources.pages import Row
 from repro.wrappers.base import Wrapper
 
@@ -54,6 +57,9 @@ class QueryResult:
     #: Simulated time concurrent submit waves saved versus sequential
     #: dispatch (zero in the default sequential mode).
     parallel_saved_ms: float = 0.0
+    #: The query's span tree (root ``query`` span) when the mediator was
+    #: built with tracing enabled; ``None`` otherwise.
+    trace: Span | None = None
 
     @property
     def count(self) -> int:
@@ -74,6 +80,7 @@ class Mediator:
         repository: RuleRepository | None = None,
         record_history: bool = False,
         executor_options: ExecutorOptions | None = None,
+        observability: ObservabilityOptions | None = None,
     ) -> None:
         self.catalog = MediatorCatalog()
         self.repository = (
@@ -99,6 +106,23 @@ class Mediator:
         self.optimizer = Optimizer(self.catalog, self.estimator, optimizer_options)
         self.executor = MediatorExecutor(self.catalog, options=executor_options)
         self.history = HistoryStore(self.repository) if record_history else None
+        self.observability = (
+            observability if observability is not None else ObservabilityOptions()
+        )
+        #: The telemetry bundle (tracer + metrics + drift); ``None`` when
+        #: observability is off — disabled telemetry costs nothing.
+        self.telemetry: QueryTelemetry | None = None
+        self._tracer: SpanTracer = NULL_TRACER
+        if self.observability.enabled:
+            self.telemetry = QueryTelemetry(
+                self.observability, clock=self.executor.clock
+            )
+            self._tracer = self.telemetry.tracer
+            self.estimator.tracer = self._tracer
+            self.optimizer.tracer = self._tracer
+            self.executor.set_tracer(
+                self._tracer, trace_compose=self.observability.trace_compose
+            )
 
     # -- registration phase (§2.1) ---------------------------------------------
 
@@ -118,21 +142,42 @@ class Mediator:
         """Parse SQL into the optimizer's query representation."""
         from repro.sqlfe.translator import translate_sql
 
-        return translate_sql(sql, self.catalog)
+        with self._tracer.span("parse/translate", kind="phase", sql=sql):
+            return translate_sql(sql, self.catalog)
 
     def plan(self, query: "str | QuerySpec | UnionSpec") -> OptimizationResult:
         """Optimize a query without executing it."""
         spec = self.parse(query) if isinstance(query, str) else query
-        return self.optimizer.optimize(spec)
+        tracer = self._tracer
+        with tracer.span("optimize", kind="phase") as span:
+            optimized = self.optimizer.optimize(spec)
+            if tracer.enabled:
+                span.set(
+                    candidates_considered=optimized.stats.candidates_considered,
+                    candidates_pruned=optimized.stats.candidates_pruned,
+                    estimated_ms=optimized.estimated_total_ms,
+                )
+        return optimized
 
     def query(self, query: "str | QuerySpec | UnionSpec") -> QueryResult:
         """Run a query end to end and return rows plus diagnostics."""
         sql = query if isinstance(query, str) else None
-        optimized = self.plan(query)
-        execution = self.executor.execute(optimized.plan)
+        tracer = self._tracer
+        with tracer.span("query", kind="query", sql=sql) as root:
+            optimized = self.plan(query)
+            with tracer.span("execute", kind="phase") as execute_span:
+                execution = self.executor.execute(optimized.plan)
+                if tracer.enabled:
+                    execute_span.set(
+                        rows=len(execution.rows),
+                        elapsed_ms=execution.total_time_ms,
+                        cache_hits=execution.cache_hits,
+                        cache_misses=execution.cache_misses,
+                        parallel_saved_ms=execution.parallel_saved_ms,
+                    )
         if self.history is not None:
             self.history.record_plan(optimized.plan, execution, self.catalog)
-        return QueryResult(
+        result = QueryResult(
             rows=execution.rows,
             elapsed_ms=execution.total_time_ms,
             time_first_ms=execution.time_first_ms,
@@ -143,15 +188,22 @@ class Mediator:
             cache_hits=execution.cache_hits,
             cache_misses=execution.cache_misses,
             parallel_saved_ms=execution.parallel_saved_ms,
+            trace=root if tracer.enabled else None,
         )
+        if self.telemetry is not None:
+            self.telemetry.record_query(result, execution)
+        return result
 
     def execute_plan(self, plan: PlanNode) -> QueryResult:
         """Execute a hand-built plan, bypassing the optimizer."""
-        estimate = self.estimator.estimate(plan)
-        execution = self.executor.execute(plan)
+        tracer = self._tracer
+        with tracer.span("query", kind="query", entry="execute_plan") as root:
+            estimate = self.estimator.estimate(plan)
+            with tracer.span("execute", kind="phase"):
+                execution = self.executor.execute(plan)
         if self.history is not None:
             self.history.record_plan(plan, execution, self.catalog)
-        return QueryResult(
+        result = QueryResult(
             rows=execution.rows,
             elapsed_ms=execution.total_time_ms,
             time_first_ms=execution.time_first_ms,
@@ -161,16 +213,55 @@ class Mediator:
             cache_hits=execution.cache_hits,
             cache_misses=execution.cache_misses,
             parallel_saved_ms=execution.parallel_saved_ms,
+            trace=root if tracer.enabled else None,
         )
+        if self.telemetry is not None:
+            self.telemetry.record_query(result, execution)
+        return result
 
-    def explain(self, query: str | QuerySpec) -> str:
-        """The chosen plan with costs and rule provenance per node."""
+    def explain(
+        self, query: "str | QuerySpec | UnionSpec", format: str = "text"
+    ) -> str:
+        """The chosen plan with costs and rule provenance per node.
+
+        ``format="text"`` (default) renders the indented human-readable
+        plan; ``format="json"`` returns a machine-readable document with
+        the same information (per-node values and provenance).  The
+        subanswer-cache line reports *lifetime* executor counters — it is
+        labelled as such because `explain` itself executes nothing.
+        """
+        if format not in ("text", "json"):
+            raise ValueError(f"unknown explain format {format!r}")
+        tracer = self._tracer
+        roots_before = len(tracer.roots) if tracer.enabled else 0
         optimized = self.plan(query)
+        if format == "json":
+            payload: dict = {
+                "estimated_total_ms": optimized.estimated_total_ms,
+                "candidates_considered": optimized.stats.candidates_considered,
+                "candidates_pruned": optimized.stats.candidates_pruned,
+            }
+            if self.executor.cache is not None:
+                stats = self.executor.cache.stats
+                payload["subanswer_cache_lifetime"] = {
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                }
+            payload.update(optimized.estimate.to_dict())
+            return json.dumps(payload, indent=2, sort_keys=True)
         header = (
             f"estimated TotalTime: {optimized.estimated_total_ms:.1f} ms "
             f"({optimized.stats.candidates_considered} candidates, "
             f"{optimized.stats.candidates_pruned} pruned)"
         )
         if self.executor.cache is not None:
-            header += f"\nsubanswer cache: {self.executor.cache.stats}"
-        return header + "\n" + optimized.estimate.explain()
+            # Lifetime counters of this executor's cache — explain does
+            # not execute, so there is no per-run activity to report.
+            header += f"\nsubanswer cache (lifetime): {self.executor.cache.stats}"
+        text = header + "\n" + optimized.estimate.explain()
+        if tracer.enabled and len(tracer.roots) > roots_before:
+            rendered = "\n".join(
+                span.render() for span in tracer.roots[roots_before:]
+            )
+            text += "\n\noptimization trace:\n" + rendered
+        return text

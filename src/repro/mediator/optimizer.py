@@ -46,6 +46,7 @@ from repro.core.estimator import CostEstimator, PlanEstimate
 from repro.errors import QueryError
 from repro.mediator.catalog import MediatorCatalog
 from repro.mediator.queryspec import QuerySpec, UnionSpec
+from repro.obs.trace import NULL_TRACER, SpanTracer
 
 
 @dataclass
@@ -124,6 +125,8 @@ class Optimizer:
         self.catalog = catalog
         self.estimator = estimator
         self.options = options or OptimizerOptions()
+        #: Telemetry sink; defaults to the shared no-op tracer.
+        self.tracer: SpanTracer = NULL_TRACER
         if self.options.parallel_submits is not None:
             estimator.options.parallel_submits = self.options.parallel_submits
             estimator.options.max_concurrency = self.options.max_concurrency
@@ -167,6 +170,25 @@ class Optimizer:
         self, plan: PlanNode, stats: OptimizerStats, bound: float | None
     ) -> _Candidate | None:
         """Estimate one candidate; None when pruned by the §4.3.2 bound."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._cost_inner(plan, stats, bound)
+        with tracer.span(
+            f"candidate:{plan.operator_name}",
+            kind="candidate",
+            plan=plan.describe(),
+            bound_ms=bound,
+        ) as span:
+            candidate = self._cost_inner(plan, stats, bound)
+            span.set(
+                pruned=candidate is None,
+                cost_ms=candidate.cost if candidate is not None else None,
+            )
+        return candidate
+
+    def _cost_inner(
+        self, plan: PlanNode, stats: OptimizerStats, bound: float | None
+    ) -> _Candidate | None:
         stats.candidates_considered += 1
         first_tuple = self.options.objective == "time_first"
         bound_ms = bound if self.options.use_pruning and not first_tuple else None

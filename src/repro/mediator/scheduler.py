@@ -32,6 +32,7 @@ from repro.algebra.logical import PlanNode, Project, Submit
 from repro.core.statistics import StatisticsCatalog
 from repro.mediator.cache import CacheEntry, SubanswerCache
 from repro.mediator.catalog import MediatorCatalog
+from repro.obs.trace import NULL_TRACER, SpanTracer
 from repro.sources.clock import ParallelClock, SimClock, WaveStats
 from repro.wrappers.base import ExecutionResult
 
@@ -90,6 +91,9 @@ class SubmitScheduler:
         self.cache = cache
         self.parallel = ParallelClock(clock, max_concurrency)
         self.last_wave: WaveStats | None = None
+        #: Telemetry sink; the shared null tracer keeps every span site a
+        #: constant-time no-op until the mediator injects a real one.
+        self.tracer: SpanTracer = NULL_TRACER
 
     # -- cache plumbing -----------------------------------------------------
 
@@ -97,6 +101,13 @@ class SubmitScheduler:
         if self.cache is None:
             return None
         entry: CacheEntry | None = self.cache.lookup(submit.wrapper, submit.child)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "cache.hit" if entry is not None else "cache.miss",
+                kind="cache",
+                wrapper=submit.wrapper,
+                subquery=submit.child.describe(),
+            )
         if entry is None:
             return None
         # Copies keep cached subanswers immutable under downstream row
@@ -124,6 +135,17 @@ class SubmitScheduler:
         cached = self._cached_outcome(submit)
         if cached is not None:
             return cached
+        tracer = self.tracer
+        span = (
+            tracer.start(
+                f"submit:{submit.wrapper}",
+                kind="submit",
+                wrapper=submit.wrapper,
+                subquery=submit.child.describe(),
+            )
+            if tracer.enabled
+            else None
+        )
         wrapper = self.catalog.wrapper(submit.wrapper)
         self.clock.charge_message()  # ship the subquery
         result: ExecutionResult = wrapper.execute(submit.child)
@@ -133,6 +155,15 @@ class SubmitScheduler:
         )
         self.clock.charge_message(payload_bytes=payload)
         self._store(submit, result)
+        if span is not None:
+            attrs = {
+                "rows": len(result.rows),
+                "wrapper_ms": result.total_time_ms,
+                "payload_bytes": payload,
+            }
+            if result.device_stats:
+                attrs.update(result.device_stats)
+            tracer.end(span, **attrs)
         return DispatchOutcome(submit=submit, result=result)
 
     # -- concurrent dispatch -----------------------------------------------------
@@ -146,6 +177,12 @@ class SubmitScheduler:
         in input order, so results — and the wrapper engines' own clocks —
         stay deterministic.
         """
+        tracer = self.tracer
+        wave_span = (
+            tracer.start("wave", kind="wave", branches=len(submits))
+            if tracer.enabled
+            else None
+        )
         outcomes: list[DispatchOutcome] = []
         self.parallel.begin_wave()
         for submit in submits:
@@ -155,11 +192,29 @@ class SubmitScheduler:
             if cached is not None:
                 outcomes.append(cached)
                 continue
+            branch_span = (
+                tracer.start(
+                    f"submit:{submit.wrapper}",
+                    kind="submit",
+                    wrapper=submit.wrapper,
+                    subquery=submit.child.describe(),
+                )
+                if tracer.enabled
+                else None
+            )
             wrapper = self.catalog.wrapper(submit.wrapper)
             self.parallel.charge_message()  # ship the subquery
             result = wrapper.execute(submit.child)
             self.parallel.charge_branch(result.total_time_ms)
             self._store(submit, result)
+            if branch_span is not None:
+                # The branch overlaps its siblings: the mediator clock only
+                # advances at commit, so wrapper_ms carries the wait that a
+                # zero-length simulated span cannot show.
+                attrs = {"rows": len(result.rows), "wrapper_ms": result.total_time_ms}
+                if result.device_stats:
+                    attrs.update(result.device_stats)
+                tracer.end(branch_span, **attrs)
             outcomes.append(DispatchOutcome(submit=submit, result=result))
         self.last_wave = self.parallel.commit_wave()
         for outcome in outcomes:
@@ -171,4 +226,12 @@ class SubmitScheduler:
                 len(outcome.result.rows),
             )
             self.parallel.charge_message(payload_bytes=payload)
+        if wave_span is not None:
+            tracer.end(
+                wave_span,
+                makespan_ms=self.last_wave.makespan_ms,
+                sequential_ms=self.last_wave.sequential_ms,
+                saved_ms=self.last_wave.saved_ms,
+                cached_branches=sum(1 for o in outcomes if o.cached),
+            )
         return outcomes

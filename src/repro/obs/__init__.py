@@ -1,0 +1,154 @@
+"""Query telemetry: spans, metrics, and cost-model drift tracking.
+
+The subsystem has three independent layers, all optional and all off by
+default (:class:`ObservabilityOptions` on :class:`~repro.mediator.
+mediator.Mediator`):
+
+* :mod:`repro.obs.trace` — span trees over the simulated clock (one root
+  per query, children for parse/optimize/estimate/execute/submit/wave);
+* :mod:`repro.obs.metrics` — a Prometheus-style metrics registry fed by
+  the pipeline's existing counters;
+* :mod:`repro.obs.accuracy` — per-(scope, rule) q-error between
+  estimates and measured executions, the paper-specific payoff.
+
+:class:`QueryTelemetry` bundles the three and owns the per-query feeding
+logic, so the mediator's only obligations are (a) handing its components
+the tracer and (b) calling :meth:`QueryTelemetry.record_query` once per
+answered query.  See ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.obs.accuracy import DriftObservation, DriftTracker, RuleDrift, q_error
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, SpanTracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mediator.mediator import QueryResult
+    from repro.wrappers.base import ExecutionResult
+
+
+@dataclass
+class ObservabilityOptions:
+    """Telemetry knobs of the mediator.  Everything defaults off; with
+    ``enabled=False`` no telemetry object is even constructed and every
+    instrumentation site short-circuits on the shared null tracer."""
+
+    enabled: bool = False
+    #: Record span trees (attached to ``QueryResult.trace``).
+    trace: bool = True
+    #: Per-composition-operator spans during execution (the chattiest
+    #: layer; disable to trace only submits/waves/phases).
+    trace_compose: bool = True
+    #: Maintain the metrics registry.
+    metrics: bool = True
+    #: Track per-(scope, rule) estimate-vs-actual drift.
+    drift: bool = True
+
+    @classmethod
+    def all_on(cls) -> "ObservabilityOptions":
+        return cls(enabled=True)
+
+
+class QueryTelemetry:
+    """The per-mediator telemetry state: tracer + registry + drift."""
+
+    def __init__(self, options: ObservabilityOptions, clock=None) -> None:
+        self.options = options
+        self.tracer: SpanTracer = (
+            SpanTracer(clock) if options.trace else NULL_TRACER
+        )
+        self.metrics: MetricsRegistry | None = (
+            MetricsRegistry() if options.metrics else None
+        )
+        self.drift: DriftTracker | None = DriftTracker() if options.drift else None
+
+    # -- per-query feeding -----------------------------------------------------
+
+    def record_query(
+        self, result: "QueryResult", execution: "ExecutionResult"
+    ) -> None:
+        """Fold one answered query into the registry and drift tracker."""
+        if self.metrics is not None:
+            self._record_metrics(result, execution)
+        if self.drift is not None:
+            self.drift.observe_plan(result.estimate, execution.submit_log)
+
+    def _record_metrics(
+        self, result: "QueryResult", execution: "ExecutionResult"
+    ) -> None:
+        metrics = self.metrics
+        assert metrics is not None
+        metrics.counter("repro_queries_total", "Queries answered").inc()
+        metrics.histogram(
+            "repro_query_elapsed_ms", "Simulated query latency"
+        ).observe(result.elapsed_ms)
+        submits = metrics.counter(
+            "repro_submits_total", "Wrapper subqueries dispatched", ("wrapper",)
+        )
+        rows_shipped = metrics.counter(
+            "repro_rows_shipped_total", "Rows returned by wrappers", ("wrapper",)
+        )
+        for submit, submit_result in execution.submit_log:
+            submits.inc(wrapper=submit.wrapper)
+            rows_shipped.inc(len(submit_result.rows), wrapper=submit.wrapper)
+        metrics.counter("repro_rows_returned_total", "Rows answered to clients").inc(
+            len(execution.rows)
+        )
+        cache_hits = metrics.counter(
+            "repro_cache_hits_total", "Subanswer-cache hits"
+        )
+        cache_misses = metrics.counter(
+            "repro_cache_misses_total", "Subanswer-cache misses"
+        )
+        # inc(0) still materializes the series, so the exposition shows
+        # an explicit zero instead of omitting the sample.
+        cache_hits.inc(result.cache_hits)
+        cache_misses.inc(result.cache_misses)
+        requests = cache_hits.total() + cache_misses.total()
+        metrics.gauge(
+            "repro_cache_hit_ratio", "Lifetime subanswer-cache hit ratio"
+        ).set(cache_hits.total() / requests if requests else 0.0)
+        stats = result.optimizer_stats
+        metrics.counter(
+            "repro_candidates_considered_total", "Optimizer candidates costed"
+        ).inc(stats.candidates_considered)
+        metrics.counter(
+            "repro_candidates_pruned_total", "Candidates cut by the §4.3.2 bound"
+        ).inc(stats.candidates_pruned)
+        metrics.counter(
+            "repro_formulas_evaluated_total", "Cost formulas evaluated"
+        ).inc(stats.formulas_evaluated)
+        metrics.counter(
+            "repro_variables_computed_total", "Cost variables computed"
+        ).inc(stats.variables_computed)
+        metrics.counter(
+            "repro_parallel_saved_ms_total",
+            "Simulated ms saved by concurrent waves",
+        ).inc(result.parallel_saved_ms)
+
+
+__all__ = [
+    "Counter",
+    "DriftObservation",
+    "DriftTracker",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "ObservabilityOptions",
+    "QueryTelemetry",
+    "RuleDrift",
+    "Span",
+    "SpanTracer",
+    "q_error",
+]

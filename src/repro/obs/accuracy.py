@@ -1,0 +1,263 @@
+"""Per-scope cost-model drift tracking — estimate-vs-actual q-error.
+
+The paper's claim is that the blended cost model (the §4 scope hierarchy
+``query > predicate > collection > wrapper > local > default``) predicts
+execution better than the generic model alone.  This module makes that
+claim *measurable per rule*: every executed wrapper subquery is joined
+against the estimate the optimizer produced for it, and the resulting
+q-errors are aggregated by the ``(scope, rule)`` that supplied each
+variable — the provenance :class:`~repro.core.estimator.NodeEstimate`
+already records (``"predicate[oo7]: select(AtomicParts, Id = V)"``).
+
+A drift report then answers the paper-specific question directly: *which
+exported cost rule is mispredicting*, and at which scope level.  A
+wrapper-scope rule with q-error 40 while the collection-scope rule of the
+same source sits at 1.2 is a pinpointed calibration bug.
+
+The tracker only learns from **measured** executions: it consumes the
+executor's ``submit_log``, which by construction excludes subanswer-cache
+hits (a zero-time hit would poison the actuals exactly as it would
+poison §4.3.1 history recording).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.algebra.logical import Submit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.estimator import PlanEstimate
+    from repro.wrappers.base import ExecutionResult
+
+#: The provenance format written by ``_Estimation._compute``:
+#: ``scope[source]: rule name``.
+_PROVENANCE = re.compile(r"^(?P<scope>[a-z]+)\[(?P<source>[^\]]*)\]: (?P<rule>.*)$")
+
+
+def parse_provenance(text: str) -> tuple[str, str, str]:
+    """Split a provenance string into (scope, source, rule).
+
+    Strings that do not follow the scoped format (``"derived"``,
+    ``"pruned (§4.3.2 bound exceeded)"``) fall into a synthetic
+    ``internal`` scope so they still aggregate somewhere visible.
+    """
+    match = _PROVENANCE.match(text)
+    if match is None:
+        return ("internal", "", text)
+    return (match.group("scope"), match.group("source"), match.group("rule"))
+
+
+def q_error(estimated: float, actual: float, floor: float = 1e-9) -> float:
+    """The symmetric multiplicative error ``max(est/act, act/est)``.
+
+    1.0 is a perfect prediction; 10.0 means an order of magnitude off in
+    either direction.  Values are floored to keep zero-cost corner cases
+    (empty subanswers) finite.
+    """
+    est = max(float(estimated), floor)
+    act = max(float(actual), floor)
+    return max(est / act, act / est)
+
+
+@dataclass
+class DriftObservation:
+    """One (estimate, measurement) pair for one variable of one submit."""
+
+    scope: str
+    source: str
+    rule: str
+    variable: str
+    estimated: float
+    actual: float
+
+    @property
+    def q_error(self) -> float:
+        return q_error(self.estimated, self.actual)
+
+
+@dataclass
+class RuleDrift:
+    """Aggregated q-error of one (scope, rule) pair for one variable."""
+
+    scope: str
+    source: str
+    rule: str
+    variable: str
+    count: int = 0
+    sum_q: float = 0.0
+    max_q: float = 0.0
+    last_estimated: float = 0.0
+    last_actual: float = 0.0
+
+    def fold(self, observation: DriftObservation) -> None:
+        q = observation.q_error
+        self.count += 1
+        self.sum_q += q
+        self.max_q = max(self.max_q, q)
+        self.last_estimated = observation.estimated
+        self.last_actual = observation.actual
+
+    @property
+    def mean_q(self) -> float:
+        return self.sum_q / self.count if self.count else 0.0
+
+
+class DriftTracker:
+    """Joins executed submits against their estimates, per (scope, rule).
+
+    Feed it with :meth:`observe_plan` after each execution; read
+    :meth:`report` (text table) or :meth:`snapshot` (JSON-ready dicts).
+    """
+
+    #: Variables joined against actuals: predicted response time and
+    #: predicted cardinality, the two the executor can measure directly.
+    VARIABLES = ("TotalTime", "CountObject")
+
+    def __init__(self) -> None:
+        self._aggregates: dict[tuple[str, str, str, str], RuleDrift] = {}
+        #: Submits executed but absent from the estimated plan (runtime-
+        #: built bind-join probes): counted, never silently dropped.
+        self.unmatched_submits = 0
+        self.observations = 0
+
+    def __len__(self) -> int:
+        return len(self._aggregates)
+
+    # -- feeding ---------------------------------------------------------------
+
+    def observe_submit(
+        self,
+        estimate: "PlanEstimate",
+        submit: Submit,
+        result: "ExecutionResult",
+    ) -> list[DriftObservation]:
+        """Join one executed submit against the plan estimate.
+
+        The wrapper-side measurement corresponds to the Submit *child*
+        (the subtree the wrapper ran); the mediator-side Submit node adds
+        communication the wrapper never sees.
+        """
+        node_estimate = estimate.nodes.get(submit.child.node_id)
+        if node_estimate is None:
+            # Bind-join probe batches are constructed at run time; the
+            # estimated plan holds the BindJoin node, not these Submits.
+            self.unmatched_submits += 1
+            return []
+        actuals = {
+            "TotalTime": float(result.total_time_ms),
+            "CountObject": float(result.count),
+        }
+        observations: list[DriftObservation] = []
+        for variable in self.VARIABLES:
+            if variable not in node_estimate.values:
+                continue
+            estimated = node_estimate.values[variable]
+            if not isinstance(estimated, (int, float)):
+                continue
+            scope, source, rule = parse_provenance(
+                node_estimate.provenance.get(variable, "internal")
+            )
+            observation = DriftObservation(
+                scope=scope,
+                source=source,
+                rule=rule,
+                variable=variable,
+                estimated=float(estimated),
+                actual=actuals[variable],
+            )
+            key = (scope, source, rule, variable)
+            aggregate = self._aggregates.get(key)
+            if aggregate is None:
+                aggregate = RuleDrift(
+                    scope=scope, source=source, rule=rule, variable=variable
+                )
+                self._aggregates[key] = aggregate
+            aggregate.fold(observation)
+            self.observations += 1
+            observations.append(observation)
+        return observations
+
+    def observe_plan(
+        self,
+        estimate: "PlanEstimate",
+        submit_log: "Iterable[tuple[Submit, ExecutionResult]]",
+    ) -> int:
+        """Fold every measured submit of one execution in; returns the
+        number of observations recorded."""
+        recorded = 0
+        for submit, result in submit_log:
+            recorded += len(self.observe_submit(estimate, submit, result))
+        return recorded
+
+    # -- reading ---------------------------------------------------------------
+
+    def aggregates(self) -> list[RuleDrift]:
+        """All (scope, rule, variable) aggregates, worst mean q-error first."""
+        return sorted(
+            self._aggregates.values(), key=lambda a: a.mean_q, reverse=True
+        )
+
+    def worst(self, variable: str = "TotalTime") -> RuleDrift | None:
+        """The most-mispredicting rule for one variable."""
+        candidates = [a for a in self.aggregates() if a.variable == variable]
+        return candidates[0] if candidates else None
+
+    def report(self) -> str:
+        """An aligned text table of per-(scope, rule) drift."""
+        headers = ("scope", "source", "rule", "variable", "n", "mean q", "max q")
+        rows = [
+            (
+                a.scope,
+                a.source or "-",
+                a.rule if len(a.rule) <= 48 else a.rule[:45] + "...",
+                a.variable,
+                str(a.count),
+                f"{a.mean_q:.2f}",
+                f"{a.max_q:.2f}",
+            )
+            for a in self.aggregates()
+        ]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+        if self.unmatched_submits:
+            lines.append(
+                f"({self.unmatched_submits} runtime-built submits without a "
+                "plan estimate were skipped)"
+            )
+        return "\n".join(lines)
+
+    def snapshot(self) -> dict:
+        """JSON-ready export, grouped per (scope, rule)."""
+        return {
+            "observations": self.observations,
+            "unmatched_submits": self.unmatched_submits,
+            "rules": [
+                {
+                    "scope": a.scope,
+                    "source": a.source,
+                    "rule": a.rule,
+                    "variable": a.variable,
+                    "count": a.count,
+                    "mean_q_error": a.mean_q,
+                    "max_q_error": a.max_q,
+                    "last_estimated": a.last_estimated,
+                    "last_actual": a.last_actual,
+                }
+                for a in self.aggregates()
+            ],
+        }
+
+    def snapshot_json(self) -> str:
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)

@@ -1,0 +1,248 @@
+"""A metrics registry with Prometheus-style exposition.
+
+:class:`MetricsRegistry` unifies the counters the pipeline already keeps
+scattered across components (``EstimatorCounters``, ``OptimizerStats``,
+``CacheStats``, ``ParallelStats``) into one queryable surface:
+
+* :class:`Counter` — monotonically increasing totals (queries, submits
+  per wrapper, rows shipped, cache hits);
+* :class:`Gauge` — point-in-time values (cache hit ratio, entries);
+* :class:`Histogram` — distributions with cumulative buckets (query
+  latency in simulated ms).
+
+All three support label dimensions (``submits_total{wrapper="oo7"}``).
+:meth:`MetricsRegistry.expose_text` renders the standard text exposition
+format (``# HELP`` / ``# TYPE`` + samples); :meth:`MetricsRegistry.
+snapshot` returns the same data as plain dicts for JSON export and test
+assertions.  Everything is deterministic and process-local — there is no
+background collection thread; the mediator records after each query.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Iterable, Mapping
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(
+    label_names: tuple[str, ...], labels: Mapping[str, Any]
+) -> LabelKey:
+    if set(labels) != set(label_names):
+        raise ValueError(
+            f"expected labels {sorted(label_names)}, got {sorted(labels)}"
+        )
+    return tuple((name, str(labels[name])) for name in label_names)
+
+
+def _render_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+class Metric:
+    """Base: a named family of samples, one per label combination."""
+
+    metric_type = "untyped"
+
+    def __init__(self, name: str, help_text: str, label_names: Iterable[str] = ()):
+        self.name = name
+        self.help_text = help_text
+        self.label_names = tuple(label_names)
+
+    # Subclasses implement ``samples()`` yielding (suffix, label key, value).
+
+    def samples(self) -> "list[tuple[str, LabelKey, float]]":
+        raise NotImplementedError
+
+    def expose(self) -> str:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.metric_type}",
+        ]
+        for suffix, key, value in self.samples():
+            rendered = value if not math.isinf(value) else "+Inf"
+            lines.append(f"{self.name}{suffix}{_render_labels(key)} {rendered}")
+        return "\n".join(lines)
+
+
+class Counter(Metric):
+    metric_type = "counter"
+
+    def __init__(self, name: str, help_text: str, label_names: Iterable[str] = ()):
+        super().__init__(name, help_text, label_names)
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        key = _label_key(self.label_names, labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(self.label_names, labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        return sum(self._values.values())
+
+    def samples(self) -> "list[tuple[str, LabelKey, float]]":
+        return [("", key, value) for key, value in sorted(self._values.items())]
+
+
+class Gauge(Metric):
+    metric_type = "gauge"
+
+    def __init__(self, name: str, help_text: str, label_names: Iterable[str] = ()):
+        super().__init__(name, help_text, label_names)
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_label_key(self.label_names, labels)] = float(value)
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(self.label_names, labels), 0.0)
+
+    def samples(self) -> "list[tuple[str, LabelKey, float]]":
+        return [("", key, value) for key, value in sorted(self._values.items())]
+
+
+#: Default latency buckets, in simulated milliseconds.  Federated queries
+#: pay >=300 ms of §2.3 communication per submit, so the grid is coarse.
+DEFAULT_BUCKETS = (
+    100.0,
+    250.0,
+    500.0,
+    1_000.0,
+    2_500.0,
+    5_000.0,
+    10_000.0,
+    25_000.0,
+    float("inf"),
+)
+
+
+class Histogram(Metric):
+    metric_type = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help_text, label_names)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds or bounds[-1] != float("inf"):
+            bounds.append(float("inf"))
+        self.buckets = tuple(bounds)
+        self._counts: dict[LabelKey, list[int]] = {}
+        self._sums: dict[LabelKey, float] = {}
+        self._totals: dict[LabelKey, int] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(self.label_names, labels)
+        counts = self._counts.setdefault(key, [0] * len(self.buckets))
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[index] += 1
+        self._sums[key] = self._sums.get(key, 0.0) + float(value)
+        self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels: Any) -> int:
+        return self._totals.get(_label_key(self.label_names, labels), 0)
+
+    def sum(self, **labels: Any) -> float:
+        return self._sums.get(_label_key(self.label_names, labels), 0.0)
+
+    def samples(self) -> "list[tuple[str, LabelKey, float]]":
+        out: list[tuple[str, LabelKey, float]] = []
+        for key in sorted(self._counts):
+            for index, bound in enumerate(self.buckets):
+                le = "+Inf" if math.isinf(bound) else f"{bound:g}"
+                bucket_key = key + (("le", le),)
+                out.append(("_bucket", bucket_key, float(self._counts[key][index])))
+            out.append(("_sum", key, self._sums[key]))
+            out.append(("_count", key, float(self._totals[key])))
+        return out
+
+
+class MetricsRegistry:
+    """Named metrics, get-or-create semantics, one exposition endpoint."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str) -> Metric:
+        return self._metrics[name]
+
+    def _get_or_create(self, cls: type, name: str, help_text: str, labels, **kw):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.label_names != tuple(labels):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}{existing.label_names}"
+                )
+            return existing
+        metric = cls(name, help_text, labels, **kw)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Iterable[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help_text, tuple(labels))
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Iterable[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, tuple(labels))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help_text, tuple(labels), buckets=buckets
+        )
+
+    # -- export --------------------------------------------------------------
+
+    def expose_text(self) -> str:
+        """The Prometheus text exposition of every registered metric."""
+        return "\n".join(
+            metric.expose() for _name, metric in sorted(self._metrics.items())
+        )
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict export (JSON-ready) of every metric's samples."""
+        out: dict[str, Any] = {}
+        for name, metric in sorted(self._metrics.items()):
+            out[name] = {
+                "type": metric.metric_type,
+                "help": metric.help_text,
+                "samples": [
+                    {
+                        "name": name + suffix,
+                        "labels": dict(key),
+                        "value": value,
+                    }
+                    for suffix, key, value in metric.samples()
+                ],
+            }
+        return out
+
+    def snapshot_json(self) -> str:
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)

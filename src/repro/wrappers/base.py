@@ -54,6 +54,10 @@ class ExecutionResult:
     cache_misses: int = 0
     #: Simulated time the concurrent waves saved versus sequential dispatch.
     parallel_saved_ms: float = 0.0
+    #: Device-level counters measured during the execution (page reads,
+    #: objects processed) — surfaced as submit-span attributes by the
+    #: telemetry layer.  ``None`` when the executing engine exports none.
+    device_stats: dict[str, int] | None = None
 
     @property
     def count(self) -> int:
@@ -198,6 +202,8 @@ class StorageWrapper(Wrapper):
         self.check_capabilities(plan)
         clock = self.engine.clock
         start = clock.now_ms
+        pages_before = clock.stats.page_reads
+        objects_before = clock.stats.objects_processed
         time_first: float | None = None
         rows: list[Row] = []
         for row in self.executor._run(plan):
@@ -211,4 +217,9 @@ class StorageWrapper(Wrapper):
             # Discovering emptiness costs the full execution: report the
             # elapsed total rather than understating TimeFirst as zero.
             time_first_ms=time_first if time_first is not None else total,
+            device_stats={
+                "page_reads": clock.stats.page_reads - pages_before,
+                "objects_processed": clock.stats.objects_processed
+                - objects_before,
+            },
         )

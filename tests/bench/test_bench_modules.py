@@ -113,3 +113,55 @@ class TestClusteringModule:
         for point in result.points:
             assert point.clustered_pages <= point.scattered_pages
         assert "clustering" in result.table()
+
+
+class TestParallelModule:
+    def test_e8_json_dict_is_machine_readable(self):
+        import json
+
+        from repro.bench.parallel import run_parallel_experiment
+
+        experiment = run_parallel_experiment()
+        doc = json.loads(json.dumps(experiment.to_json_dict()))
+        assert doc["experiment"] == "E8"
+        assert all(row["rows_identical"] for row in doc["dispatch"])
+        assert all(row["saved_ms"] >= 0 for row in doc["dispatch"])
+        cache_by_run = {row["run"]: row for row in doc["cache"]}
+        assert cache_by_run["second"]["cache_hits"] > 0
+        assert (
+            cache_by_run["second"]["elapsed_ms"]
+            < cache_by_run["first"]["elapsed_ms"]
+        )
+
+
+class TestTelemetryModule:
+    def test_e9_small_run(self):
+        import json
+
+        from repro.bench.telemetry import run_telemetry_experiment
+
+        experiment = run_telemetry_experiment(repetitions=3)
+        assert experiment.simulated_ms_identical
+        assert experiment.metrics_consistent
+        assert experiment.drift_cells > 0
+        assert len(experiment.mode_rows) == 2
+        assert "telemetry" in experiment.overhead_table()
+        assert "submit spans" in experiment.trace_table()
+        doc = json.loads(json.dumps(experiment.to_json_dict()))
+        assert doc["experiment"] == "E9"
+        assert all(t["spans"] > 0 for t in doc["traces"])
+
+
+class TestBenchJsonOutput:
+    def test_out_dir_writer(self, tmp_path):
+        import json
+
+        from repro.bench.__main__ import parse_out_dir, write_json
+
+        write_json(str(tmp_path), "BENCH_TEST.json", {"experiment": "T"})
+        written = json.loads((tmp_path / "BENCH_TEST.json").read_text())
+        assert written == {"experiment": "T"}
+        assert parse_out_dir(["prog", "--out-dir", "x"]) == "x"
+        assert parse_out_dir(["prog"]) is None
+        with pytest.raises(SystemExit):
+            parse_out_dir(["prog", "--out-dir"])

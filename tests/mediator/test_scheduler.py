@@ -183,7 +183,9 @@ class TestMediatorSurface:
         mediator.query(sql)
         mediator.query(sql)
         text = mediator.explain(sql)
-        assert "subanswer cache: 1 hits / 1 misses" in text
+        # The counters are cumulative executor state (explain itself
+        # executes nothing), so the label must say so.
+        assert "subanswer cache (lifetime): 1 hits / 1 misses" in text
 
     def test_query_result_reports_parallel_savings(self):
         mediator = build_mediator(PARALLEL)

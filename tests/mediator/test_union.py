@@ -107,3 +107,33 @@ class TestExecution:
         )
         assert optimized.estimated_total_ms > 0
         assert optimized.plan.operator_name == "union"
+
+
+class TestExplain:
+    """Regression: ``explain`` accepts union queries — both as SQL and as
+    an already-built :class:`UnionSpec` (its type hint excluded the
+    latter even though ``plan`` always handled it)."""
+
+    UNION_SQL = (
+        "SELECT sid FROM Suppliers WHERE city = 'city0' "
+        "UNION ALL SELECT oid AS sid FROM Orders WHERE qty > 90"
+    )
+
+    def test_explain_union_sql(self, federation):
+        text = federation.explain(self.UNION_SQL)
+        assert "estimated TotalTime" in text
+        assert "union" in text
+
+    def test_explain_union_spec_object(self, federation):
+        spec = federation.parse(self.UNION_SQL)
+        assert isinstance(spec, UnionSpec)
+        text = federation.explain(spec)
+        assert "union" in text
+
+    def test_explain_union_json(self, federation):
+        import json
+
+        doc = json.loads(federation.explain(self.UNION_SQL, format="json"))
+        assert doc["plan"]["operator"] == "union"
+        assert len(doc["plan"]["children"]) == 2
+        assert doc["estimated_total_ms"] > 0
