@@ -3,7 +3,8 @@
 Options:
     --fast            use reduced scales (TINY OO7, fewer repetitions)
     --out-dir DIR     also write machine-readable results (currently
-                      ``BENCH_E8.json`` and ``BENCH_E9.json``) into DIR
+                      ``BENCH_E8.json``, ``BENCH_E9.json`` and
+                      ``BENCH_E10.json``) into DIR
 """
 
 from __future__ import annotations
@@ -20,6 +21,7 @@ from repro.bench.history_bench import run_history
 from repro.bench.overhead import run_overhead
 from repro.bench.parallel import run_parallel_experiment
 from repro.bench.plan_quality import run_plan_quality
+from repro.bench.resilience import PROBABILITIES, run_fault_experiment
 from repro.bench.telemetry import run_telemetry_experiment
 from repro.oo7 import PAPER, SMALL, TINY
 
@@ -137,6 +139,14 @@ def main() -> None:
         f"simulated clocks identical: {telemetry.simulated_ms_identical}"
     )
     write_json(out_dir, "BENCH_E9.json", telemetry.to_json_dict())
+
+    banner("E10 — fault matrix: answered-query rate vs fault probability")
+    faults = run_fault_experiment(
+        probabilities=(0.0, 0.15, 0.5) if fast else PROBABILITIES,
+        rounds=2 if fast else 6,
+    )
+    print(faults.table())
+    write_json(out_dir, "BENCH_E10.json", faults.to_json_dict())
 
 
 if __name__ == "__main__":

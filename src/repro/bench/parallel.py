@@ -58,9 +58,14 @@ WORKLOAD: tuple[tuple[str, str], ...] = (
 def build_federation(
     options: ExecutorOptions | None = None,
     observability: "ObservabilityOptions | None" = None,
+    wrap=None,
 ) -> Mediator:
     """A fresh three-branch federation (fresh engines: comparisons across
-    execution modes must not share wrapper-side buffer state)."""
+    execution modes must not share wrapper-side buffer state).
+
+    ``wrap`` optionally decorates each wrapper before registration —
+    the E10 fault experiment injects faults this way.
+    """
     mediator = Mediator(executor_options=options, observability=observability)
     for index, (region, io_ms) in enumerate(REGIONS):
         engine = StorageEngine(
@@ -85,7 +90,8 @@ def build_federation(
                 object_size=24,
                 indexed_attributes=["sid"],
             )
-        mediator.register(StorageWrapper(region, engine))
+        wrapper = StorageWrapper(region, engine)
+        mediator.register(wrap(wrapper) if wrap is not None else wrapper)
     return mediator
 
 

@@ -114,6 +114,58 @@ class RegistrationError(QueryError):
 
 
 # ---------------------------------------------------------------------------
+# Source faults and fault-tolerant dispatch (repro.wrappers.faults,
+# repro.mediator.resilience)
+# ---------------------------------------------------------------------------
+
+
+class SourceFaultError(QueryError):
+    """A data source failed while executing a wrapper subquery.
+
+    Raised by fault-injecting wrappers (and, in a real deployment, by
+    wrappers whose source misbehaved).  ``elapsed_ms`` is the simulated
+    time the mediator spent waiting before the failure surfaced, so the
+    scheduler can charge the failed attempt to its clock.
+    """
+
+    def __init__(self, message: str, elapsed_ms: float = 0.0) -> None:
+        self.elapsed_ms = elapsed_ms
+        super().__init__(message)
+
+
+class SourceUnavailableError(SourceFaultError):
+    """The source is down: every attempt fails (until it comes back)."""
+
+
+class TransientSourceError(SourceFaultError):
+    """The source failed this attempt but a retry may succeed."""
+
+
+class SourceTimeoutError(SourceFaultError):
+    """A wrapper wait exceeded the per-submit deadline and was cancelled."""
+
+
+class CircuitOpenError(SourceFaultError):
+    """The wrapper's circuit breaker is open: the submit fast-failed
+    without consuming an attempt."""
+
+
+class SubmitFailedError(QueryError):
+    """A Submit exhausted its retry budget in ``strict`` mode.
+
+    Carries the structured :class:`~repro.mediator.resilience.
+    SubmitFailure` so clients can see which wrapper died and why.
+    """
+
+    def __init__(self, failure) -> None:
+        self.failure = failure
+        super().__init__(
+            f"submit to wrapper {failure.wrapper!r} failed after "
+            f"{failure.attempts} attempt(s): {failure.reason}"
+        )
+
+
+# ---------------------------------------------------------------------------
 # Simulated storage substrate (repro.sources)
 # ---------------------------------------------------------------------------
 

@@ -12,6 +12,15 @@ repeated federated queries stop re-shipping identical subanswers.
 Hits are *not* re-recorded in the submit log: history already holds the
 measured cost of the execution that populated the entry, and a zero-time
 hit would corrupt those measurements.
+
+Fault-tolerance contract (see ``docs/resilience.md``): only *complete,
+successful* subanswers may enter the cache — a timed-out, transiently
+failed, or mid-answer-truncated attempt must never be stored (the
+scheduler only calls :meth:`SubanswerCache.store` on success, and
+:meth:`store` refuses ``faulted=True`` as defense in depth).  Serving a
+hit, on the other hand, deliberately bypasses the circuit breaker:
+memoized rows came from a past healthy execution, and answering from
+memory while the source is down is exactly the degraded-mode win.
 """
 
 from __future__ import annotations
@@ -101,7 +110,15 @@ class SubanswerCache:
         subplan: PlanNode,
         rows: list[Row],
         wrapper_time_ms: float = 0.0,
+        faulted: bool = False,
     ) -> CacheEntry:
+        if faulted:
+            # Defense in depth: rows from a timed-out or failed attempt
+            # are an unusable prefix and must never be memoized.
+            raise ValueError(
+                "refusing to cache a subanswer from a faulted attempt "
+                f"(wrapper {wrapper!r})"
+            )
         key = self.key_for(wrapper, subplan)
         if key not in self._entries and len(self._entries) >= self.max_entries:
             oldest = next(iter(self._entries))

@@ -19,7 +19,7 @@ wrapper subqueries within and across queries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Iterator
 
 from repro.algebra.expressions import AttributeRef, Or, conjunction, eq
@@ -36,9 +36,17 @@ from repro.algebra.logical import (
     Submit,
     Union,
 )
-from repro.errors import PlanError
+from repro.errors import PlanError, SubmitFailedError
 from repro.mediator.cache import SubanswerCache
 from repro.mediator.catalog import MediatorCatalog
+from repro.mediator.resilience import (
+    PARTIAL,
+    PartialAnswer,
+    ResilienceOptions,
+    ResilienceStats,
+    SubmitFailure,
+    build_partial_answer,
+)
 from repro.mediator.scheduler import (
     DispatchOutcome,
     SubmitScheduler,
@@ -81,6 +89,10 @@ class ExecutorOptions:
     cache_subanswers: bool = False
     #: Entry bound of the subanswer cache (FIFO eviction).
     cache_max_entries: int = 1024
+    #: Fault-tolerance policies (retry/backoff/deadline, circuit
+    #: breakers, strict-vs-partial failure mode).  ``None`` disables the
+    #: layer entirely — dispatch follows the seed code path.
+    resilience: ResilienceOptions | None = None
 
 
 class MediatorExecutor:
@@ -104,9 +116,12 @@ class MediatorExecutor:
             self.clock,
             max_concurrency=self.options.max_concurrency,
             cache=self.cache,
+            resilience=self.options.resilience,
         )
         self._submit_log: list[tuple[Submit, ExecutionResult]] = []
         self._prefetched: dict[int, DispatchOutcome] = {}
+        #: Submit failures of the current execution (partial mode only).
+        self._failures: list[SubmitFailure] = []
         #: Telemetry sink; defaults to the shared no-op tracer.
         self.tracer: SpanTracer = NULL_TRACER
         self._trace_compose = False
@@ -122,13 +137,24 @@ class MediatorExecutor:
         """Cumulative wave accounting of the concurrent dispatcher."""
         return self.scheduler.parallel.stats
 
+    @property
+    def _partial_mode(self) -> bool:
+        resilience = self.options.resilience
+        return resilience is not None and resilience.mode == PARTIAL
+
     def execute(self, plan: PlanNode) -> ExecutionResult:
         """Execute a plan; returns rows plus mediator-measured times."""
         self._submit_log = []
         self._prefetched = {}
+        self._failures = []
         hits_before = self.cache.stats.hits if self.cache is not None else 0
         misses_before = self.cache.stats.misses if self.cache is not None else 0
         saved_before = self.scheduler.parallel.stats.saved_ms
+        resilience_before = (
+            self.scheduler.resilience_stats.copy()
+            if self.options.resilience is not None
+            else None
+        )
         start = self.clock.now_ms
         if self.options.parallel_submits:
             self._prefetch_submits(plan)
@@ -156,6 +182,16 @@ class MediatorExecutor:
                 else 0
             ),
             parallel_saved_ms=self.scheduler.parallel.stats.saved_ms - saved_before,
+            partial=(
+                build_partial_answer(plan, self._failures)
+                if self._failures
+                else None
+            ),
+            resilience=(
+                self.scheduler.resilience_stats.minus(resilience_before)
+                if resilience_before is not None
+                else None
+            ),
         )
 
     def _prefetch_submits(self, plan: PlanNode) -> None:
@@ -255,10 +291,24 @@ class MediatorExecutor:
         else:
             raise PlanError(f"mediator cannot execute {node.operator_name!r}")
 
+    def _register_failure(self, failure: SubmitFailure) -> None:
+        """Strict mode raises; partial mode records the failure so the
+        answer completes with the surviving subtrees and a structured
+        :class:`~repro.mediator.resilience.PartialAnswer` report."""
+        if not self._partial_mode:
+            raise SubmitFailedError(failure)
+        self._failures.append(failure)
+
     def _run_submit(self, node: Submit) -> Iterator[Row]:
         outcome = self._prefetched.pop(node.node_id, None)
         if outcome is None:
             outcome = self.scheduler.dispatch_one(node)
+        if outcome.failed:
+            assert outcome.failure is not None
+            self._register_failure(outcome.failure)
+            # Partial mode: the missing subtree contributes zero rows —
+            # union branches above drop out, joins above prune to empty.
+            return
         if not outcome.cached:
             # Logged at consumption (not dispatch) so the log order matches
             # the sequential executor's; cache hits are excluded — history
@@ -329,6 +379,21 @@ class MediatorExecutor:
             outcomes = [self.scheduler.dispatch_one(probe) for probe in probes]
         inner_by_key: dict[Any, list[Row]] = {}
         for outcome in outcomes:
+            if outcome.failed:
+                assert outcome.failure is not None
+                # Probe submits are synthesized at run time, so their
+                # node ids are not in the plan; report the failure under
+                # the BindJoin's identity (a failed probe prunes the
+                # dependent join for that key batch).
+                self._register_failure(
+                    replace(
+                        outcome.failure,
+                        node_id=node.node_id,
+                        collection=node.inner_collection,
+                        bindjoin_probe=True,
+                    )
+                )
+                continue
             if not outcome.cached:
                 # Probe batches feed the §4.3.1 history like any other
                 # dispatched subquery.

@@ -34,6 +34,7 @@ from repro.mediator.optimizer import (
 )
 from repro.mediator.queryspec import QuerySpec, UnionSpec
 from repro.mediator.registration import register_wrapper
+from repro.mediator.resilience import PartialAnswer
 from repro.obs import ObservabilityOptions, QueryTelemetry
 from repro.obs.trace import NULL_TRACER, Span, SpanTracer
 from repro.sources.pages import Row
@@ -60,10 +61,21 @@ class QueryResult:
     #: The query's span tree (root ``query`` span) when the mediator was
     #: built with tracing enabled; ``None`` otherwise.
     trace: Span | None = None
+    #: Degradation report when the query was answered without some of
+    #: its sources (``partial`` failure mode): which wrappers and
+    #: collections are missing, which union branches were dropped, which
+    #: joins were pruned, and whether the answer is a sound lower bound.
+    #: ``None`` on a complete answer.
+    partial: PartialAnswer | None = None
 
     @property
     def count(self) -> int:
         return len(self.rows)
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one source failed out of this answer."""
+        return self.partial is not None and self.partial.degraded
 
     @property
     def estimated_ms(self) -> float:
@@ -175,6 +187,12 @@ class Mediator:
                         cache_misses=execution.cache_misses,
                         parallel_saved_ms=execution.parallel_saved_ms,
                     )
+                    if execution.degraded:
+                        assert execution.partial is not None
+                        execute_span.set(
+                            degraded=True,
+                            missing_wrappers=execution.partial.missing_wrappers,
+                        )
         if self.history is not None:
             self.history.record_plan(optimized.plan, execution, self.catalog)
         result = QueryResult(
@@ -189,6 +207,7 @@ class Mediator:
             cache_misses=execution.cache_misses,
             parallel_saved_ms=execution.parallel_saved_ms,
             trace=root if tracer.enabled else None,
+            partial=execution.partial,
         )
         if self.telemetry is not None:
             self.telemetry.record_query(result, execution)
@@ -214,6 +233,7 @@ class Mediator:
             cache_misses=execution.cache_misses,
             parallel_saved_ms=execution.parallel_saved_ms,
             trace=root if tracer.enabled else None,
+            partial=execution.partial,
         )
         if self.telemetry is not None:
             self.telemetry.record_query(result, execution)
@@ -235,6 +255,7 @@ class Mediator:
         tracer = self._tracer
         roots_before = len(tracer.roots) if tracer.enabled else 0
         optimized = self.plan(query)
+        open_breakers = self.executor.scheduler.open_breaker_wrappers()
         if format == "json":
             payload: dict = {
                 "estimated_total_ms": optimized.estimated_total_ms,
@@ -247,6 +268,9 @@ class Mediator:
                     "hits": stats.hits,
                     "misses": stats.misses,
                 }
+            if self.executor.options.resilience is not None:
+                payload["degraded"] = bool(open_breakers)
+                payload["degraded_wrappers"] = open_breakers
             payload.update(optimized.estimate.to_dict())
             return json.dumps(payload, indent=2, sort_keys=True)
         header = (
@@ -258,6 +282,13 @@ class Mediator:
             # Lifetime counters of this executor's cache — explain does
             # not execute, so there is no per-run activity to report.
             header += f"\nsubanswer cache (lifetime): {self.executor.cache.stats}"
+        if open_breakers:
+            # Degraded mode: these wrappers' breakers are open (or half
+            # open) right now — submits to them will fast-fail or probe.
+            header += (
+                "\nDEGRADED: circuit breakers not closed for wrappers "
+                + ", ".join(open_breakers)
+            )
         text = header + "\n" + optimized.estimate.explain()
         if tracer.enabled and len(tracer.roots) > roots_before:
             rendered = "\n".join(

@@ -1,0 +1,445 @@
+"""Fault-tolerant dispatch policies and partial-answer semantics.
+
+A production federation serving heavy traffic cannot fail a whole query
+because one of its sources is slow or down — FedQPL models federation
+members as independently-failing participants, and the XLive mediator
+line makes per-source availability a first-class concern.  This module
+holds everything the scheduler and executor need to degrade gracefully:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff (and
+  optional deterministic jitter) charged on the *simulated* clock, plus a
+  per-submit deadline that cancels a wrapper wait mid-flight;
+* :class:`BreakerPolicy` / :class:`CircuitBreaker` — the classic
+  closed → open → half-open state machine per wrapper, driven purely by
+  the mediator's simulated clock, so a dead source stops consuming retry
+  budget across a wave;
+* :class:`ResilienceOptions` — the executor-level bundle (retry policy,
+  breaker policy, ``strict`` vs ``partial`` failure mode);
+* :class:`SubmitFailure` / :class:`PartialAnswer` — the structured
+  degradation report attached to a query answered without all of its
+  sources, including the documented soundness rule (see
+  ``docs/resilience.md``):
+
+  **Partial-answer reduction rule.**  A subtree is *missing* when every
+  path to rows below it crosses a failed submit: a failed ``Submit`` is
+  missing; a ``Union`` is missing only if both branches are; a ``Join``
+  or ``BindJoin`` is missing if either side is (inner-join semantics);
+  every other operator is missing iff its child is.  Missing union
+  branches are dropped, joins over a missing side are pruned to zero
+  rows.  Because all of those operators are monotone, every surviving
+  row is a true answer row — the partial answer is a **sound lower
+  bound** of the complete answer — *unless* an ``Aggregate`` sits above
+  a failed submit, in which case aggregate values may be computed over
+  partial groups and :attr:`PartialAnswer.sound_lower_bound` is False.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.algebra.logical import (
+    Aggregate,
+    BindJoin,
+    Join,
+    PlanNode,
+    Submit,
+    Union,
+)
+
+#: Circuit-breaker states (plain strings: cheap, printable, JSON-ready).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retries with exponential backoff on the simulated clock.
+
+    ``max_attempts`` counts *attempts*, not retries: 1 means fail on the
+    first error, 3 means up to two retries.  ``deadline_ms`` caps the
+    total simulated time one submit may spend *waiting* (wrapper waits,
+    failure latencies, backoff sleeps; the serialized request/response
+    messages are excluded — they share the mediator's network interface).
+    A wrapper wait that would overrun the deadline is cancelled
+    mid-flight: only the remaining budget is charged and the rows are
+    discarded.
+    """
+
+    max_attempts: int = 3
+    backoff_base_ms: float = 100.0
+    backoff_multiplier: float = 2.0
+    backoff_max_ms: float = 5_000.0
+    #: Symmetric jitter as a fraction of the computed delay (0 = none);
+    #: drawn from the scheduler's seeded RNG, so runs stay reproducible.
+    jitter_ratio: float = 0.0
+    #: Per-submit wait budget in simulated ms; ``None`` = no deadline.
+    deadline_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.jitter_ratio <= 1.0:
+            raise ValueError(
+                f"jitter_ratio must be in [0, 1], got {self.jitter_ratio}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {self.deadline_ms}")
+
+    def backoff_ms(self, failed_attempts: int, rng: random.Random) -> float:
+        """Backoff before the attempt after ``failed_attempts`` failures."""
+        exponent = max(0, failed_attempts - 1)
+        delay = min(
+            self.backoff_max_ms,
+            self.backoff_base_ms * self.backoff_multiplier**exponent,
+        )
+        if self.jitter_ratio > 0.0:
+            delay *= 1.0 + self.jitter_ratio * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
+
+
+@dataclass
+class BreakerPolicy:
+    """Trip/cooldown knobs of the per-wrapper circuit breakers."""
+
+    #: Consecutive failures that trip a closed breaker open.
+    failure_threshold: int = 3
+    #: Simulated ms an open breaker blocks before allowing one half-open
+    #: probe.
+    cooldown_ms: float = 30_000.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown_ms < 0:
+            raise ValueError(f"cooldown_ms must be >= 0, got {self.cooldown_ms}")
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker for one wrapper, on simulated time.
+
+    * **closed** — requests flow; ``failure_threshold`` consecutive
+      failures trip it open.
+    * **open** — requests fast-fail without consuming retry budget until
+      ``cooldown_ms`` of simulated time has passed, then the next
+      :meth:`allow` transitions to half-open.
+    * **half-open** — one probe flows; success closes the breaker,
+      failure re-opens it (and restarts the cooldown).
+    """
+
+    def __init__(self, policy: BreakerPolicy) -> None:
+        self.policy = policy
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_ms: float | None = None
+        #: Lifetime closed→open (and half-open→open) transitions.
+        self.trips = 0
+
+    def allow(self, now_ms: float) -> bool:
+        """May a request flow at simulated time ``now_ms``?"""
+        if self.state == OPEN:
+            assert self.opened_at_ms is not None
+            if now_ms - self.opened_at_ms >= self.policy.cooldown_ms:
+                self.state = HALF_OPEN
+                return True
+            return False
+        return True  # closed, or half-open probe
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = CLOSED
+        self.opened_at_ms = None
+
+    def record_failure(self, now_ms: float) -> bool:
+        """Count a failure; returns True when this one tripped the
+        breaker open (from closed *or* from a failed half-open probe)."""
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or (
+            self.state == CLOSED
+            and self.consecutive_failures >= self.policy.failure_threshold
+        ):
+            self.state = OPEN
+            self.opened_at_ms = now_ms
+            self.trips += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker({self.state}, "
+            f"failures={self.consecutive_failures}, trips={self.trips})"
+        )
+
+
+#: Failure modes of the executor when a submit exhausts its retries.
+STRICT = "strict"
+PARTIAL = "partial"
+
+
+@dataclass
+class ResilienceOptions:
+    """The executor-level fault-tolerance bundle.
+
+    ``None`` (the executor default) disables the whole layer: dispatch
+    follows the seed code path bit for bit.  With options present but no
+    faults occurring, clock totals and submit logs are still identical to
+    the seed path — the policies only act on failures.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: ``None`` disables circuit breakers (retries still apply).
+    breaker: BreakerPolicy | None = field(default_factory=BreakerPolicy)
+    #: ``strict`` — a failed submit raises :class:`~repro.errors.
+    #: SubmitFailedError`; ``partial`` — the query completes with the
+    #: surviving subtrees and a :class:`PartialAnswer` report.
+    mode: str = STRICT
+    #: Seed of the scheduler's jitter RNG.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in (STRICT, PARTIAL):
+            raise ValueError(
+                f"mode must be {STRICT!r} or {PARTIAL!r}, got {self.mode!r}"
+            )
+
+
+@dataclass
+class SubmitFailure:
+    """One submit that exhausted its retry budget (or was fast-failed)."""
+
+    wrapper: str
+    subquery: str
+    #: ``node_id`` of the plan's Submit node; bind-join probe submits are
+    #: synthesized at run time, so probes carry the BindJoin's id instead.
+    node_id: int
+    collection: str | None
+    #: ``unavailable`` | ``transient`` | ``timeout`` | ``circuit_open``
+    reason: str
+    attempts: int
+    #: True for a bind-join probe batch (the inner side of a dependent
+    #: join, fetched per key batch).
+    bindjoin_probe: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "wrapper": self.wrapper,
+            "subquery": self.subquery,
+            "node_id": self.node_id,
+            "collection": self.collection,
+            "reason": self.reason,
+            "attempts": self.attempts,
+            "bindjoin_probe": self.bindjoin_probe,
+        }
+
+
+@dataclass
+class PartialAnswer:
+    """What is missing from a degraded (``partial``-mode) answer."""
+
+    failures: list[SubmitFailure] = field(default_factory=list)
+    missing_wrappers: list[str] = field(default_factory=list)
+    missing_collections: list[str] = field(default_factory=list)
+    #: Union branches whose subtree was missing and therefore dropped.
+    dropped_union_branches: int = 0
+    #: Joins (and bind joins) reduced to zero rows by a missing side.
+    pruned_joins: int = 0
+    #: True when every operator above every failed submit is monotone:
+    #: each returned row is a true answer row and the complete answer is
+    #: a superset.  False when an Aggregate sits above a failure.
+    sound_lower_bound: bool = True
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.failures)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "failures": [f.to_dict() for f in self.failures],
+            "missing_wrappers": list(self.missing_wrappers),
+            "missing_collections": list(self.missing_collections),
+            "dropped_union_branches": self.dropped_union_branches,
+            "pruned_joins": self.pruned_joins,
+            "sound_lower_bound": self.sound_lower_bound,
+        }
+
+    def describe(self) -> str:
+        bound = (
+            "sound lower bound"
+            if self.sound_lower_bound
+            else "NOT a sound lower bound (aggregate over missing data)"
+        )
+        return (
+            f"partial answer: wrappers missing {self.missing_wrappers}, "
+            f"collections missing {self.missing_collections}, "
+            f"{self.dropped_union_branches} union branch(es) dropped, "
+            f"{self.pruned_joins} join(s) pruned; {bound}"
+        )
+
+
+def _subtree_missing(node: PlanNode, failed_ids: set[int]) -> bool:
+    """The reduction rule: does this subtree contribute zero rows?"""
+    if isinstance(node, Submit):
+        return node.node_id in failed_ids
+    if isinstance(node, Union):
+        return _subtree_missing(node.left, failed_ids) and _subtree_missing(
+            node.right, failed_ids
+        )
+    if isinstance(node, Join):
+        return _subtree_missing(node.left, failed_ids) or _subtree_missing(
+            node.right, failed_ids
+        )
+    if isinstance(node, BindJoin):
+        # The inner side is fetched per probe at run time; the plan-level
+        # subtree is missing when the outer side is.
+        return _subtree_missing(node.outer, failed_ids)
+    children = node.children
+    if not children:
+        return False
+    return all(_subtree_missing(child, failed_ids) for child in children)
+
+
+def build_partial_answer(
+    plan: PlanNode, failures: list[SubmitFailure]
+) -> PartialAnswer:
+    """Fold the recorded failures into the structured degradation report."""
+    failed_ids = {f.node_id for f in failures if not f.bindjoin_probe}
+    probe_join_ids = {f.node_id for f in failures if f.bindjoin_probe}
+    missing_wrappers = sorted({f.wrapper for f in failures})
+    missing_collections = sorted(
+        {f.collection for f in failures if f.collection is not None}
+    )
+    dropped_union_branches = 0
+    pruned_joins = len(probe_join_ids)
+    sound = True
+    for node in plan.walk():
+        if isinstance(node, Union):
+            for side in (node.left, node.right):
+                if _subtree_missing(side, failed_ids):
+                    dropped_union_branches += 1
+        elif isinstance(node, Join):
+            left = _subtree_missing(node.left, failed_ids)
+            right = _subtree_missing(node.right, failed_ids)
+            if left != right:  # one side missing -> join pruned to zero
+                pruned_joins += 1
+        elif isinstance(node, BindJoin):
+            if _subtree_missing(node.outer, failed_ids):
+                pruned_joins += 1
+        elif isinstance(node, Aggregate):
+            subtree_ids = {
+                child.node_id
+                for child in node.walk()
+                if isinstance(child, Submit)
+            }
+            if subtree_ids & failed_ids or (
+                probe_join_ids
+                & {c.node_id for c in node.walk() if isinstance(c, BindJoin)}
+            ):
+                sound = False
+    return PartialAnswer(
+        failures=list(failures),
+        missing_wrappers=missing_wrappers,
+        missing_collections=missing_collections,
+        dropped_union_branches=dropped_union_branches,
+        pruned_joins=pruned_joins,
+        sound_lower_bound=sound,
+    )
+
+
+@dataclass
+class ResilienceStats:
+    """Lifetime fault-handling counters of one scheduler, per wrapper.
+
+    The executor snapshots before/after each execution (like the cache
+    counters) and attaches the delta to ``ExecutionResult.resilience``;
+    the telemetry layer turns the delta into Prometheus counters.
+    """
+
+    retries: dict[str, int] = field(default_factory=dict)
+    timeouts: dict[str, int] = field(default_factory=dict)
+    #: Failed attempts per wrapper (transient + unavailable).
+    attempt_errors: dict[str, int] = field(default_factory=dict)
+    breaker_trips: dict[str, int] = field(default_factory=dict)
+    breaker_fast_fails: dict[str, int] = field(default_factory=dict)
+    failed_submits: dict[str, int] = field(default_factory=dict)
+    backoff_ms: float = 0.0
+    cancelled_wait_ms: float = 0.0
+
+    _COUNTER_FIELDS = (
+        "retries",
+        "timeouts",
+        "attempt_errors",
+        "breaker_trips",
+        "breaker_fast_fails",
+        "failed_submits",
+    )
+
+    @staticmethod
+    def _inc(counter: dict[str, int], wrapper: str, amount: int = 1) -> None:
+        counter[wrapper] = counter.get(wrapper, 0) + amount
+
+    def copy(self) -> "ResilienceStats":
+        return replace(
+            self,
+            **{name: dict(getattr(self, name)) for name in self._COUNTER_FIELDS},
+        )
+
+    def minus(self, before: "ResilienceStats") -> "ResilienceStats":
+        """Per-execution delta: ``self`` (after) minus ``before``."""
+        delta = ResilienceStats(
+            backoff_ms=self.backoff_ms - before.backoff_ms,
+            cancelled_wait_ms=self.cancelled_wait_ms - before.cancelled_wait_ms,
+        )
+        for name in self._COUNTER_FIELDS:
+            after_counter: dict[str, int] = getattr(self, name)
+            before_counter: dict[str, int] = getattr(before, name)
+            out: dict[str, int] = getattr(delta, name)
+            for wrapper, value in after_counter.items():
+                diff = value - before_counter.get(wrapper, 0)
+                if diff:
+                    out[wrapper] = diff
+        return delta
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries.values())
+
+    @property
+    def total_timeouts(self) -> int:
+        return sum(self.timeouts.values())
+
+    @property
+    def total_breaker_trips(self) -> int:
+        return sum(self.breaker_trips.values())
+
+    @property
+    def total_failed_submits(self) -> int:
+        return sum(self.failed_submits.values())
+
+    @property
+    def empty(self) -> bool:
+        return (
+            not any(getattr(self, name) for name in self._COUNTER_FIELDS)
+            and self.backoff_ms == 0.0
+            and self.cancelled_wait_ms == 0.0
+        )
+
+
+__all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "PARTIAL",
+    "PartialAnswer",
+    "ResilienceOptions",
+    "ResilienceStats",
+    "RetryPolicy",
+    "STRICT",
+    "SubmitFailure",
+    "build_partial_answer",
+]

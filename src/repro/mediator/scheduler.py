@@ -21,17 +21,40 @@ simulated clock:
 
 Both paths consult an optional :class:`~repro.mediator.cache.
 SubanswerCache`: a hit skips wrapper execution and communication
-entirely and charges zero time.
+entirely and charges zero time.  A cache hit is served *before* the
+fault-tolerance layer runs — it bypasses retry budget and circuit
+breakers alike, because the memoized rows came from a past successful
+execution and serving them during an outage is exactly the point.
+
+With a :class:`~repro.mediator.resilience.ResilienceOptions` installed,
+both dispatch paths run each wrapper execution under the retry policy
+(bounded attempts, exponential backoff charged on the simulated clock, a
+per-submit deadline that cancels a wrapper wait mid-flight) behind a
+per-wrapper circuit breaker.  A submit that exhausts its budget returns
+a *failed* :class:`DispatchOutcome` — the executor decides whether that
+raises (``strict``) or degrades the answer (``partial``).  Failed
+attempts are never stored in the cache and never appear in the submit
+log (history must only learn from real, successful measurements).
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from repro.algebra.logical import PlanNode, Project, Submit
 from repro.core.statistics import StatisticsCatalog
+from repro.errors import SourceFaultError, SourceUnavailableError
 from repro.mediator.cache import CacheEntry, SubanswerCache
 from repro.mediator.catalog import MediatorCatalog
+from repro.mediator.resilience import (
+    CLOSED,
+    OPEN,
+    CircuitBreaker,
+    ResilienceOptions,
+    ResilienceStats,
+    SubmitFailure,
+)
 from repro.obs.trace import NULL_TRACER, SpanTracer
 from repro.sources.clock import ParallelClock, SimClock, WaveStats
 from repro.wrappers.base import ExecutionResult
@@ -67,13 +90,66 @@ def estimate_payload_bytes(
 
 @dataclass
 class DispatchOutcome:
-    """One dispatched (or cache-served) subquery."""
+    """One dispatched (or cache-served, or failed) subquery."""
 
     submit: Submit
     result: ExecutionResult
     #: True when the subanswer came from the cache — no wrapper execution
     #: happened and nothing should be recorded in the submit log.
     cached: bool = False
+    #: Wrapper executions this outcome took (1 on the seed path; >1 when
+    #: a retry succeeded; 0 when the breaker fast-failed the submit).
+    attempts: int = 1
+    #: Set when the submit exhausted its retry budget (or fast-failed);
+    #: ``result`` is then an empty placeholder and must not be consumed
+    #: as a real subanswer.
+    failure: SubmitFailure | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
+
+
+class _SequentialCharges:
+    """Charge strategy of :meth:`SubmitScheduler.dispatch_one`: every
+    cost lands on the mediator clock immediately."""
+
+    __slots__ = ("clock",)
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+
+    def message(self, payload_bytes: int = 0) -> None:
+        self.clock.charge_message(payload_bytes=payload_bytes)
+
+    def wrapper_wait(self, ms: float) -> None:
+        self.clock.advance(ms)
+
+    def idle_wait(self, ms: float) -> None:
+        # Backoff sleeps and cancelled waits go through charge_wait so
+        # the clock's wait_ms counter separates them from device time.
+        self.clock.charge_wait(ms)
+
+
+class _WaveCharges:
+    """Charge strategy inside a wave: messages stay serialized, waits
+    (wrapper time, backoff, cancelled remainders) accumulate into the
+    branch duration committed as part of the wave makespan."""
+
+    __slots__ = ("parallel", "branch_ms")
+
+    def __init__(self, parallel: ParallelClock) -> None:
+        self.parallel = parallel
+        self.branch_ms = 0.0
+
+    def message(self, payload_bytes: int = 0) -> None:
+        self.parallel.charge_message(payload_bytes=payload_bytes)
+
+    def wrapper_wait(self, ms: float) -> None:
+        self.branch_ms += ms
+
+    def idle_wait(self, ms: float) -> None:
+        self.branch_ms += ms
 
 
 class SubmitScheduler:
@@ -85,12 +161,21 @@ class SubmitScheduler:
         clock: SimClock,
         max_concurrency: int | None = None,
         cache: SubanswerCache | None = None,
+        resilience: ResilienceOptions | None = None,
     ) -> None:
         self.catalog = catalog
         self.clock = clock
         self.cache = cache
         self.parallel = ParallelClock(clock, max_concurrency)
         self.last_wave: WaveStats | None = None
+        #: Fault-tolerance policies; ``None`` keeps the seed dispatch
+        #: path byte for byte.
+        self.resilience = resilience
+        #: Per-wrapper circuit breakers, created lazily on first dispatch.
+        self.breakers: dict[str, CircuitBreaker] = {}
+        #: Lifetime fault-handling counters (executor snapshots deltas).
+        self.resilience_stats = ResilienceStats()
+        self._rng = random.Random(resilience.seed if resilience is not None else 0)
         #: Telemetry sink; the shared null tracer keeps every span site a
         #: constant-time no-op until the mediator injects a real one.
         self.tracer: SpanTracer = NULL_TRACER
@@ -128,6 +213,162 @@ class SubmitScheduler:
                 submit.wrapper, submit.child, rows, result.total_time_ms
             )
 
+    # -- circuit breakers ---------------------------------------------------
+
+    def _breaker(self, wrapper: str) -> CircuitBreaker | None:
+        if self.resilience is None or self.resilience.breaker is None:
+            return None
+        breaker = self.breakers.get(wrapper)
+        if breaker is None:
+            breaker = self.breakers[wrapper] = CircuitBreaker(
+                self.resilience.breaker
+            )
+        return breaker
+
+    def open_breaker_wrappers(self) -> list[str]:
+        """Wrappers whose breaker is currently not closed (degraded mode)."""
+        return sorted(
+            name for name, breaker in self.breakers.items() if breaker.state != CLOSED
+        )
+
+    # -- fault-tolerant attempt loop -----------------------------------------
+
+    def _failed_outcome(
+        self, submit: Submit, failure: SubmitFailure
+    ) -> DispatchOutcome:
+        return DispatchOutcome(
+            submit=submit,
+            result=ExecutionResult(rows=[], total_time_ms=0.0, time_first_ms=0.0),
+            attempts=failure.attempts,
+            failure=failure,
+        )
+
+    def _resilient_execute(self, submit: Submit, charges) -> DispatchOutcome:
+        """Run one submit under the retry policy behind its breaker.
+
+        Charges request messages per attempt plus the simulated waits
+        (wrapper time, failure latency, backoff, cancelled remainders)
+        through the ``charges`` strategy; the *response* message of a
+        successful outcome is the caller's job (it differs between the
+        sequential and wave paths).
+        """
+        options = self.resilience
+        assert options is not None
+        policy = options.retry
+        stats = self.resilience_stats
+        tracer = self.tracer
+        name = submit.wrapper
+        collection = submit.child.primary_collection()
+        breaker = self._breaker(name)
+        if breaker is not None and not breaker.allow(self.clock.now_ms):
+            stats._inc(stats.breaker_fast_fails, name)
+            if tracer.enabled:
+                tracer.event("breaker.fast_fail", kind="breaker", wrapper=name)
+            return self._failed_outcome(
+                submit,
+                SubmitFailure(
+                    wrapper=name,
+                    subquery=submit.child.describe(),
+                    node_id=submit.node_id,
+                    collection=collection,
+                    reason="circuit_open",
+                    attempts=0,
+                ),
+            )
+        wrapper = self.catalog.wrapper(name)
+        deadline = policy.deadline_ms
+        waited = 0.0
+        attempts = 0
+        reason = "transient"
+        while attempts < policy.max_attempts:
+            attempts += 1
+            charges.message()  # ship the subquery (again, on a retry)
+            result: ExecutionResult | None
+            try:
+                result = wrapper.execute(submit.child)
+                wait = result.total_time_ms
+                error_reason = None
+            except SourceUnavailableError as fault:
+                result = None
+                wait = fault.elapsed_ms
+                error_reason = "unavailable"
+            except SourceFaultError as fault:
+                result = None
+                wait = fault.elapsed_ms
+                error_reason = "transient"
+            if deadline is not None and waited + wait > deadline:
+                # The deadline fires mid-wait: cancel the wrapper wait,
+                # charge only the remaining budget, discard any rows.
+                remaining = max(0.0, deadline - waited)
+                charges.idle_wait(remaining)
+                stats.cancelled_wait_ms += wait - remaining
+                waited = deadline
+                stats._inc(stats.timeouts, name)
+                reason = "timeout"
+                if tracer.enabled:
+                    tracer.event(
+                        "submit.timeout",
+                        kind="retry",
+                        wrapper=name,
+                        attempt=attempts,
+                        cancelled_ms=wait - remaining,
+                    )
+                if breaker is not None and breaker.record_failure(self.clock.now_ms):
+                    stats._inc(stats.breaker_trips, name)
+                    if tracer.enabled:
+                        tracer.event("breaker.open", kind="breaker", wrapper=name)
+                break  # the wait budget is gone: no attempt can fit
+            charges.wrapper_wait(wait)
+            waited += wait
+            if error_reason is None:
+                assert result is not None
+                if breaker is not None:
+                    breaker.record_success()
+                return DispatchOutcome(
+                    submit=submit, result=result, attempts=attempts
+                )
+            reason = error_reason
+            stats._inc(stats.attempt_errors, name)
+            if breaker is not None:
+                if breaker.record_failure(self.clock.now_ms):
+                    stats._inc(stats.breaker_trips, name)
+                    if tracer.enabled:
+                        tracer.event("breaker.open", kind="breaker", wrapper=name)
+                if breaker.state == OPEN:
+                    # A tripped breaker stops the loop: a dead source
+                    # must not burn the remaining retry budget.
+                    break
+            if attempts < policy.max_attempts:
+                backoff = policy.backoff_ms(attempts, self._rng)
+                if deadline is not None:
+                    backoff = min(backoff, deadline - waited)
+                if backoff > 0:
+                    charges.idle_wait(backoff)
+                    stats.backoff_ms += backoff
+                    waited += backoff
+                stats._inc(stats.retries, name)
+                if tracer.enabled:
+                    tracer.event(
+                        "retry",
+                        kind="retry",
+                        wrapper=name,
+                        attempt=attempts + 1,
+                        backoff_ms=backoff,
+                        reason=error_reason,
+                    )
+        stats._inc(stats.failed_submits, name)
+        return self._failed_outcome(
+            submit,
+            SubmitFailure(
+                wrapper=name,
+                subquery=submit.child.describe(),
+                node_id=submit.node_id,
+                collection=collection,
+                reason=reason,
+                attempts=attempts,
+            ),
+        )
+
     # -- sequential dispatch ----------------------------------------------------
 
     def dispatch_one(self, submit: Submit) -> DispatchOutcome:
@@ -146,6 +387,17 @@ class SubmitScheduler:
             if tracer.enabled
             else None
         )
+        if self.resilience is not None:
+            outcome = self._resilient_execute(submit, _SequentialCharges(self.clock))
+            if not outcome.failed:
+                payload = estimate_payload_bytes(
+                    self.catalog.statistics, submit.child, len(outcome.result.rows)
+                )
+                self.clock.charge_message(payload_bytes=payload)
+                self._store(submit, outcome.result)
+            if span is not None:
+                tracer.end(span, **self._span_attrs(outcome))
+            return outcome
         wrapper = self.catalog.wrapper(submit.wrapper)
         self.clock.charge_message()  # ship the subquery
         result: ExecutionResult = wrapper.execute(submit.child)
@@ -165,6 +417,23 @@ class SubmitScheduler:
                 attrs.update(result.device_stats)
             tracer.end(span, **attrs)
         return DispatchOutcome(submit=submit, result=result)
+
+    @staticmethod
+    def _span_attrs(outcome: DispatchOutcome) -> dict:
+        """Submit-span attributes of a resilience-layer outcome."""
+        attrs: dict = {
+            "attempts": outcome.attempts,
+            "outcome": "failed" if outcome.failed else "ok",
+        }
+        if outcome.failed:
+            assert outcome.failure is not None
+            attrs["reason"] = outcome.failure.reason
+        else:
+            attrs["rows"] = len(outcome.result.rows)
+            attrs["wrapper_ms"] = outcome.result.total_time_ms
+            if outcome.result.device_stats:
+                attrs.update(outcome.result.device_stats)
+        return attrs
 
     # -- concurrent dispatch -----------------------------------------------------
 
@@ -202,6 +471,16 @@ class SubmitScheduler:
                 if tracer.enabled
                 else None
             )
+            if self.resilience is not None:
+                charges = _WaveCharges(self.parallel)
+                outcome = self._resilient_execute(submit, charges)
+                self.parallel.charge_branch(charges.branch_ms)
+                if not outcome.failed:
+                    self._store(submit, outcome.result)
+                if branch_span is not None:
+                    tracer.end(branch_span, **self._span_attrs(outcome))
+                outcomes.append(outcome)
+                continue
             wrapper = self.catalog.wrapper(submit.wrapper)
             self.parallel.charge_message()  # ship the subquery
             result = wrapper.execute(submit.child)
@@ -218,7 +497,9 @@ class SubmitScheduler:
             outcomes.append(DispatchOutcome(submit=submit, result=result))
         self.last_wave = self.parallel.commit_wave()
         for outcome in outcomes:
-            if outcome.cached:
+            if outcome.cached or outcome.failed:
+                # Cache hits shipped nothing; failed submits have no
+                # subanswer, so there is no response message to charge.
                 continue
             payload = estimate_payload_bytes(
                 self.catalog.statistics,
@@ -233,5 +514,6 @@ class SubmitScheduler:
                 sequential_ms=self.last_wave.sequential_ms,
                 saved_ms=self.last_wave.saved_ms,
                 cached_branches=sum(1 for o in outcomes if o.cached),
+                failed_branches=sum(1 for o in outcomes if o.failed),
             )
         return outcomes

@@ -134,6 +134,65 @@ class QueryTelemetry:
             "repro_parallel_saved_ms_total",
             "Simulated ms saved by concurrent waves",
         ).inc(result.parallel_saved_ms)
+        self._record_resilience_metrics(result, execution)
+
+    def _record_resilience_metrics(
+        self, result: "QueryResult", execution: "ExecutionResult"
+    ) -> None:
+        """Fault-handling counters: retries, timeouts, breaker activity,
+        degraded answers.  Only materialized when the executor runs with
+        a resilience layer, so fault-free deployments keep a clean
+        exposition."""
+        res = execution.resilience
+        if res is None:
+            return
+        metrics = self.metrics
+        assert metrics is not None
+        # inc(0) still materializes the series: the exposition shows
+        # explicit zeros once the resilience layer is on.
+        metrics.counter(
+            "repro_degraded_queries_total",
+            "Queries answered with at least one source missing",
+        ).inc(1 if result.degraded else 0)
+        per_wrapper = (
+            ("repro_submit_retries_total", "Submit retry attempts", res.retries),
+            (
+                "repro_submit_timeouts_total",
+                "Submits whose wrapper wait hit the deadline",
+                res.timeouts,
+            ),
+            (
+                "repro_submit_errors_total",
+                "Failed wrapper attempts (transient + unavailable)",
+                res.attempt_errors,
+            ),
+            (
+                "repro_breaker_trips_total",
+                "Circuit-breaker closed/half-open to open transitions",
+                res.breaker_trips,
+            ),
+            (
+                "repro_breaker_fast_fails_total",
+                "Submits short-circuited by an open breaker",
+                res.breaker_fast_fails,
+            ),
+            (
+                "repro_failed_submits_total",
+                "Submits that exhausted their retry budget",
+                res.failed_submits,
+            ),
+        )
+        for name, help_text, values in per_wrapper:
+            counter = metrics.counter(name, help_text, ("wrapper",))
+            for wrapper, amount in values.items():
+                counter.inc(amount, wrapper=wrapper)
+        metrics.counter(
+            "repro_backoff_ms_total", "Simulated ms slept in retry backoff"
+        ).inc(res.backoff_ms)
+        metrics.counter(
+            "repro_cancelled_wait_ms_total",
+            "Simulated wrapper-wait ms avoided by deadline cancellation",
+        ).inc(res.cancelled_wait_ms)
 
 
 __all__ = [

@@ -55,6 +55,10 @@ class ClockStats:
     objects_processed: int = 0
     messages: int = 0
     bytes_shipped: int = 0
+    #: Idle waits the mediator charged outside device work: retry
+    #: backoff sleeps and cancelled (timed-out) wrapper waits.  Zero on
+    #: any component that never dispatches with a retry policy.
+    wait_ms: float = 0.0
 
 
 class SimClock:
@@ -108,6 +112,16 @@ class SimClock:
     def charge_seek(self) -> None:
         """Charge one fixed startup/seek overhead."""
         self.advance(self.profile.seek_ms)
+
+    def charge_wait(self, ms: float) -> None:
+        """Charge an idle wait (retry backoff, a cancelled wrapper wait).
+
+        Advances the clock like :meth:`advance` but also accumulates the
+        :attr:`ClockStats.wait_ms` counter, so tests can distinguish
+        fault-handling time from device time.
+        """
+        self.stats.wait_ms += ms
+        self.advance(ms)
 
     def charge_message(self, payload_bytes: int = 0) -> None:
         """Charge one network message carrying ``payload_bytes`` bytes."""

@@ -20,6 +20,7 @@ from repro.wrappers.base import (
     StorageWrapper,
     Wrapper,
 )
+from repro.wrappers.faults import FaultInjector, FaultLog, FaultProfile
 from repro.wrappers.flatfile import FlatFileWrapper, parse_delimited
 from repro.wrappers.interpreter import EngineExecutor
 from repro.wrappers.objectstore import ObjectStoreWrapper
@@ -31,6 +32,9 @@ __all__ = [
     "CostInfoExport",
     "EngineExecutor",
     "ExecutionResult",
+    "FaultInjector",
+    "FaultLog",
+    "FaultProfile",
     "FlatFileWrapper",
     "ObjectStoreWrapper",
     "RelationalWrapper",

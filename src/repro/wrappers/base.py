@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.algebra.logical import PlanNode, strip_submits
 from repro.cdl import CompiledCostInfo, compile_source
@@ -27,6 +27,9 @@ from repro.errors import CapabilityError
 from repro.sources.pages import Row
 from repro.sources.storage_engine import StorageEngine
 from repro.wrappers.interpreter import EngineExecutor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.mediator.resilience import PartialAnswer, ResilienceStats
 
 #: The full mediator algebra; wrappers with fewer capabilities list a subset.
 ALL_OPERATIONS = frozenset(
@@ -58,10 +61,22 @@ class ExecutionResult:
     #: objects processed) — surfaced as submit-span attributes by the
     #: telemetry layer.  ``None`` when the executing engine exports none.
     device_stats: dict[str, int] | None = None
+    #: Degradation report when a mediator execution completed without
+    #: some of its sources (``partial`` failure mode); ``None`` on a
+    #: complete answer and on plain wrapper executions.
+    partial: "PartialAnswer | None" = None
+    #: Per-execution fault-handling counters (retries, timeouts, breaker
+    #: activity); ``None`` when no resilience layer is configured.
+    resilience: "ResilienceStats | None" = None
 
     @property
     def count(self) -> int:
         return len(self.rows)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the answer is missing at least one source."""
+        return self.partial is not None and self.partial.degraded
 
 
 @dataclass
@@ -125,6 +140,15 @@ class Wrapper(ABC):
 
     def collection_names(self) -> list[str]:
         return sorted(self.export_cost_info().collection_names())
+
+    def unwrap(self) -> "Wrapper":
+        """The innermost wrapper, past any decorators (fault injectors).
+
+        Plain wrappers return themselves; decorating wrappers such as
+        :class:`~repro.wrappers.faults.FaultInjector` override this to
+        delegate inward.
+        """
+        return self
 
     # -- query-time execution ---------------------------------------------------
 

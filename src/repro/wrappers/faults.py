@@ -1,0 +1,202 @@
+"""Deterministic fault injection for wrappers.
+
+The paper's mediator assumes every registered wrapper answers every
+subquery; the surrounding DISCO project's defining problem was exactly
+the opposite — sources that are slow, flaky, or unavailable.  To grow
+(and test) the fault-tolerance layer without touching any source code,
+:class:`FaultInjector` wraps an arbitrary :class:`~repro.wrappers.base.
+Wrapper` and perturbs its *execution* behaviour according to a
+:class:`FaultProfile`:
+
+* ``unavailable`` — the source is down; every attempt raises
+  :class:`~repro.errors.SourceUnavailableError` after a configurable
+  connection-timeout wait;
+* ``error_probability`` — each attempt independently fails with a
+  :class:`~repro.errors.TransientSourceError` (a retry may succeed);
+* ``latency_multiplier`` / ``latency_probability`` — response times are
+  stretched by ×k on a (possibly random) subset of executions, modelling
+  load spikes;
+* ``trickle`` — rows only arrive with the final packet:
+  ``TimeFirst`` degrades to ``TotalTime``;
+* ``fail_after_rows`` — the source dies mid-answer once it has produced
+  more than N rows; the partial rows are *discarded* (never returned,
+  never cacheable) but the elapsed time is still charged.
+
+Everything is deterministic: randomness comes from one
+:class:`random.Random` seeded per injector, and all delays are simulated
+milliseconds on the mediator's clock, never wall time.  With the default
+(all-zero) profile the injector is perfectly transparent — results,
+engine clocks, and registration exports are byte-identical to the
+wrapped wrapper's, which the zero-probability equivalence test pins.
+
+Registration-time behaviour (cost info, collection names, capabilities)
+is always delegated untouched: fault injection models a *runtime*
+pathology, not a schema change.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.algebra.logical import PlanNode
+from repro.errors import SourceUnavailableError, TransientSourceError
+from repro.wrappers.base import CostInfoExport, ExecutionResult, Wrapper
+
+
+@dataclass
+class FaultProfile:
+    """Per-wrapper fault configuration (all defaults = no faults)."""
+
+    #: The source is down: every execution fails.
+    unavailable: bool = False
+    #: Simulated time an attempt waits before discovering the source is
+    #: down (a connection timeout).
+    unavailable_latency_ms: float = 0.0
+    #: Probability that one execution fails transiently.
+    error_probability: float = 0.0
+    #: Simulated time a transient failure takes to surface.
+    error_latency_ms: float = 0.0
+    #: Response-time stretch factor for latency spikes (1.0 = none).
+    latency_multiplier: float = 1.0
+    #: Share of executions the latency spike applies to (1.0 = all).
+    latency_probability: float = 1.0
+    #: Rows arrive only at the end: ``TimeFirst`` becomes ``TotalTime``.
+    trickle: bool = False
+    #: Fail (transiently) once an answer exceeds this many rows; ``None``
+    #: disables.  The elapsed execution time is still charged.
+    fail_after_rows: int | None = None
+    #: Seed of the injector's private RNG — same seed, same fault train.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_probability <= 1.0:
+            raise ValueError(
+                f"error_probability must be in [0, 1], got {self.error_probability}"
+            )
+        if not 0.0 <= self.latency_probability <= 1.0:
+            raise ValueError(
+                f"latency_probability must be in [0, 1], got {self.latency_probability}"
+            )
+        if self.latency_multiplier < 0:
+            raise ValueError(
+                f"latency_multiplier must be >= 0, got {self.latency_multiplier}"
+            )
+
+    @property
+    def benign(self) -> bool:
+        """True when the profile perturbs nothing at all."""
+        return (
+            not self.unavailable
+            and self.error_probability == 0.0
+            and self.latency_multiplier == 1.0
+            and not self.trickle
+            and self.fail_after_rows is None
+        )
+
+
+@dataclass
+class FaultLog:
+    """Counters of what the injector actually did (test observability)."""
+
+    executions: int = 0
+    unavailable: int = 0
+    transient_errors: int = 0
+    latency_spikes: int = 0
+    trickles: int = 0
+    mid_answer_failures: int = 0
+
+    @property
+    def injected(self) -> int:
+        return (
+            self.unavailable
+            + self.transient_errors
+            + self.latency_spikes
+            + self.trickles
+            + self.mid_answer_failures
+        )
+
+
+class FaultInjector(Wrapper):
+    """Wraps any wrapper and injects the faults of a profile.
+
+    The injector *is* a wrapper: it registers under the inner wrapper's
+    name, delegates every registration-time export, and perturbs only
+    :meth:`execute`.  Faults surface as :class:`~repro.errors.
+    SourceFaultError` subclasses carrying the simulated time the failed
+    attempt consumed, which the scheduler charges to the mediator clock.
+    """
+
+    def __init__(self, inner: Wrapper, profile: FaultProfile | None = None) -> None:
+        super().__init__(inner.name, inner.capabilities)
+        self.inner = inner
+        self.profile = profile if profile is not None else FaultProfile()
+        self.log = FaultLog()
+        self._rng = random.Random(self.profile.seed)
+
+    # -- registration-time delegation ----------------------------------------
+
+    def export_cost_info(self) -> CostInfoExport:
+        return self.inner.export_cost_info()
+
+    def unwrap(self) -> Wrapper:
+        return self.inner.unwrap()
+
+    # -- fault controls -------------------------------------------------------
+
+    def set_profile(self, profile: FaultProfile) -> None:
+        """Swap the fault profile (e.g. to revive a downed source);
+        reseeds the RNG so fault trains stay reproducible."""
+        self.profile = profile
+        self._rng = random.Random(profile.seed)
+
+    # -- query-time execution -------------------------------------------------
+
+    def execute(self, plan: PlanNode) -> ExecutionResult:
+        profile = self.profile
+        self.log.executions += 1
+        if profile.unavailable:
+            self.log.unavailable += 1
+            raise SourceUnavailableError(
+                f"source {self.name!r} is unavailable",
+                elapsed_ms=profile.unavailable_latency_ms,
+            )
+        if profile.error_probability > 0.0 and (
+            self._rng.random() < profile.error_probability
+        ):
+            self.log.transient_errors += 1
+            raise TransientSourceError(
+                f"source {self.name!r} failed transiently",
+                elapsed_ms=profile.error_latency_ms,
+            )
+        result = self.inner.execute(plan)
+        if (
+            profile.fail_after_rows is not None
+            and len(result.rows) > profile.fail_after_rows
+        ):
+            # The source died mid-answer: the rows it already shipped are
+            # an unusable prefix (discarded, never cached) but the
+            # mediator still waited for the whole doomed execution.
+            self.log.mid_answer_failures += 1
+            raise TransientSourceError(
+                f"source {self.name!r} failed after "
+                f"{profile.fail_after_rows} row(s)",
+                elapsed_ms=result.total_time_ms,
+            )
+        if profile.latency_multiplier != 1.0 and (
+            profile.latency_probability >= 1.0
+            or self._rng.random() < profile.latency_probability
+        ):
+            self.log.latency_spikes += 1
+            result.total_time_ms *= profile.latency_multiplier
+            result.time_first_ms *= profile.latency_multiplier
+        if profile.trickle:
+            self.log.trickles += 1
+            result.time_first_ms = result.total_time_ms
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultInjector {self.name!r} over {self.inner!r}>"
+
+
+__all__ = ["FaultInjector", "FaultLog", "FaultProfile"]

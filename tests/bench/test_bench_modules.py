@@ -152,6 +152,30 @@ class TestTelemetryModule:
         assert all(t["spans"] > 0 for t in doc["traces"])
 
 
+class TestResilienceModule:
+    def test_e10_small_run(self):
+        import json
+
+        from repro.bench.resilience import run_fault_experiment
+
+        experiment = run_fault_experiment(probabilities=(0.0, 0.5), rounds=1)
+        doc = json.loads(json.dumps(experiment.to_json_dict()))
+        assert doc["experiment"] == "E10"
+        cells = {cell["probability"]: cell for cell in doc["cells"]}
+        # Fault-free cell: every query answers in both modes, nothing retried.
+        clean = cells[0.0]
+        assert clean["strict_answered_rate"] == 1.0
+        assert clean["partial_complete_rate"] == 1.0
+        assert clean["retries"] == 0
+        assert clean["breaker_trips"] == 0
+        # Faulty cell: partial mode still answers every query.
+        faulty = cells[0.5]
+        complete = faulty["partial_complete_rate"] * faulty["queries"]
+        assert complete + faulty["partial_degraded"] == faulty["queries"]
+        assert faulty["retries"] > 0
+        assert "answered" in experiment.table()
+
+
 class TestBenchJsonOutput:
     def test_out_dir_writer(self, tmp_path):
         import json

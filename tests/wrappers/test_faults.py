@@ -1,0 +1,179 @@
+"""Tests for the deterministic fault injector."""
+
+import pytest
+
+from repro.algebra.builders import scan
+from repro.errors import SourceUnavailableError, TransientSourceError
+from repro.wrappers.faults import FaultInjector, FaultProfile
+from tests.federation_fixtures import build_sales_wrapper
+
+PLAN = scan("Suppliers").build()
+
+
+def build_injector(**profile_kwargs):
+    return FaultInjector(build_sales_wrapper(), FaultProfile(**profile_kwargs))
+
+
+class TestProfileValidation:
+    def test_error_probability_bounds(self):
+        with pytest.raises(ValueError):
+            FaultProfile(error_probability=1.5)
+        with pytest.raises(ValueError):
+            FaultProfile(error_probability=-0.1)
+
+    def test_latency_probability_bounds(self):
+        with pytest.raises(ValueError):
+            FaultProfile(latency_probability=2.0)
+
+    def test_latency_multiplier_nonnegative(self):
+        with pytest.raises(ValueError):
+            FaultProfile(latency_multiplier=-1.0)
+
+    def test_benign_default(self):
+        assert FaultProfile().benign
+        assert not FaultProfile(unavailable=True).benign
+        assert not FaultProfile(error_probability=0.1).benign
+        assert not FaultProfile(trickle=True).benign
+
+
+class TestDelegation:
+    def test_name_and_capabilities_mirror_inner(self):
+        inner = build_sales_wrapper()
+        injector = FaultInjector(inner)
+        assert injector.name == inner.name
+        assert injector.capabilities == inner.capabilities
+
+    def test_cost_info_delegates(self):
+        inner = build_sales_wrapper()
+        injector = FaultInjector(inner)
+        assert injector.export_cost_info().collection_names() == (
+            inner.export_cost_info().collection_names()
+        )
+
+    def test_unwrap_reaches_inner(self):
+        inner = build_sales_wrapper()
+        injector = FaultInjector(inner)
+        assert injector.unwrap() is inner
+        # Stacked decorators unwrap all the way down.
+        assert FaultInjector(injector).unwrap() is inner
+
+
+class TestBenignTransparency:
+    def test_benign_profile_is_transparent(self):
+        """Default profile: identical rows and timings to the raw wrapper."""
+        raw = build_sales_wrapper().execute(PLAN)
+        injected = build_injector().execute(PLAN)
+        assert injected.rows == raw.rows
+        assert injected.total_time_ms == raw.total_time_ms
+        assert injected.time_first_ms == raw.time_first_ms
+        assert injected.device_stats == raw.device_stats
+
+    def test_benign_profile_draws_no_randomness(self):
+        injector = build_injector()
+        state_before = injector._rng.getstate()
+        injector.execute(PLAN)
+        assert injector._rng.getstate() == state_before
+
+
+class TestFaultKinds:
+    def test_unavailable_raises_with_latency(self):
+        injector = build_injector(unavailable=True, unavailable_latency_ms=250.0)
+        with pytest.raises(SourceUnavailableError) as exc:
+            injector.execute(PLAN)
+        assert exc.value.elapsed_ms == 250.0
+        assert injector.log.unavailable == 1
+
+    def test_transient_error_probability_one(self):
+        injector = build_injector(error_probability=1.0, error_latency_ms=30.0)
+        with pytest.raises(TransientSourceError) as exc:
+            injector.execute(PLAN)
+        assert exc.value.elapsed_ms == 30.0
+        assert injector.log.transient_errors == 1
+
+    def test_latency_spike_scales_times(self):
+        raw = build_sales_wrapper().execute(PLAN)
+        injector = build_injector(latency_multiplier=3.0)
+        result = injector.execute(PLAN)
+        assert result.total_time_ms == pytest.approx(3.0 * raw.total_time_ms)
+        assert result.time_first_ms == pytest.approx(3.0 * raw.time_first_ms)
+        assert result.rows == raw.rows
+        assert injector.log.latency_spikes == 1
+
+    def test_trickle_moves_time_first_to_total(self):
+        injector = build_injector(trickle=True)
+        result = injector.execute(PLAN)
+        assert result.time_first_ms == result.total_time_ms
+        assert injector.log.trickles == 1
+
+    def test_fail_after_rows_charges_full_wait_and_discards(self):
+        raw = build_sales_wrapper().execute(PLAN)
+        assert len(raw.rows) > 5
+        injector = build_injector(fail_after_rows=5)
+        with pytest.raises(TransientSourceError) as exc:
+            injector.execute(PLAN)
+        # The mediator waited for the whole doomed execution.
+        assert exc.value.elapsed_ms == pytest.approx(raw.total_time_ms)
+        assert injector.log.mid_answer_failures == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_train(self):
+        def fault_train(seed):
+            injector = build_injector(error_probability=0.5, seed=seed)
+            train = []
+            for _ in range(20):
+                try:
+                    injector.execute(PLAN)
+                    train.append("ok")
+                except TransientSourceError:
+                    train.append("fail")
+            return train
+
+        assert fault_train(42) == fault_train(42)
+
+    def test_different_seeds_diverge(self):
+        def outcomes(seed):
+            injector = build_injector(error_probability=0.5, seed=seed)
+            out = []
+            for _ in range(20):
+                try:
+                    injector.execute(PLAN)
+                    out.append(True)
+                except TransientSourceError:
+                    out.append(False)
+            return out
+
+        assert outcomes(1) != outcomes(2)
+
+    def test_set_profile_reseeds(self):
+        injector = build_injector(error_probability=0.5, seed=9)
+        first = []
+        for _ in range(10):
+            try:
+                injector.execute(PLAN)
+                first.append(True)
+            except TransientSourceError:
+                first.append(False)
+        injector.set_profile(FaultProfile(error_probability=0.5, seed=9))
+        second = []
+        for _ in range(10):
+            try:
+                injector.execute(PLAN)
+                second.append(True)
+            except TransientSourceError:
+                second.append(False)
+        assert first == second
+
+    def test_set_profile_revives_downed_source(self):
+        injector = build_injector(unavailable=True)
+        with pytest.raises(SourceUnavailableError):
+            injector.execute(PLAN)
+        injector.set_profile(FaultProfile())
+        assert injector.execute(PLAN).count > 0
+
+    def test_log_counts_injected(self):
+        injector = build_injector(unavailable=True)
+        with pytest.raises(SourceUnavailableError):
+            injector.execute(PLAN)
+        assert injector.log.executions == 1
+        assert injector.log.injected == 1
