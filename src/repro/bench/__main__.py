@@ -3,8 +3,8 @@
 Options:
     --fast            use reduced scales (TINY OO7, fewer repetitions)
     --out-dir DIR     also write machine-readable results (currently
-                      ``BENCH_E8.json``, ``BENCH_E9.json`` and
-                      ``BENCH_E10.json``) into DIR
+                      ``BENCH_E8.json``, ``BENCH_E9.json``,
+                      ``BENCH_E10.json`` and ``BENCH_E11.json``) into DIR
 """
 
 from __future__ import annotations
@@ -22,6 +22,7 @@ from repro.bench.overhead import run_overhead
 from repro.bench.parallel import run_parallel_experiment
 from repro.bench.plan_quality import run_plan_quality
 from repro.bench.resilience import PROBABILITIES, run_fault_experiment
+from repro.bench.serving import run_serving_experiment
 from repro.bench.telemetry import run_telemetry_experiment
 from repro.oo7 import PAPER, SMALL, TINY
 
@@ -147,6 +148,15 @@ def main() -> None:
     )
     print(faults.table())
     write_json(out_dir, "BENCH_E10.json", faults.to_json_dict())
+
+    banner("E11 — the serving layer: multi-tenant throughput and fairness")
+    serving = run_serving_experiment(fast=fast)
+    print(serving.throughput_table())
+    print()
+    print(serving.fairness_table())
+    print()
+    print(serving.backpressure_table())
+    write_json(out_dir, "BENCH_E11.json", serving.to_json_dict())
 
 
 if __name__ == "__main__":

@@ -1,15 +1,29 @@
-"""Shared experiment-reporting utilities for the benchmark suite.
+"""Shared experiment utilities for the benchmark suite.
 
-Every experiment module produces typed result records; this module turns
-them into the aligned text tables the ``benchmarks/`` targets print and
-``EXPERIMENTS.md`` records.
+Two halves:
+
+* **reporting** — every experiment module produces typed result records;
+  :func:`format_table` turns them into the aligned text tables the
+  ``benchmarks/`` targets print and ``EXPERIMENTS.md`` records;
+* **workload construction** — the three-branch federation and its query
+  mix used by E8 (concurrent dispatch), E10 (fault tolerance), and E11
+  (the serving layer), plus the multi-tenant workload builder E11's
+  closed-loop driver consumes.  One shared builder keeps the experiments
+  comparable: they all measure the same federation.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
+
+from repro.mediator.executor import ExecutorOptions
+from repro.mediator.mediator import Mediator
+from repro.obs import ObservabilityOptions
+from repro.sources.clock import CostProfile, SimClock
+from repro.sources.storage_engine import StorageEngine
+from repro.wrappers.base import StorageWrapper
 
 
 def format_table(
@@ -96,3 +110,136 @@ class ErrorSummary:
 
 
 ERROR_HEADERS = ("model", "queries", "mean rel err", "median rel err", "max rel err")
+
+
+# -- the shared three-branch federation (E8 / E10 / E11) ------------------------
+
+#: Three branch offices with deliberately skewed device speeds: the slow
+#: branch dominates a concurrent wave, so overlap saves the other two.
+REGIONS: tuple[tuple[str, float], ...] = (
+    ("east", 25.0),
+    ("west", 10.0),
+    ("north", 2.0),
+)
+
+#: The single-client workload: a three-wrapper union and a cross-wrapper
+#: join (E8's measurement queries).
+WORKLOAD: tuple[tuple[str, str], ...] = (
+    (
+        "three-way union",
+        "SELECT oid, qty FROM OrdersEast "
+        "UNION ALL SELECT oid, qty FROM OrdersWest "
+        "UNION ALL SELECT oid, qty FROM OrdersNorth",
+    ),
+    (
+        "cross-wrapper join",
+        "SELECT * FROM Suppliers, OrdersWest "
+        "WHERE OrdersWest.supplier = Suppliers.sid "
+        "AND Suppliers.city = 'city1'",
+    ),
+)
+
+
+def build_federation(
+    options: ExecutorOptions | None = None,
+    observability: "ObservabilityOptions | None" = None,
+    wrap=None,
+) -> Mediator:
+    """A fresh three-branch federation (fresh engines: comparisons across
+    execution modes must not share wrapper-side buffer state).
+
+    ``wrap`` optionally decorates each wrapper before registration —
+    the E10 fault experiment injects faults this way.
+    """
+    mediator = Mediator(executor_options=options, observability=observability)
+    for index, (region, io_ms) in enumerate(REGIONS):
+        engine = StorageEngine(
+            SimClock(CostProfile(io_ms=io_ms, cpu_ms_per_object=0.1 * (index + 1)))
+        )
+        engine.create_collection(
+            f"Orders{region.capitalize()}",
+            [
+                {"oid": i, "supplier": i % 40, "qty": (i * (7 + index)) % 100}
+                for i in range(600 + 200 * index)
+            ],
+            object_size=32,
+            indexed_attributes=["oid"],
+        )
+        if region == "east":
+            engine.create_collection(
+                "Suppliers",
+                [
+                    {"sid": i, "city": f"city{i % 5}"}
+                    for i in range(40)
+                ],
+                object_size=24,
+                indexed_attributes=["sid"],
+            )
+        wrapper = StorageWrapper(region, engine)
+        mediator.register(wrap(wrapper) if wrap is not None else wrapper)
+    return mediator
+
+
+# -- multi-tenant workloads (E11) -----------------------------------------------
+
+#: Per-region single-wrapper queries — cheap, frequent "dashboard" reads
+#: that a serving layer should interleave under the expensive federated
+#: queries of WORKLOAD.
+REGION_QUERIES: tuple[tuple[str, str], ...] = (
+    ("east scan", "SELECT oid, qty FROM OrdersEast WHERE qty > 60"),
+    ("west scan", "SELECT oid, qty FROM OrdersWest WHERE qty > 60"),
+    ("north scan", "SELECT oid, qty FROM OrdersNorth WHERE qty > 60"),
+)
+
+
+@dataclass
+class TenantWorkload:
+    """One tenant's closed-loop client population for E11."""
+
+    tenant: str
+    #: Fair-share weight (maps to ``TenantPolicy.quota``).
+    quota: float = 1.0
+    #: Concurrent closed-loop clients (sessions) of this tenant.
+    clients: int = 1
+    #: Queries each client submits before stopping.
+    queries_per_client: int = 4
+    #: The (label, sql) mix; clients cycle through it round-robin, each
+    #: client starting at its own offset so the mix stays interleaved.
+    queries: "list[tuple[str, str]]" = field(default_factory=list)
+
+    def query_at(self, client: int, index: int) -> "tuple[str, str]":
+        return self.queries[(client + index) % len(self.queries)]
+
+    @property
+    def total_queries(self) -> int:
+        return self.clients * self.queries_per_client
+
+
+def build_tenant_workloads(
+    fast: bool = False,
+    quotas: "tuple[float, float] | None" = None,
+) -> "list[TenantWorkload]":
+    """The standard two-tenant E11 population.
+
+    ``analytics`` runs the expensive federated WORKLOAD queries;
+    ``dashboards`` hammers the cheap single-region scans.  ``quotas``
+    overrides the (analytics, dashboards) fair-share weights.
+    """
+    analytics_quota, dashboards_quota = quotas if quotas is not None else (1.0, 1.0)
+    per_client = 2 if fast else 4
+    return [
+        TenantWorkload(
+            tenant="analytics",
+            quota=analytics_quota,
+            clients=1 if fast else 2,
+            queries_per_client=per_client,
+            queries=list(WORKLOAD),
+        ),
+        TenantWorkload(
+            tenant="dashboards",
+            quota=dashboards_quota,
+            clients=2 if fast else 3,
+            queries_per_client=per_client,
+            queries=list(REGION_QUERIES),
+        ),
+    ]

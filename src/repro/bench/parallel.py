@@ -21,78 +21,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.bench.harness import format_table
+from repro.bench.harness import (  # noqa: F401 (REGIONS re-exported)
+    REGIONS,
+    WORKLOAD,
+    build_federation,
+    format_table,
+)
 from repro.mediator.executor import ExecutorOptions
-from repro.mediator.mediator import Mediator, QueryResult
+from repro.mediator.mediator import QueryResult
 from repro.mediator.optimizer import OptimizerOptions
-from repro.obs import ObservabilityOptions
-from repro.sources.clock import CostProfile, SimClock
-from repro.sources.storage_engine import StorageEngine
-from repro.wrappers.base import StorageWrapper
-
-#: Three branch offices with deliberately skewed device speeds: the slow
-#: branch dominates the concurrent wave, so overlap saves the other two.
-REGIONS: tuple[tuple[str, float], ...] = (
-    ("east", 25.0),
-    ("west", 10.0),
-    ("north", 2.0),
-)
-
-#: The workload: a three-wrapper union and a cross-wrapper join.
-WORKLOAD: tuple[tuple[str, str], ...] = (
-    (
-        "three-way union",
-        "SELECT oid, qty FROM OrdersEast "
-        "UNION ALL SELECT oid, qty FROM OrdersWest "
-        "UNION ALL SELECT oid, qty FROM OrdersNorth",
-    ),
-    (
-        "cross-wrapper join",
-        "SELECT * FROM Suppliers, OrdersWest "
-        "WHERE OrdersWest.supplier = Suppliers.sid "
-        "AND Suppliers.city = 'city1'",
-    ),
-)
-
-
-def build_federation(
-    options: ExecutorOptions | None = None,
-    observability: "ObservabilityOptions | None" = None,
-    wrap=None,
-) -> Mediator:
-    """A fresh three-branch federation (fresh engines: comparisons across
-    execution modes must not share wrapper-side buffer state).
-
-    ``wrap`` optionally decorates each wrapper before registration —
-    the E10 fault experiment injects faults this way.
-    """
-    mediator = Mediator(executor_options=options, observability=observability)
-    for index, (region, io_ms) in enumerate(REGIONS):
-        engine = StorageEngine(
-            SimClock(CostProfile(io_ms=io_ms, cpu_ms_per_object=0.1 * (index + 1)))
-        )
-        engine.create_collection(
-            f"Orders{region.capitalize()}",
-            [
-                {"oid": i, "supplier": i % 40, "qty": (i * (7 + index)) % 100}
-                for i in range(600 + 200 * index)
-            ],
-            object_size=32,
-            indexed_attributes=["oid"],
-        )
-        if region == "east":
-            engine.create_collection(
-                "Suppliers",
-                [
-                    {"sid": i, "city": f"city{i % 5}"}
-                    for i in range(40)
-                ],
-                object_size=24,
-                indexed_attributes=["sid"],
-            )
-        wrapper = StorageWrapper(region, engine)
-        mediator.register(wrap(wrapper) if wrap is not None else wrapper)
-    return mediator
 
 
 @dataclass

@@ -25,8 +25,7 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass, field
 
-from repro.bench.harness import format_table
-from repro.bench.parallel import WORKLOAD, build_federation
+from repro.bench.harness import WORKLOAD, build_federation, format_table
 from repro.errors import SubmitFailedError
 from repro.mediator.executor import ExecutorOptions
 from repro.mediator.resilience import (

@@ -23,8 +23,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.bench.harness import format_table
-from repro.bench.parallel import WORKLOAD, build_federation
+from repro.bench.harness import WORKLOAD, build_federation, format_table
 from repro.mediator.executor import ExecutorOptions
 from repro.obs import ObservabilityOptions
 

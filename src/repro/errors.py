@@ -166,6 +166,53 @@ class SubmitFailedError(QueryError):
 
 
 # ---------------------------------------------------------------------------
+# Federation serving layer (repro.service)
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for serving-layer errors (sessions, admission,
+    scheduling)."""
+
+
+class SessionError(ServiceError):
+    """A session operation failed (unknown session, closed session...)."""
+
+
+class UnknownPreparedStatementError(SessionError):
+    """A prepared-statement handle was not found in its session."""
+
+
+class AdmissionError(ServiceError):
+    """Base class for admission-control backpressure errors.
+
+    Carries the tenant and a machine-readable ``reason`` so clients (and
+    the serving metrics) can distinguish *why* the query was pushed back.
+    """
+
+    def __init__(self, message: str, tenant: str = "", reason: str = "") -> None:
+        self.tenant = tenant
+        self.reason = reason
+        super().__init__(message)
+
+
+class AdmissionRejectedError(AdmissionError):
+    """The query was rejected outright: its estimated cost can never fit
+    the tenant's (or the global) budget."""
+
+
+class QueueOverflowError(AdmissionError):
+    """The tenant's admission queue is full — backpressure: the client
+    should slow down and retry later."""
+
+
+class ServiceDegradedError(AdmissionError):
+    """Every wrapper the query's plan depends on has an open circuit
+    breaker: the query is rejected fast instead of queued behind sources
+    that cannot answer."""
+
+
+# ---------------------------------------------------------------------------
 # Simulated storage substrate (repro.sources)
 # ---------------------------------------------------------------------------
 

@@ -25,6 +25,7 @@ memory while the source is down is exactly the degraded-mode win.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.algebra.logical import PlanNode
@@ -78,6 +79,12 @@ class SubanswerCache:
         #: registry exports cache behaviour per source, not just globally).
         self.stats_by_wrapper: dict[str, CacheStats] = {}
         self._entries: dict[tuple[str, str], CacheEntry] = {}
+        #: One cache may be shared by every query task of the serving
+        #: layer; the lock keeps entry/stat mutation safe under
+        #: interleaved multi-query access (the fair-share scheduler's
+        #: strict handoff already serializes tasks, so the lock is
+        #: uncontended there — it protects direct multi-threaded use).
+        self._lock = threading.Lock()
 
     def _wrapper_stats(self, wrapper: str) -> CacheStats:
         stats = self.stats_by_wrapper.get(wrapper)
@@ -86,7 +93,8 @@ class SubanswerCache:
         return stats
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @staticmethod
     def key_for(wrapper: str, subplan: PlanNode) -> tuple[str, str]:
@@ -94,15 +102,17 @@ class SubanswerCache:
 
     def lookup(self, wrapper: str, subplan: PlanNode) -> CacheEntry | None:
         """Return the entry for a subquery, counting a hit or miss."""
-        entry = self._entries.get(self.key_for(wrapper, subplan))
-        if entry is None:
-            self.stats.misses += 1
-            self._wrapper_stats(wrapper).misses += 1
-            return None
-        self.stats.hits += 1
-        self._wrapper_stats(wrapper).hits += 1
-        entry.uses += 1
-        return entry
+        key = self.key_for(wrapper, subplan)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                self._wrapper_stats(wrapper).misses += 1
+                return None
+            self.stats.hits += 1
+            self._wrapper_stats(wrapper).hits += 1
+            entry.uses += 1
+            return entry
 
     def store(
         self,
@@ -120,22 +130,25 @@ class SubanswerCache:
                 f"(wrapper {wrapper!r})"
             )
         key = self.key_for(wrapper, subplan)
-        if key not in self._entries and len(self._entries) >= self.max_entries:
-            oldest = next(iter(self._entries))
-            del self._entries[oldest]
         entry = CacheEntry(rows=list(rows), wrapper_time_ms=wrapper_time_ms)
-        self._entries[key] = entry
+        with self._lock:
+            if key not in self._entries and len(self._entries) >= self.max_entries:
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+            self._entries[key] = entry
         return entry
 
     def invalidate_wrapper(self, wrapper: str) -> int:
         """Drop every entry of one wrapper (re-registration changes data)."""
-        stale = [key for key in self._entries if key[0] == wrapper]
-        for key in stale:
-            del self._entries[key]
-        return len(stale)
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == wrapper]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SubanswerCache({len(self)} entries, {self.stats})"

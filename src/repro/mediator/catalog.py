@@ -32,10 +32,16 @@ class MediatorCatalog:
     statistics: StatisticsCatalog = field(default_factory=StatisticsCatalog)
     _wrappers: dict[str, Wrapper] = field(default_factory=dict)
     _collections: dict[str, CollectionEntry] = field(default_factory=dict)
+    #: Monotonic change counter, bumped on every mutation that can alter
+    #: what the optimizer would choose (wrapper/collection membership,
+    #: statistics).  Plan caches key on it: a cached plan is only valid
+    #: while the catalog version it was optimized under is current.
+    version: int = 0
 
     # -- wrappers ---------------------------------------------------------------
 
     def add_wrapper(self, wrapper: Wrapper) -> None:
+        self.version += 1
         self._wrappers[wrapper.name] = wrapper
 
     def wrapper(self, name: str) -> Wrapper:
@@ -48,6 +54,7 @@ class MediatorCatalog:
         return sorted(self._wrappers)
 
     def remove_wrapper(self, name: str) -> None:
+        self.version += 1
         self._wrappers.pop(name, None)
         for collection in [
             c for c, e in self._collections.items() if e.wrapper == name
@@ -69,6 +76,7 @@ class MediatorCatalog:
                 f"collection {name!r} already registered by wrapper "
                 f"{self._collections[name].wrapper!r}"
             )
+        self.version += 1
         self._collections[name] = CollectionEntry(
             name=name,
             wrapper=wrapper,

@@ -9,7 +9,8 @@ the join tree.  The optimizer enumerates plans from this shape.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass, field, replace
 
 from repro.algebra.expressions import Comparison, Predicate
 from repro.algebra.logical import AggregateSpec
@@ -123,3 +124,95 @@ class UnionSpec:
                 raise QueryError(
                     f"union branches are not compatible: {first} vs {columns}"
                 )
+
+
+# ---------------------------------------------------------------------------
+# Normalization and fingerprinting (the plan-cache identity)
+# ---------------------------------------------------------------------------
+
+
+def normalized(spec: QuerySpec) -> QuerySpec:
+    """A canonical, semantically equal form of one :class:`QuerySpec`.
+
+    Two specs that differ only in presentation order — ``FROM a, b`` vs
+    ``FROM b, a``, reordered conjuncts, flipped equi-join sides — map to
+    the same normalized spec:
+
+    * collections sorted;
+    * per-collection filter conjuncts sorted by their rendered text;
+    * join comparisons oriented so the lexicographically smaller
+      ``collection.attribute`` side is on the left, then sorted.
+
+    Output-shaping clauses (projection, ``DISTINCT``, grouping, ordering)
+    are preserved verbatim: their order is *semantic* (it names the output
+    columns and sort keys), so it is part of the identity, not noise.
+    """
+    ordered_filters = {
+        collection: sorted(spec.filters[collection], key=str)
+        for collection in sorted(spec.filters)
+        if spec.filters[collection]
+    }
+    joins: list[Comparison] = []
+    for join in spec.joins:
+        left = (join.left.collection, join.left.name)  # type: ignore[union-attr]
+        right = (join.right.collection, join.right.name)  # type: ignore[union-attr]
+        joins.append(join.flipped() if right < left else join)
+    return replace(
+        spec,
+        collections=sorted(spec.collections),
+        filters=ordered_filters,
+        joins=sorted(joins, key=str),
+    )
+
+
+def _describe_spec(spec: QuerySpec) -> str:
+    """Deterministic one-line rendering of a *normalized* spec."""
+    parts = [
+        "from=" + ",".join(spec.collections),
+        "where="
+        + "&".join(
+            f"{collection}:{predicate}"
+            for collection in spec.filters
+            for predicate in spec.filters[collection]
+        ),
+        "join=" + "&".join(str(join) for join in spec.joins),
+        "select="
+        + ("*" if spec.projection is None else ",".join(spec.projection)),
+        "rename="
+        + ",".join(
+            f"{alias}<{source}"
+            for alias, source in sorted(spec.projection_renames.items())
+        ),
+        f"distinct={spec.distinct}",
+        "group=" + ",".join(spec.group_by),
+        "agg="
+        + ",".join(
+            f"{agg.function}({agg.attribute or '*'})>{agg.alias}"
+            for agg in spec.aggregates
+        ),
+        "order=" + ",".join(spec.order_by),
+        f"desc={spec.order_descending}",
+    ]
+    return ";".join(parts)
+
+
+def spec_fingerprint(query: "QuerySpec | UnionSpec") -> str:
+    """A stable identity for a query: equal for any two specs whose
+    :func:`normalized` forms coincide.
+
+    This is the key of the serving layer's plan cache (paired with the
+    :attr:`~repro.mediator.catalog.MediatorCatalog.version` the plan was
+    optimized under), and it is what lets ``Mediator`` front ends skip
+    re-parsing and re-optimizing a byte-identical — or merely
+    order-shuffled — query.  The digest is a hex SHA-256 prefix: long
+    enough that collisions are not a practical concern, short enough to
+    read in logs and explain output.
+    """
+    if isinstance(query, UnionSpec):
+        canonical = (
+            f"union(distinct={query.distinct})|"
+            + "|".join(_describe_spec(normalized(b)) for b in query.branches)
+        )
+    else:
+        canonical = _describe_spec(normalized(query))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]

@@ -28,6 +28,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    Summary,
 )
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, SpanTracer
 
@@ -209,5 +210,6 @@ __all__ = [
     "RuleDrift",
     "Span",
     "SpanTracer",
+    "Summary",
     "q_error",
 ]

@@ -8,9 +8,14 @@ scattered across components (``EstimatorCounters``, ``OptimizerStats``,
   per wrapper, rows shipped, cache hits);
 * :class:`Gauge` — point-in-time values (cache hit ratio, entries);
 * :class:`Histogram` — distributions with cumulative buckets (query
-  latency in simulated ms).
+  latency in simulated ms);
+* :class:`Summary` — exact nearest-rank quantiles (the p50/p95/p99
+  latency figures of the serving benchmark).
 
-All three support label dimensions (``submits_total{wrapper="oo7"}``).
+All four support label dimensions (``submits_total{wrapper="oo7"}``) and
+are safe under interleaved multi-query access: every mutation takes the
+metric's lock (the serving layer's scheduler also serializes tasks, so
+the locks are uncontended in the single-process simulation).
 :meth:`MetricsRegistry.expose_text` renders the standard text exposition
 format (``# HELP`` / ``# TYPE`` + samples); :meth:`MetricsRegistry.
 snapshot` returns the same data as plain dicts for JSON export and test
@@ -22,6 +27,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 from typing import Any, Iterable, Mapping
 
 LabelKey = tuple[tuple[str, str], ...]
@@ -53,6 +59,10 @@ class Metric:
         self.name = name
         self.help_text = help_text
         self.label_names = tuple(label_names)
+        # The serving layer records from multiple query tasks; a
+        # per-metric lock makes every mutation atomic under interleaved
+        # multi-query access (reads for exposition take it too).
+        self._lock = threading.Lock()
 
     # Subclasses implement ``samples()`` yielding (suffix, label key, value).
 
@@ -81,17 +91,22 @@ class Counter(Metric):
         if amount < 0:
             raise ValueError(f"counters only go up; got {amount}")
         key = _label_key(self.label_names, labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: Any) -> float:
-        return self._values.get(_label_key(self.label_names, labels), 0.0)
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
 
     def total(self) -> float:
         """Sum over every label combination."""
-        return sum(self._values.values())
+        with self._lock:
+            return sum(self._values.values())
 
     def samples(self) -> "list[tuple[str, LabelKey, float]]":
-        return [("", key, value) for key, value in sorted(self._values.items())]
+        with self._lock:
+            return [("", key, value) for key, value in sorted(self._values.items())]
 
 
 class Gauge(Metric):
@@ -102,13 +117,18 @@ class Gauge(Metric):
         self._values: dict[LabelKey, float] = {}
 
     def set(self, value: float, **labels: Any) -> None:
-        self._values[_label_key(self.label_names, labels)] = float(value)
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            self._values[key] = float(value)
 
     def value(self, **labels: Any) -> float:
-        return self._values.get(_label_key(self.label_names, labels), 0.0)
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
 
     def samples(self) -> "list[tuple[str, LabelKey, float]]":
-        return [("", key, value) for key, value in sorted(self._values.items())]
+        with self._lock:
+            return [("", key, value) for key, value in sorted(self._values.items())]
 
 
 #: Default latency buckets, in simulated milliseconds.  Federated queries
@@ -147,28 +167,111 @@ class Histogram(Metric):
 
     def observe(self, value: float, **labels: Any) -> None:
         key = _label_key(self.label_names, labels)
-        counts = self._counts.setdefault(key, [0] * len(self.buckets))
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                counts[index] += 1
-        self._sums[key] = self._sums.get(key, 0.0) + float(value)
-        self._totals[key] = self._totals.get(key, 0) + 1
+        with self._lock:
+            counts = self._counts.setdefault(key, [0] * len(self.buckets))
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[index] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + float(value)
+            self._totals[key] = self._totals.get(key, 0) + 1
 
     def count(self, **labels: Any) -> int:
-        return self._totals.get(_label_key(self.label_names, labels), 0)
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            return self._totals.get(key, 0)
 
     def sum(self, **labels: Any) -> float:
-        return self._sums.get(_label_key(self.label_names, labels), 0.0)
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            return self._sums.get(key, 0.0)
 
     def samples(self) -> "list[tuple[str, LabelKey, float]]":
         out: list[tuple[str, LabelKey, float]] = []
-        for key in sorted(self._counts):
-            for index, bound in enumerate(self.buckets):
-                le = "+Inf" if math.isinf(bound) else f"{bound:g}"
-                bucket_key = key + (("le", le),)
-                out.append(("_bucket", bucket_key, float(self._counts[key][index])))
-            out.append(("_sum", key, self._sums[key]))
-            out.append(("_count", key, float(self._totals[key])))
+        with self._lock:
+            for key in sorted(self._counts):
+                for index, bound in enumerate(self.buckets):
+                    le = "+Inf" if math.isinf(bound) else f"{bound:g}"
+                    bucket_key = key + (("le", le),)
+                    out.append(
+                        ("_bucket", bucket_key, float(self._counts[key][index]))
+                    )
+                out.append(("_sum", key, self._sums[key]))
+                out.append(("_count", key, float(self._totals[key])))
+        return out
+
+
+#: Default quantiles exposed by :class:`Summary` metrics — the latency
+#: percentiles the E11 serving benchmark reports.
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class Summary(Metric):
+    """An exact-quantile latency summary.
+
+    Histogram buckets answer "how many under X ms" but interpolate
+    percentiles coarsely; the serving benchmark needs real p50/p95/p99
+    figures.  A :class:`Summary` keeps every observation (these are
+    per-query latencies — thousands, not billions) and computes
+    nearest-rank quantiles exactly and deterministically.  Exposition
+    follows the Prometheus summary convention: ``{quantile="0.5"}``
+    samples plus ``_sum`` and ``_count``.
+    """
+
+    metric_type = "summary"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Iterable[str] = (),
+        quantiles: Iterable[float] = DEFAULT_QUANTILES,
+    ):
+        super().__init__(name, help_text, label_names)
+        self.quantiles = tuple(quantiles)
+        for q in self.quantiles:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantile out of range: {q}")
+        self._observations: dict[LabelKey, list[float]] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            self._observations.setdefault(key, []).append(float(value))
+
+    @staticmethod
+    def _rank(sorted_values: "list[float]", q: float) -> float:
+        if not sorted_values:
+            return math.nan
+        index = max(0, math.ceil(q * len(sorted_values)) - 1)
+        return sorted_values[index]
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Nearest-rank quantile of the observations (NaN when empty)."""
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            return self._rank(sorted(self._observations.get(key, [])), q)
+
+    def count(self, **labels: Any) -> int:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            return len(self._observations.get(key, []))
+
+    def sum(self, **labels: Any) -> float:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            return sum(self._observations.get(key, []))
+
+    def samples(self) -> "list[tuple[str, LabelKey, float]]":
+        out: list[tuple[str, LabelKey, float]] = []
+        with self._lock:
+            for key in sorted(self._observations):
+                values = sorted(self._observations[key])
+                for q in self.quantiles:
+                    out.append(
+                        ("", key + (("quantile", f"{q:g}"),), self._rank(values, q))
+                    )
+                out.append(("_sum", key, sum(values)))
+                out.append(("_count", key, float(len(values))))
         return out
 
 
@@ -177,25 +280,29 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
 
     def __contains__(self, name: str) -> bool:
-        return name in self._metrics
+        with self._lock:
+            return name in self._metrics
 
     def __getitem__(self, name: str) -> Metric:
-        return self._metrics[name]
+        with self._lock:
+            return self._metrics[name]
 
     def _get_or_create(self, cls: type, name: str, help_text: str, labels, **kw):
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if type(existing) is not cls or existing.label_names != tuple(labels):
-                raise ValueError(
-                    f"metric {name!r} already registered as "
-                    f"{type(existing).__name__}{existing.label_names}"
-                )
-            return existing
-        metric = cls(name, help_text, labels, **kw)
-        self._metrics[name] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.label_names != tuple(labels):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}{existing.label_names}"
+                    )
+                return existing
+            metric = cls(name, help_text, labels, **kw)
+            self._metrics[name] = metric
+            return metric
 
     def counter(
         self, name: str, help_text: str = "", labels: Iterable[str] = ()
@@ -218,18 +325,33 @@ class MetricsRegistry:
             Histogram, name, help_text, tuple(labels), buckets=buckets
         )
 
+    def summary(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Iterable[str] = (),
+        quantiles: Iterable[float] = DEFAULT_QUANTILES,
+    ) -> Summary:
+        return self._get_or_create(
+            Summary, name, help_text, tuple(labels), quantiles=quantiles
+        )
+
     # -- export --------------------------------------------------------------
+
+    def _sorted_metrics(self) -> "list[tuple[str, Metric]]":
+        with self._lock:
+            return sorted(self._metrics.items())
 
     def expose_text(self) -> str:
         """The Prometheus text exposition of every registered metric."""
         return "\n".join(
-            metric.expose() for _name, metric in sorted(self._metrics.items())
+            metric.expose() for _name, metric in self._sorted_metrics()
         )
 
     def snapshot(self) -> dict[str, Any]:
         """Plain-dict export (JSON-ready) of every metric's samples."""
         out: dict[str, Any] = {}
-        for name, metric in sorted(self._metrics.items()):
+        for name, metric in self._sorted_metrics():
             out[name] = {
                 "type": metric.metric_type,
                 "help": metric.help_text,

@@ -1,0 +1,198 @@
+"""Per-tenant sessions and prepared statements.
+
+A :class:`Session` is one client's connection to the federation: it
+belongs to a tenant (the unit of admission budgets and scheduling
+quota), holds that client's prepared statements, and resolves queries to
+optimized plans through the shared :class:`~repro.service.plancache.
+PlanCache` — so a query any session of any tenant has optimized before
+skips parse *and* optimize, as long as the catalog has not changed
+underneath it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
+
+from repro.errors import SessionError, UnknownPreparedStatementError
+from repro.mediator.optimizer import OptimizationResult
+from repro.mediator.queryspec import QuerySpec, UnionSpec, spec_fingerprint
+from repro.service.plancache import PlanCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mediator.mediator import Mediator
+
+
+@dataclass
+class PreparedStatement:
+    """One named, pre-parsed query held by a session."""
+
+    handle: str
+    sql: str
+    spec: "QuerySpec | UnionSpec"
+    fingerprint: str
+    #: Catalog version the statement was parsed under; a bumped version
+    #: forces a re-parse on next use (name resolution may have changed).
+    catalog_version: int
+    executions: int = 0
+
+
+@dataclass
+class PlanResolution:
+    """What resolving one query cost, and what it produced."""
+
+    optimized: OptimizationResult
+    fingerprint: str
+    #: True when the optimized plan came from the plan cache (the parse
+    #: and optimize phases were skipped).
+    plan_cached: bool = False
+    sql: str | None = None
+
+
+class Session:
+    """One client session of one tenant."""
+
+    def __init__(
+        self, manager: "SessionManager", session_id: str, tenant: str
+    ) -> None:
+        self.manager = manager
+        self.session_id = session_id
+        self.tenant = tenant
+        self.statements: dict[str, PreparedStatement] = {}
+        self.closed = False
+        self._handle_counter = 0
+
+    # -- prepared statements ---------------------------------------------------
+
+    def prepare(self, sql: str, name: str | None = None) -> PreparedStatement:
+        """Parse once, remember under a handle; returns the statement."""
+        self._check_open()
+        mediator = self.manager.mediator
+        spec = mediator.parse(sql)
+        if name is None:
+            self._handle_counter += 1
+            name = f"stmt{self._handle_counter}"
+        statement = PreparedStatement(
+            handle=name,
+            sql=sql,
+            spec=spec,
+            fingerprint=spec_fingerprint(spec),
+            catalog_version=mediator.catalog.version,
+        )
+        self.statements[name] = statement
+        return statement
+
+    def statement(self, handle: str) -> PreparedStatement:
+        try:
+            return self.statements[handle]
+        except KeyError:
+            raise UnknownPreparedStatementError(
+                f"session {self.session_id!r} has no prepared statement "
+                f"{handle!r} (known: {sorted(self.statements)})"
+            ) from None
+
+    # -- plan resolution --------------------------------------------------------
+
+    def resolve(
+        self, query: "Union[str, QuerySpec, UnionSpec, PreparedStatement]"
+    ) -> PlanResolution:
+        """Query → optimized plan, through the shared plan cache."""
+        self._check_open()
+        return self.manager.resolve(self, query)
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise SessionError(f"session {self.session_id!r} is closed")
+
+
+class SessionManager:
+    """All live sessions plus the shared plan cache."""
+
+    def __init__(
+        self,
+        mediator: "Mediator",
+        plan_cache: PlanCache | None = None,
+    ) -> None:
+        self.mediator = mediator
+        #: ``None`` disables plan caching entirely (every resolve parses
+        #: and optimizes, exactly like ``Mediator.query``).
+        self.plan_cache = plan_cache
+        self.sessions: dict[str, Session] = {}
+        self._session_counter = 0
+
+    def open_session(self, tenant: str, session_id: str | None = None) -> Session:
+        if session_id is None:
+            self._session_counter += 1
+            session_id = f"{tenant}/s{self._session_counter}"
+        if session_id in self.sessions and not self.sessions[session_id].closed:
+            raise SessionError(f"session {session_id!r} is already open")
+        session = Session(self, session_id, tenant)
+        self.sessions[session_id] = session
+        return session
+
+    def close_session(self, session: Session) -> None:
+        session.closed = True
+        self.sessions.pop(session.session_id, None)
+
+    # -- resolution ------------------------------------------------------------
+
+    def resolve(
+        self,
+        session: Session,
+        query: "Union[str, QuerySpec, UnionSpec, PreparedStatement]",
+    ) -> PlanResolution:
+        mediator = self.mediator
+        version = mediator.catalog.version
+        cache = self.plan_cache
+        sql: str | None = None
+
+        if isinstance(query, PreparedStatement):
+            if query.catalog_version != version:
+                # The catalog changed since PREPARE: re-parse (resolution
+                # of unqualified names may differ) and re-fingerprint.
+                query.spec = mediator.parse(query.sql)
+                query.fingerprint = spec_fingerprint(query.spec)
+                query.catalog_version = version
+            query.executions += 1
+            sql, spec, fingerprint = query.sql, query.spec, query.fingerprint
+        elif isinstance(query, str):
+            sql = query
+            fingerprint = (
+                cache.fingerprint_for_sql(sql, version)
+                if cache is not None
+                else None
+            )
+            if fingerprint is not None:
+                cached = cache.lookup(fingerprint, version)
+                if cached is not None:
+                    return PlanResolution(
+                        optimized=cached,
+                        fingerprint=fingerprint,
+                        plan_cached=True,
+                        sql=sql,
+                    )
+                # Fingerprint known but plan evicted: fall through to a
+                # parse (we need the spec back to re-optimize).
+            spec = mediator.parse(sql)
+            fingerprint = spec_fingerprint(spec)
+            if cache is not None:
+                cache.remember_sql(sql, fingerprint, version)
+        else:
+            spec = query
+            fingerprint = spec_fingerprint(spec)
+
+        if cache is not None:
+            cached = cache.lookup(fingerprint, version)
+            if cached is not None:
+                return PlanResolution(
+                    optimized=cached,
+                    fingerprint=fingerprint,
+                    plan_cached=True,
+                    sql=sql,
+                )
+        optimized = mediator.plan(spec)
+        if cache is not None:
+            cache.store(fingerprint, version, optimized)
+        return PlanResolution(
+            optimized=optimized, fingerprint=fingerprint, plan_cached=False, sql=sql
+        )

@@ -176,6 +176,49 @@ class TestResilienceModule:
         assert "answered" in experiment.table()
 
 
+class TestServingModule:
+    def test_e11_fast_run(self):
+        import json
+
+        from repro.bench.serving import run_serving_experiment
+
+        experiment = run_serving_experiment(fast=True)
+        doc = json.loads(json.dumps(experiment.to_json_dict()))
+        assert doc["experiment"] == "E11"
+        ladder = {run["label"]: run for run in doc["throughput"]}
+        # Every admitted query completes at every concurrency level.
+        for run in ladder.values():
+            assert run["completed"] == run["submitted"] - run["rejected"]
+        # Concurrency > 1 actually overlaps queries...
+        widest = ladder[max(ladder, key=lambda k: ladder[k]["max_in_flight"])]
+        assert widest["max_in_flight"] > 1
+        assert widest["cross_query_waves"] > 0
+        # ...and finishes the same workload in less simulated time.
+        assert widest["makespan_ms"] < ladder["1"]["makespan_ms"]
+        assert widest["plan_cache_hits"] > 0
+
+    def test_e11_fairness_and_backpressure(self):
+        from repro.bench.serving import run_serving_experiment
+
+        experiment = run_serving_experiment(fast=True)
+        fairness = experiment.fairness_run
+        favored = fairness.tenant("dashboards")  # quota 3
+        standard = fairness.tenant("analytics")  # quota 1
+        # Both tenants run the identical query mix; the quota-3 tenant
+        # must wait less, and neither may starve.
+        assert favored.mean_queue_wait_ms < standard.mean_queue_wait_ms
+        assert favored.completed > 0 and standard.completed > 0
+        backpressure = experiment.backpressure_run
+        assert backpressure.rejected > 0
+        assert set(backpressure.rejected_by_reason) <= {
+            "estimate_exceeds_budget",
+            "queue_full",
+            "degraded",
+        }
+        assert "tenant" in experiment.fairness_table()
+        assert "rejected" in experiment.backpressure_table()
+
+
 class TestBenchJsonOutput:
     def test_out_dir_writer(self, tmp_path):
         import json

@@ -4,7 +4,12 @@ import pytest
 
 from repro.algebra.expressions import Comparison, attr, eq
 from repro.errors import QueryError
-from repro.mediator.queryspec import QuerySpec
+from repro.mediator.queryspec import (
+    QuerySpec,
+    UnionSpec,
+    normalized,
+    spec_fingerprint,
+)
 
 
 def join(left_col, left_attr, right_col, right_attr):
@@ -81,3 +86,95 @@ class TestJoinGraphHelpers:
     def test_single_collection_flag(self):
         assert QuerySpec(collections=["A"]).is_single_collection
         assert not self.make().is_single_collection
+
+
+class TestNormalization:
+    def test_collection_order_canonicalized(self):
+        ab = QuerySpec(collections=["A", "B"], joins=[join("A", "x", "B", "y")])
+        ba = QuerySpec(collections=["B", "A"], joins=[join("A", "x", "B", "y")])
+        assert normalized(ab) == normalized(ba)
+
+    def test_join_orientation_canonicalized(self):
+        forward = QuerySpec(
+            collections=["A", "B"], joins=[join("A", "x", "B", "y")]
+        )
+        flipped = QuerySpec(
+            collections=["A", "B"], joins=[join("B", "y", "A", "x")]
+        )
+        assert normalized(forward) == normalized(flipped)
+
+    def test_filter_conjunct_order_canonicalized(self):
+        first = QuerySpec(
+            collections=["A"], filters={"A": [eq("x", 1), eq("y", 2)]}
+        )
+        second = QuerySpec(
+            collections=["A"], filters={"A": [eq("y", 2), eq("x", 1)]}
+        )
+        assert normalized(first) == normalized(second)
+
+    def test_projection_order_is_semantic(self):
+        xy = QuerySpec(collections=["A"], projection=["x", "y"])
+        yx = QuerySpec(collections=["A"], projection=["y", "x"])
+        assert normalized(xy) != normalized(yx)
+
+
+class TestFingerprint:
+    def test_stable_and_short(self):
+        spec = QuerySpec(collections=["A"], filters={"A": [eq("x", 1)]})
+        first = spec_fingerprint(spec)
+        assert first == spec_fingerprint(spec)
+        assert len(first) == 20
+        assert all(c in "0123456789abcdef" for c in first)
+
+    def test_equal_for_shuffled_presentation(self):
+        ab = QuerySpec(
+            collections=["A", "B"],
+            filters={"A": [eq("x", 1), eq("y", 2)]},
+            joins=[join("A", "x", "B", "y")],
+        )
+        ba = QuerySpec(
+            collections=["B", "A"],
+            filters={"A": [eq("y", 2), eq("x", 1)]},
+            joins=[join("B", "y", "A", "x")],
+        )
+        assert spec_fingerprint(ab) == spec_fingerprint(ba)
+
+    def test_differs_on_semantic_changes(self):
+        base = QuerySpec(collections=["A"], filters={"A": [eq("x", 1)]})
+        fingerprints = {
+            spec_fingerprint(base),
+            spec_fingerprint(
+                QuerySpec(collections=["A"], filters={"A": [eq("x", 2)]})
+            ),
+            spec_fingerprint(QuerySpec(collections=["A"])),
+            spec_fingerprint(
+                QuerySpec(
+                    collections=["A"],
+                    filters={"A": [eq("x", 1)]},
+                    distinct=True,
+                )
+            ),
+            spec_fingerprint(
+                QuerySpec(
+                    collections=["A"],
+                    filters={"A": [eq("x", 1)]},
+                    projection=["x"],
+                )
+            ),
+        }
+        assert len(fingerprints) == 5
+
+    def test_union_fingerprint_covers_branches_and_distinct(self):
+        left = QuerySpec(collections=["A"], projection=["x"])
+        right = QuerySpec(collections=["B"], projection=["x"])
+        union_all = UnionSpec(branches=[left, right], distinct=False)
+        union_distinct = UnionSpec(branches=[left, right], distinct=True)
+        assert spec_fingerprint(union_all) == spec_fingerprint(
+            UnionSpec(branches=[left, right], distinct=False)
+        )
+        assert spec_fingerprint(union_all) != spec_fingerprint(union_distinct)
+        # Branch order is semantic for unions (bag semantics of the
+        # output stream), so it stays part of the identity.
+        assert spec_fingerprint(union_all) != spec_fingerprint(
+            UnionSpec(branches=[right, left], distinct=False)
+        )

@@ -1,6 +1,8 @@
 """Metrics registry unit tests: semantics, exposition, snapshots."""
 
 import json
+import math
+import threading
 
 import pytest
 
@@ -135,3 +137,93 @@ class TestExposition:
                 "value": 3.0,
             }
         ]
+
+
+class TestSummary:
+    def test_nearest_rank_quantiles(self):
+        summary = MetricsRegistry().summary("latency_ms")
+        for value in (10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0):
+            summary.observe(value)
+        assert summary.quantile(0.5) == 50.0
+        assert summary.quantile(0.95) == 100.0
+        assert summary.quantile(0.0) == 10.0
+        assert summary.quantile(1.0) == 100.0
+        assert summary.count() == 10
+        assert summary.sum() == 550.0
+
+    def test_empty_summary_is_nan(self):
+        summary = MetricsRegistry().summary("latency_ms")
+        assert math.isnan(summary.quantile(0.5))
+        assert summary.count() == 0
+
+    def test_labels_partition_observations(self):
+        summary = MetricsRegistry().summary("wait_ms", labels=("tenant",))
+        summary.observe(5.0, tenant="a")
+        summary.observe(100.0, tenant="b")
+        assert summary.quantile(0.5, tenant="a") == 5.0
+        assert summary.quantile(0.5, tenant="b") == 100.0
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().summary("s", quantiles=(1.5,))
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        summary = registry.summary("latency_ms", "Latency", quantiles=(0.5,))
+        summary.observe(42.0)
+        text = registry.expose_text()
+        assert "# TYPE latency_ms summary" in text
+        assert 'latency_ms{quantile="0.5"} 42.0' in text
+        assert "latency_ms_sum 42.0" in text
+        assert "latency_ms_count 1.0" in text
+
+
+class TestThreadSafety:
+    """The serving layer updates metrics from many query-task threads;
+    increments and observations must never be lost."""
+
+    def test_concurrent_counter_increments(self):
+        counter = MetricsRegistry().counter("c", labels=("tenant",))
+
+        def spin(tenant):
+            for _ in range(1000):
+                counter.inc(tenant=tenant)
+
+        threads = [
+            threading.Thread(target=spin, args=(tenant,))
+            for tenant in ("a", "b", "c", "d")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.total() == 4000.0
+        assert counter.value(tenant="a") == 1000.0
+
+    def test_concurrent_summary_observations(self):
+        summary = MetricsRegistry().summary("s")
+
+        def spin():
+            for i in range(500):
+                summary.observe(float(i))
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert summary.count() == 2000
+
+    def test_concurrent_get_or_create_returns_one_metric(self):
+        registry = MetricsRegistry()
+        seen = []
+
+        def create():
+            seen.append(registry.counter("shared", labels=("t",)))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(metric is seen[0] for metric in seen)
