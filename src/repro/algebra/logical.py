@@ -456,6 +456,65 @@ class Submit(PlanNode):
         return f"submit[{self.wrapper}]"
 
 
+class Scatter(PlanNode):
+    """Fan one subquery out to the shards of a partitioned collection.
+
+    A beyond-the-paper operator: each branch is a :class:`Submit` carrying
+    the same subquery against one shard's physical collection, and the
+    gather is a bag union in branch order.  ``collection`` is the
+    *logical* name — :meth:`base_collections` reports it (not the
+    physical shard names) so join validation, rule-head unification and
+    statistics lookups see the partitioned collection with its aggregated
+    statistics.  ``total_shards`` records the scheme size; a pruned
+    scatter carries fewer branches than ``total_shards``.
+    """
+
+    operator_name = "scatter"
+
+    def __init__(
+        self,
+        branches: Sequence["Submit"],
+        collection: str,
+        shard_key: str,
+        total_shards: int,
+    ) -> None:
+        super().__init__()
+        if not branches:
+            raise PlanError("scatter needs at least one branch")
+        for branch in branches:
+            if not isinstance(branch, Submit):
+                raise PlanError(
+                    f"scatter branches must be submits, got {branch.describe()}"
+                )
+        if total_shards < len(branches):
+            raise PlanError(
+                f"scatter has {len(branches)} branches but only "
+                f"{total_shards} total shards"
+            )
+        if not collection or not shard_key:
+            raise PlanError("scatter needs a collection and shard key")
+        self.branches = tuple(branches)
+        self.collection = collection
+        self.shard_key = shard_key
+        self.total_shards = total_shards
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return self.branches
+
+    def base_collections(self) -> set[str]:
+        return {self.collection}
+
+    def match_args(self) -> tuple[Any, ...]:
+        return (self.collection,)
+
+    def describe(self) -> str:
+        return (
+            f"scatter[{self.collection}/"
+            f"{len(self.branches)} of {self.total_shards} shards]"
+        )
+
+
 @dataclass
 class _Validation:
     """Accumulates problems found by :func:`validate_plan`."""
@@ -482,6 +541,8 @@ def validate_plan(root: PlanNode) -> None:
 def _validate(node: PlanNode, inside_submit: bool, report: _Validation) -> None:
     if isinstance(node, BindJoin) and inside_submit:
         report.complain(node, "bindjoin inside a submit (wrappers cannot probe)")
+    if isinstance(node, Scatter) and inside_submit:
+        report.complain(node, "scatter inside a submit (wrappers cannot fan out)")
     if isinstance(node, Submit):
         if inside_submit:
             report.complain(node, "nested submit")
@@ -535,4 +596,12 @@ def strip_submits(root: PlanNode) -> PlanNode:
         )
     if isinstance(root, Union):
         return Union(strip_submits(root.left), strip_submits(root.right))
+    if isinstance(root, Scatter):
+        # Submit-free scatter semantics collapse to a union chain over the
+        # shard subplans (the gather is a bag union in branch order).
+        stripped = [strip_submits(branch) for branch in root.branches]
+        result = stripped[0]
+        for branch in stripped[1:]:
+            result = Union(result, branch)
+        return result
     return root

@@ -4,7 +4,8 @@ Options:
     --fast            use reduced scales (TINY OO7, fewer repetitions)
     --out-dir DIR     also write machine-readable results (currently
                       ``BENCH_E8.json``, ``BENCH_E9.json``,
-                      ``BENCH_E10.json`` and ``BENCH_E11.json``) into DIR
+                      ``BENCH_E10.json``, ``BENCH_E11.json`` and
+                      ``BENCH_E12.json``) into DIR
 """
 
 from __future__ import annotations
@@ -23,6 +24,7 @@ from repro.bench.parallel import run_parallel_experiment
 from repro.bench.plan_quality import run_plan_quality
 from repro.bench.resilience import PROBABILITIES, run_fault_experiment
 from repro.bench.serving import run_serving_experiment
+from repro.bench.sharding import run_sharding_experiment
 from repro.bench.telemetry import run_telemetry_experiment
 from repro.oo7 import PAPER, SMALL, TINY
 
@@ -157,6 +159,14 @@ def main() -> None:
     print()
     print(serving.backpressure_table())
     write_json(out_dir, "BENCH_E11.json", serving.to_json_dict())
+
+    banner("E12 — sharded federations: scatter-gather vs shard pruning")
+    sharding = run_sharding_experiment(fast=fast)
+    print(sharding.table())
+    print(
+        f"\npruning beats full scatter everywhere: {sharding.pruning_wins}"
+    )
+    write_json(out_dir, "BENCH_E12.json", sharding.to_json_dict())
 
 
 if __name__ == "__main__":

@@ -465,6 +465,11 @@ class _Estimation:
                 value, provenance = cached
                 estimate.values[variable] = value
                 estimate.provenance[variable] = provenance
+                # Count the variable before the §4.3.2 bound check, exactly
+                # like the non-cached path below: a cached TotalTime that
+                # trips the bound must leave the same counter trail, or
+                # OptimizerStats undercounts pruned work on warm caches.
+                self.counters.variables_computed += 1
                 if (
                     variable == "TotalTime"
                     and self.bound_ms is not None

@@ -66,6 +66,15 @@ from repro.core.statistics import AttributeStats
 #: index, wrong shape).  Under the lowest-value policy it simply loses.
 NOT_APPLICABLE = math.inf
 
+#: Fan-out network multiplier for scatter communication (Snippet 3's
+#: multi-node scan factor): a full S-shard scatter serializes its
+#: per-branch transfers through the mediator's network interface under
+#: contention, priced at this multiple of the lone-branch cost.  A
+#: pruned single-shard lookup pays multiplier 1 — the Snippet 3
+#: "sharding access fraction" (~0.1 at S=10) then falls out of simply
+#: not paying the other S-1 branches.
+SCATTER_NETWORK_MULTIPLIER = 5.0
+
 
 @dataclass
 class GenericCoefficients:
@@ -1043,6 +1052,100 @@ def _submit_rules() -> list[CostRule]:
     ]
 
 
+def _scatter_rules() -> list[CostRule]:
+    """Cost of fanning one subquery out to the shards of a partition.
+
+    The scatter is mediator-executed: its branches dispatch as one
+    submit wave, so input time is the PR 1 list-scheduled makespan of
+    the per-branch wrapper waits plus the (serialized) per-branch
+    communication — the same decomposition as
+    :func:`_parallel_children_total` — scaled by a fan-out factor that
+    interpolates from 1 (single pruned branch) to
+    :data:`SCATTER_NETWORK_MULTIPLIER` (all ``total_shards`` branches).
+    """
+    pattern = unary_pattern("scatter", var("C"))
+
+    def count_object(ctx) -> Value:
+        return sum(
+            ctx.child_value("CountObject", index)
+            for index in range(len(ctx.node.children))
+        )
+
+    def total_size(ctx) -> Value:
+        return sum(
+            ctx.child_value("TotalSize", index)
+            for index in range(len(ctx.node.children))
+        )
+
+    def _branch_costs(ctx) -> tuple[list[float], float]:
+        coeffs = _mediator_coeffs(ctx)
+        waits: list[float] = []
+        communication = 0.0
+        for index in range(len(ctx.node.children)):
+            total = ctx.child_value("TotalTime", index)
+            size = ctx.child_value("TotalSize", index)
+            comm = min(
+                total, 2.0 * coeffs.ms_per_message + size * coeffs.ms_per_byte
+            )
+            communication += comm
+            waits.append(total - comm)
+        return waits, communication
+
+    def _fanout_overhead(node) -> float:
+        fanned = len(node.branches)
+        total = node.total_shards
+        return 1.0 + (SCATTER_NETWORK_MULTIPLIER - 1.0) * (fanned - 1) / max(
+            1, total - 1
+        )
+
+    def total_time(ctx) -> Value:
+        waits, communication = _branch_costs(ctx)
+        makespan = ParallelClock.makespan(
+            waits, getattr(ctx.options, "max_concurrency", None)
+        )
+        return makespan + _fanout_overhead(ctx.node) * communication
+
+    def time_first(ctx) -> Value:
+        # A lone pruned branch streams like the plain submit it wraps;
+        # a true fan-out gathers in branch order, so conservatively the
+        # first row waits for the whole wave.
+        if len(ctx.node.children) == 1:
+            return ctx.child_value("TimeFirst", 0)
+        return ctx.own_value("TotalTime")
+
+    return [
+        _rule(
+            pattern,
+            [
+                _native(
+                    "CountObject",
+                    count_object,
+                    "scatter-card",
+                    child_req=("CountObject",),
+                ),
+                _native(
+                    "TotalSize", total_size, "scatter-size", child_req=("TotalSize",)
+                ),
+                _native(
+                    "TotalTime",
+                    total_time,
+                    "scatter-wave",
+                    child_req=("TotalTime", "TotalSize"),
+                ),
+                _native(
+                    "TimeFirst",
+                    time_first,
+                    "scatter-first",
+                    child_req=("TimeFirst",),
+                    own_req=("TotalTime",),
+                ),
+                _time_next_formula(),
+            ],
+            name="generic-scatter",
+        )
+    ]
+
+
 def all_generic_rules() -> list[CostRule]:
     """Fresh instances of every generic-model rule."""
     return (
@@ -1056,6 +1159,7 @@ def all_generic_rules() -> list[CostRule]:
         + _bindjoin_rules()
         + _union_rules()
         + _submit_rules()
+        + _scatter_rules()
     )
 
 

@@ -32,7 +32,15 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence, Union as TUnion
 
 from repro.algebra.expressions import AttributeRef, Comparison, Literal, Predicate
-from repro.algebra.logical import BindJoin, Join, PlanNode, Scan, Select, Submit
+from repro.algebra.logical import (
+    BindJoin,
+    Join,
+    PlanNode,
+    Scan,
+    Scatter,
+    Select,
+    Submit,
+)
 from repro.core.formulas import Formula, RESULT_VARIABLES, parse_formula
 from repro.errors import CostModelError
 
@@ -48,6 +56,7 @@ PATTERN_OPERATORS = (
     "bindjoin",
     "union",
     "submit",
+    "scatter",
 )
 
 _UNARY_WITH_PRED = ("select",)
@@ -214,6 +223,10 @@ class OperatorPattern:
             return [node.child]
         if isinstance(node, BindJoin):
             return [node.outer]
+        if isinstance(node, Scatter):
+            # One collection argument — the *logical* name; a rule head
+            # may pin it even though the node fans out to N branches.
+            return [node.collection]
         children = list(node.children)
         if not children:
             return None
@@ -429,7 +442,7 @@ def join_pattern(
 
 def unary_pattern(operator: str, collection: CollectionArg) -> OperatorPattern:
     """Head for the remaining unary operators (sort/distinct/aggregate/
-    submit)."""
+    submit/scatter)."""
     return OperatorPattern(operator, (collection,))
 
 

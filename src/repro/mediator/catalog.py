@@ -8,11 +8,20 @@ needed to resolve unqualified names in queries.
 
 from __future__ import annotations
 
+import bisect
+import zlib
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.statistics import CollectionStats, StatisticsCatalog
 from repro.errors import UnknownAttributeError, UnknownCollectionError
 from repro.wrappers.base import Wrapper
+
+#: Sentinel "wrapper" name carried by the logical entry of a partitioned
+#: collection that has no physical collection of its own.  Never a real
+#: wrapper — the optimizer routes partitioned collections through the
+#: scatter access path before any wrapper lookup happens.
+PARTITIONED_WRAPPER = "<partitioned>"
 
 
 @dataclass
@@ -25,6 +34,85 @@ class CollectionEntry:
     has_statistics: bool = False
 
 
+@dataclass(frozen=True)
+class Shard:
+    """One physical fragment of a partitioned collection."""
+
+    #: Physical collection name the shard's wrapper serves.
+    collection: str
+    #: Wrapper instance holding the fragment.
+    wrapper: str
+
+
+@dataclass(frozen=True)
+class PartitionScheme:
+    """Hash or range partitioning of one logical collection over N shards.
+
+    ``kind="hash"`` routes a shard-key value to ``shard_index(value)``;
+    only equality predicates on the shard key prune.  ``kind="range"``
+    splits the key domain at ``boundaries`` (ascending; ``len(shards)-1``
+    values; shard *i* holds ``boundaries[i-1] <= v < boundaries[i]``), so
+    both equality and range predicates prune.
+    """
+
+    collection: str
+    shard_key: str
+    shards: tuple[Shard, ...]
+    kind: str = "hash"
+    boundaries: tuple[Any, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ValueError(f"partition of {self.collection!r} needs >= 1 shard")
+        if self.kind not in ("hash", "range"):
+            raise ValueError(f"unknown partition kind {self.kind!r}")
+        if self.kind == "range":
+            if len(self.boundaries) != len(self.shards) - 1:
+                raise ValueError(
+                    f"range partition of {self.collection!r} needs "
+                    f"{len(self.shards) - 1} boundaries, got {len(self.boundaries)}"
+                )
+            if list(self.boundaries) != sorted(self.boundaries):
+                raise ValueError("range boundaries must be ascending")
+        elif self.boundaries:
+            raise ValueError("hash partitions take no boundaries")
+        names = [shard.collection for shard in self.shards]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate shard collections in {names}")
+
+    def shard_index(self, value: Any) -> int:
+        """The shard owning a shard-key value.
+
+        Hashing is deterministic across processes (builtin ``hash`` is
+        salted per run): integers route by modulo, everything else by
+        CRC-32 of the string form.
+        """
+        n = len(self.shards)
+        if self.kind == "range":
+            return bisect.bisect_right(list(self.boundaries), value)
+        if isinstance(value, bool) or not isinstance(value, int):
+            return zlib.crc32(str(value).encode("utf-8")) % n
+        return value % n
+
+    def shards_for_equality(self, value: Any) -> tuple[int, ...]:
+        """Shard indices that may hold rows with ``shard_key == value``."""
+        return (self.shard_index(value),)
+
+    def shards_for_range(
+        self, low: Any | None, high: Any | None
+    ) -> tuple[int, ...]:
+        """Shard indices overlapping ``low <= shard_key <= high``.
+
+        Conservative (never drops a shard that could match); open bounds
+        are ``None``.  Hash partitioning cannot prune ranges: all shards.
+        """
+        if self.kind != "range":
+            return tuple(range(len(self.shards)))
+        lo = 0 if low is None else self.shard_index(low)
+        hi = len(self.shards) - 1 if high is None else self.shard_index(high)
+        return tuple(range(lo, hi + 1))
+
+
 @dataclass
 class MediatorCatalog:
     """Registered wrappers and the global collection namespace."""
@@ -32,6 +120,7 @@ class MediatorCatalog:
     statistics: StatisticsCatalog = field(default_factory=StatisticsCatalog)
     _wrappers: dict[str, Wrapper] = field(default_factory=dict)
     _collections: dict[str, CollectionEntry] = field(default_factory=dict)
+    _partitions: dict[str, PartitionScheme] = field(default_factory=dict)
     #: Monotonic change counter, bumped on every mutation that can alter
     #: what the optimizer would choose (wrapper/collection membership,
     #: statistics).  Plan caches key on it: a cached plan is only valid
@@ -61,6 +150,18 @@ class MediatorCatalog:
         ]:
             del self._collections[collection]
             self.statistics.remove(collection)
+        # A partition scheme losing any shard's wrapper is gone wholesale:
+        # a scatter over a missing shard could never be planned.
+        for logical in [
+            c
+            for c, scheme in self._partitions.items()
+            if any(shard.wrapper == name for shard in scheme.shards)
+        ]:
+            del self._partitions[logical]
+            entry = self._collections.get(logical)
+            if entry is not None and entry.wrapper == PARTITIONED_WRAPPER:
+                del self._collections[logical]
+                self.statistics.remove(logical)
 
     # -- collections --------------------------------------------------------------
 
@@ -85,6 +186,74 @@ class MediatorCatalog:
         )
         if stats is not None:
             self.statistics.put(stats)
+
+    # -- partitions ---------------------------------------------------------------
+
+    def add_partition(
+        self,
+        scheme: PartitionScheme,
+        attributes: tuple[str, ...] = (),
+        stats: CollectionStats | None = None,
+    ) -> None:
+        """Register a partition scheme for a logical collection.
+
+        Every shard's physical collection must already be registered to
+        the wrapper the scheme names.  When the logical name is not
+        itself a physical collection (the usual S>1 layout), a logical
+        :class:`CollectionEntry` is created under the
+        :data:`PARTITIONED_WRAPPER` sentinel so name resolution and
+        statistics lookups work; when it *is* one (a 1-shard overlay),
+        the existing physical entry is left untouched.
+
+        Bumps :attr:`version` — cached plans against the unsharded
+        layout are stale.
+        """
+        for shard in scheme.shards:
+            if shard.wrapper not in self._wrappers:
+                raise UnknownCollectionError(
+                    f"shard wrapper {shard.wrapper!r} is not registered"
+                )
+            shard_entry = self._collections.get(shard.collection)
+            if shard_entry is None or shard_entry.wrapper != shard.wrapper:
+                raise UnknownCollectionError(
+                    f"shard collection {shard.collection!r} is not registered "
+                    f"by wrapper {shard.wrapper!r}"
+                )
+        self.version += 1
+        self._partitions[scheme.collection] = scheme
+        if scheme.collection not in self._collections:
+            self._collections[scheme.collection] = CollectionEntry(
+                name=scheme.collection,
+                wrapper=PARTITIONED_WRAPPER,
+                attributes=attributes,
+                has_statistics=stats is not None,
+            )
+        if stats is not None:
+            self.statistics.put(stats)
+
+    def remove_partition(self, collection: str) -> None:
+        scheme = self._partitions.pop(collection, None)
+        if scheme is None:
+            return
+        self.version += 1
+        entry = self._collections.get(collection)
+        if entry is not None and entry.wrapper == PARTITIONED_WRAPPER:
+            del self._collections[collection]
+            self.statistics.remove(collection)
+
+    def is_partitioned(self, collection: str) -> bool:
+        return collection in self._partitions
+
+    def partition(self, collection: str) -> PartitionScheme:
+        try:
+            return self._partitions[collection]
+        except KeyError:
+            raise UnknownCollectionError(
+                f"collection {collection!r} is not partitioned"
+            ) from None
+
+    def partitioned_collections(self) -> list[str]:
+        return sorted(self._partitions)
 
     def entry(self, collection: str) -> CollectionEntry:
         try:
@@ -150,5 +319,11 @@ class MediatorCatalog:
             lines.append(
                 f"{name} @ {entry.wrapper} ({stats_note}; "
                 f"attrs: {', '.join(entry.attributes) or '?'})"
+            )
+        for name in self.partitioned_collections():
+            scheme = self._partitions[name]
+            lines.append(
+                f"{name} partitioned by {scheme.kind}({scheme.shard_key}) "
+                f"over {len(scheme.shards)} shards"
             )
         return "\n".join(lines)

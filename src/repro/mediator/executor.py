@@ -31,6 +31,7 @@ from repro.algebra.logical import (
     PlanNode,
     Project,
     Scan,
+    Scatter,
     Select,
     Sort,
     Submit,
@@ -288,6 +289,8 @@ class MediatorExecutor:
         elif isinstance(node, Union):
             yield from self._run(node.left)
             yield from self._run(node.right)
+        elif isinstance(node, Scatter):
+            yield from self._run_scatter(node)
         else:
             raise PlanError(f"mediator cannot execute {node.operator_name!r}")
 
@@ -315,6 +318,33 @@ class MediatorExecutor:
             # must only learn from real, measured executions.
             self._submit_log.append((node, outcome.result))
         yield from outcome.result.rows
+
+    def _run_scatter(self, node: Scatter) -> Iterator[Row]:
+        """Fan the shard submits out as one wave, gather in branch order.
+
+        Scatter branches always dispatch concurrently — even under the
+        sequential executor — because the fan-out is the operator's whole
+        point; the parallel executor's global prefetch wave already
+        covers them, in which case the stored outcomes are consumed here.
+        Like Union, the gather itself charges nothing per row.  A failed
+        shard is a dropped branch: strict mode raises, partial mode
+        records it for the :class:`PartialAnswer`.
+        """
+        outcomes: list[DispatchOutcome]
+        if all(branch.node_id in self._prefetched for branch in node.branches):
+            outcomes = [
+                self._prefetched.pop(branch.node_id) for branch in node.branches
+            ]
+        else:
+            outcomes = self.scheduler.dispatch_wave(list(node.branches))
+        for branch, outcome in zip(node.branches, outcomes):
+            if outcome.failed:
+                assert outcome.failure is not None
+                self._register_failure(outcome.failure)
+                continue
+            if not outcome.cached:
+                self._submit_log.append((branch, outcome.result))
+            yield from outcome.result.rows
 
     def _payload_bytes(self, subplan: PlanNode, row_count: int) -> int:
         """Approximate result-transfer size; projected subplans ship only

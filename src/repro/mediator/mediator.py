@@ -148,6 +148,15 @@ class Mediator:
             wrapper, self.catalog, self.repository, self.estimator
         )
 
+    def register_partitioned(self, scheme):
+        """Register a partition scheme over already-registered shard
+        wrappers; returns the aggregated logical statistics (or None)."""
+        from repro.mediator.registration import register_partitioned_collection
+
+        return register_partitioned_collection(
+            scheme, self.catalog, self.estimator
+        )
+
     # -- query phase (§2.2) ---------------------------------------------------------
 
     def parse(self, sql: str) -> QuerySpec | UnionSpec:

@@ -28,7 +28,13 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
-from repro.algebra.expressions import Predicate, conjunction
+from repro.algebra.expressions import (
+    AttributeRef,
+    Comparison,
+    Literal,
+    Predicate,
+    conjunction,
+)
 from repro.algebra.logical import (
     Aggregate,
     BindJoin,
@@ -37,6 +43,7 @@ from repro.algebra.logical import (
     PlanNode,
     Project,
     Scan,
+    Scatter,
     Select,
     Sort,
     Submit,
@@ -44,7 +51,7 @@ from repro.algebra.logical import (
 from repro.algebra.logical import Union
 from repro.core.estimator import CostEstimator, PlanEstimate
 from repro.errors import QueryError
-from repro.mediator.catalog import MediatorCatalog
+from repro.mediator.catalog import MediatorCatalog, PartitionScheme
 from repro.mediator.queryspec import QuerySpec, UnionSpec
 from repro.obs.trace import NULL_TRACER, SpanTracer
 
@@ -216,8 +223,11 @@ class Optimizer:
         """Scan + filters for one collection, submitted to its wrapper.
 
         Filters go inside the Submit when the wrapper supports selection
-        (and ``push_filters`` is on), above it otherwise.
+        (and ``push_filters`` is on), above it otherwise.  Partitioned
+        collections fan out to their shards instead.
         """
+        if self.catalog.is_partitioned(collection):
+            return self._scatter_access_plan(spec, collection)
         wrapper = self.catalog.wrapper_of(collection)
         filters = spec.filters_for(collection)
         inner: PlanNode = Scan(collection)
@@ -231,6 +241,94 @@ class Optimizer:
         if outer_filters:
             plan = Select(plan, conjunction(outer_filters))
         return plan
+
+    def _scatter_access_plan(self, spec: QuerySpec, collection: str) -> PlanNode:
+        """Scatter the per-collection subquery over the shards that can
+        hold matching rows.
+
+        Shard pruning: an equality predicate on the shard key routes to
+        the owning shard; under range partitioning, range predicates keep
+        only overlapping shards.  Filters push into each branch's Submit
+        when that shard's wrapper supports selection; if any branch
+        cannot push, the full conjunction is (re-)applied mediator-side
+        above the scatter — selections are idempotent, so pushed
+        branches stay correct.
+        """
+        scheme = self.catalog.partition(collection)
+        filters = list(spec.filters_for(collection))
+        indices = self._pruned_shards(scheme, filters)
+        branches: list[Submit] = []
+        needs_outer = False
+        for index in indices:
+            shard = scheme.shards[index]
+            wrapper = self.catalog.wrapper(shard.wrapper)
+            inner: PlanNode = Scan(shard.collection)
+            if filters:
+                if self.options.push_filters and "select" in wrapper.capabilities:
+                    inner = Select(inner, conjunction(filters))
+                else:
+                    needs_outer = True
+            branches.append(Submit(inner, wrapper.name))
+        plan: PlanNode = Scatter(
+            branches, collection, scheme.shard_key, len(scheme.shards)
+        )
+        if filters and needs_outer:
+            plan = Select(plan, conjunction(filters))
+        return plan
+
+    def _pruned_shards(
+        self, scheme: PartitionScheme, filters: list[Predicate]
+    ) -> tuple[int, ...]:
+        """Shard indices that can hold rows satisfying the filters.
+
+        Only top-level conjuncts comparing the shard key to a literal
+        prune (a disjunct might match any shard).  Contradictory
+        predicates leave one arbitrary shard — its branch then filters
+        every row out, which keeps the plan well-formed.
+        """
+        keep = set(range(len(scheme.shards)))
+        for predicate in filters:
+            for conjunct in predicate.conjuncts():
+                if not isinstance(conjunct, Comparison):
+                    continue
+                comparison = conjunct.normalized()
+                if not comparison.is_attr_value:
+                    continue
+                attribute = comparison.left
+                literal = comparison.right
+                assert isinstance(attribute, AttributeRef)
+                assert isinstance(literal, Literal)
+                if attribute.name != scheme.shard_key:
+                    continue
+                if attribute.collection not in (None, scheme.collection):
+                    continue
+                if comparison.op == "=":
+                    keep &= set(scheme.shards_for_equality(literal.value))
+                elif comparison.op in ("<", "<="):
+                    keep &= set(scheme.shards_for_range(None, literal.value))
+                elif comparison.op in (">", ">="):
+                    keep &= set(scheme.shards_for_range(literal.value, None))
+        if not keep:
+            return (0,)
+        return tuple(sorted(keep))
+
+    def _single_wrapper_for(self, collection: str) -> str | None:
+        """The wrapper able to answer for the *whole* collection, or None.
+
+        For a partitioned collection this exists only in the 1-shard
+        overlay layout (the scheme's lone shard is the logical collection
+        itself); a true fan-out has no single answering wrapper, so
+        whole-subquery pushdown and bind-join probing do not apply.
+        """
+        if self.catalog.is_partitioned(collection):
+            scheme = self.catalog.partition(collection)
+            if len(scheme.shards) > 1:
+                return None
+            shard = scheme.shards[0]
+            if shard.collection != collection:
+                return None
+            return shard.wrapper
+        return self.catalog.wrapper_for(collection)
 
     def _wrapper_side_join_tree(
         self, spec: QuerySpec, collections: list[str]
@@ -346,8 +444,8 @@ class Optimizer:
         stats: OptimizerStats,
         current: _Candidate | None,
     ) -> _Candidate | None:
-        wrappers = {self.catalog.wrapper_for(c) for c in subset}
-        if len(wrappers) != 1:
+        wrappers = {self._single_wrapper_for(c) for c in subset}
+        if len(wrappers) != 1 or None in wrappers:
             return current
         wrapper = self.catalog.wrapper(next(iter(wrappers)))
         if "join" not in wrapper.capabilities:
@@ -379,7 +477,10 @@ class Optimizer:
         join = connecting[0]
         inner_attr = join.right
         outer_attr = join.left
-        wrapper = self.catalog.wrapper_of(inner)
+        wrapper_name = self._single_wrapper_for(inner)
+        if wrapper_name is None:
+            return None
+        wrapper = self.catalog.wrapper(wrapper_name)
         if "select" not in wrapper.capabilities:
             return None
         if inner not in self.catalog.statistics:
@@ -472,7 +573,10 @@ class Optimizer:
 
         if spec.is_single_collection and self._has_decorations(spec):
             collection = spec.collections[0]
-            wrapper = self.catalog.wrapper_of(collection)
+            wrapper_name = self._single_wrapper_for(collection)
+            if wrapper_name is None:
+                return candidates
+            wrapper = self.catalog.wrapper(wrapper_name)
             needed = {"select"} if spec.filters_for(collection) else set()
             if spec.aggregates or spec.group_by:
                 needed.add("aggregate")

@@ -18,10 +18,13 @@ first removes everything the wrapper previously exported.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.core.estimator import CostEstimator, SourceEnvironment
 from repro.core.scopes import RuleRepository
+from repro.core.statistics import AttributeStats, CollectionStats
 from repro.errors import RegistrationError
-from repro.mediator.catalog import MediatorCatalog
+from repro.mediator.catalog import MediatorCatalog, PartitionScheme
 from repro.wrappers.base import Wrapper
 
 
@@ -78,3 +81,102 @@ def register_wrapper(
         )
     )
     return len(compiled.rules)
+
+
+def register_partitioned_collection(
+    scheme: PartitionScheme,
+    catalog: MediatorCatalog,
+    estimator: CostEstimator | None = None,
+) -> CollectionStats | None:
+    """Register a partition scheme plus aggregated logical statistics.
+
+    Every shard's wrapper and physical collection must already be
+    registered (the normal §2.1 flow runs first, shard by shard).  The
+    logical collection gets statistics synthesized from the per-shard
+    exports — counts and sizes sum; the shard key's distinct count sums
+    (shards hold disjoint key sets) while other attributes keep the
+    maximum; Min/Max widen to the union of the shard ranges — so the
+    generic cost model prices the logical collection as one extent.
+
+    Returns the aggregated statistics (``None`` when some shard exported
+    no statistics).  Bumps the catalog version via
+    :meth:`MediatorCatalog.add_partition`, invalidating cached plans.
+    """
+    for shard in scheme.shards:
+        if shard.collection not in catalog:
+            raise RegistrationError(
+                f"shard collection {shard.collection!r} is not registered; "
+                "register the shard wrappers before the partition scheme"
+            )
+    attributes: list[str] = []
+    for shard in scheme.shards:
+        for attribute in catalog.attributes_of(shard.collection):
+            if attribute not in attributes:
+                attributes.append(attribute)
+    shard_stats = [
+        catalog.statistics.get(shard.collection)
+        for shard in scheme.shards
+        if shard.collection in catalog.statistics
+    ]
+    aggregated: CollectionStats | None = None
+    if len(shard_stats) == len(scheme.shards):
+        aggregated = _aggregate_shard_stats(scheme, shard_stats)
+    catalog.add_partition(scheme, tuple(attributes), aggregated)
+    if estimator is not None:
+        estimator.invalidate_cache()
+    return aggregated
+
+
+def _aggregate_shard_stats(
+    scheme: PartitionScheme, shard_stats: list[CollectionStats]
+) -> CollectionStats:
+    if len(shard_stats) == 1:
+        # 1-shard schemes (including the overlay layout used by the
+        # equivalence suite) keep the physical statistics verbatim.
+        return replace(shard_stats[0], name=scheme.collection)
+    count_object = sum(stats.count_object for stats in shard_stats)
+    total_size = sum(stats.total_size for stats in shard_stats)
+    object_size = round(total_size / count_object) if count_object else 0
+    names: list[str] = []
+    for stats in shard_stats:
+        for name in stats.attributes:
+            if name not in names:
+                names.append(name)
+    merged: dict[str, AttributeStats] = {}
+    for name in names:
+        per_shard = [
+            stats.attributes[name]
+            for stats in shard_stats
+            if name in stats.attributes
+        ]
+        distinct: int | None = None
+        if all(attr.count_distinct is not None for attr in per_shard):
+            counts = [attr.count_distinct for attr in per_shard]
+            # Shards partition the key domain, so distinct shard-key
+            # values are disjoint and sum; any other attribute may repeat
+            # across shards — the max is a sound lower bound.
+            distinct = sum(counts) if name == scheme.shard_key else max(counts)
+        mins = [attr.min_value for attr in per_shard if attr.min_value is not None]
+        maxs = [attr.max_value for attr in per_shard if attr.max_value is not None]
+        merged[name] = AttributeStats(
+            name=name,
+            indexed=all(attr.indexed for attr in per_shard),
+            count_distinct=distinct,
+            min_value=(
+                min(mins, key=lambda c: c.as_number())
+                if len(mins) == len(per_shard)
+                else None
+            ),
+            max_value=(
+                max(maxs, key=lambda c: c.as_number())
+                if len(maxs) == len(per_shard)
+                else None
+            ),
+        )
+    return CollectionStats(
+        name=scheme.collection,
+        count_object=count_object,
+        total_size=total_size,
+        object_size=object_size,
+        attributes=merged,
+    )

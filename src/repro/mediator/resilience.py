@@ -43,6 +43,7 @@ from repro.algebra.logical import (
     Aggregate,
     BindJoin,
     Join,
+    Scatter,
     PlanNode,
     Submit,
     Union,
@@ -296,6 +297,11 @@ def _subtree_missing(node: PlanNode, failed_ids: set[int]) -> bool:
         # The inner side is fetched per probe at run time; the plan-level
         # subtree is missing when the outer side is.
         return _subtree_missing(node.outer, failed_ids)
+    if isinstance(node, Scatter):
+        # An N-ary union over shards: missing only if every shard is.
+        return all(
+            _subtree_missing(branch, failed_ids) for branch in node.branches
+        )
     children = node.children
     if not children:
         return False
@@ -328,6 +334,12 @@ def build_partial_answer(
         elif isinstance(node, BindJoin):
             if _subtree_missing(node.outer, failed_ids):
                 pruned_joins += 1
+        elif isinstance(node, Scatter):
+            # Each failed shard is one dropped branch of the N-ary
+            # gather union — the answer is missing that shard's rows.
+            for branch in node.branches:
+                if _subtree_missing(branch, failed_ids):
+                    dropped_union_branches += 1
         elif isinstance(node, Aggregate):
             subtree_ids = {
                 child.node_id

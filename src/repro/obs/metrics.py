@@ -9,8 +9,9 @@ scattered across components (``EstimatorCounters``, ``OptimizerStats``,
 * :class:`Gauge` — point-in-time values (cache hit ratio, entries);
 * :class:`Histogram` — distributions with cumulative buckets (query
   latency in simulated ms);
-* :class:`Summary` — exact nearest-rank quantiles (the p50/p95/p99
-  latency figures of the serving benchmark).
+* :class:`Summary` — deterministic nearest-rank quantiles over a
+  bounded window (the p50/p95/p99 latency figures of the serving
+  benchmark).
 
 All four support label dimensions (``submits_total{wrapper="oo7"}``) and
 are safe under interleaved multi-query access: every mutation takes the
@@ -28,6 +29,7 @@ from __future__ import annotations
 import json
 import math
 import threading
+from collections import deque
 from typing import Any, Iterable, Mapping
 
 LabelKey = tuple[tuple[str, str], ...]
@@ -205,16 +207,28 @@ class Histogram(Metric):
 DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
 
 
+#: Default per-label-set window of :class:`Summary`.  Large enough that
+#: the serving benchmark's quantiles are exact (it observes far fewer
+#: latencies than this), small enough that sustained traffic cannot grow
+#: a metric without bound.
+DEFAULT_MAX_SAMPLES = 8192
+
+
 class Summary(Metric):
-    """An exact-quantile latency summary.
+    """A bounded-window latency summary with deterministic quantiles.
 
     Histogram buckets answer "how many under X ms" but interpolate
     percentiles coarsely; the serving benchmark needs real p50/p95/p99
-    figures.  A :class:`Summary` keeps every observation (these are
-    per-query latencies — thousands, not billions) and computes
-    nearest-rank quantiles exactly and deterministically.  Exposition
-    follows the Prometheus summary convention: ``{quantile="0.5"}``
-    samples plus ``_sum`` and ``_count``.
+    figures.  A :class:`Summary` keeps a sliding window of the most
+    recent ``max_samples`` observations per label set and computes
+    nearest-rank quantiles over that window — exact while fewer than
+    ``max_samples`` values have been observed, and recent-window
+    quantiles (still fully deterministic: the window is the last N
+    observations, no sampling) afterwards.  ``_sum`` and ``_count`` are
+    kept as separate exact accumulators over *all* observations, so the
+    window never distorts totals.  Exposition follows the Prometheus
+    summary convention: ``{quantile="0.5"}`` samples plus ``_sum`` and
+    ``_count``.
     """
 
     metric_type = "summary"
@@ -225,18 +239,29 @@ class Summary(Metric):
         help_text: str,
         label_names: Iterable[str] = (),
         quantiles: Iterable[float] = DEFAULT_QUANTILES,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
     ):
         super().__init__(name, help_text, label_names)
         self.quantiles = tuple(quantiles)
         for q in self.quantiles:
             if not 0.0 <= q <= 1.0:
                 raise ValueError(f"quantile out of range: {q}")
-        self._observations: dict[LabelKey, list[float]] = {}
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.max_samples = max_samples
+        self._observations: dict[LabelKey, deque[float]] = {}
+        self._counts: dict[LabelKey, int] = {}
+        self._sums: dict[LabelKey, float] = {}
 
     def observe(self, value: float, **labels: Any) -> None:
         key = _label_key(self.label_names, labels)
         with self._lock:
-            self._observations.setdefault(key, []).append(float(value))
+            window = self._observations.get(key)
+            if window is None:
+                window = self._observations[key] = deque(maxlen=self.max_samples)
+            window.append(float(value))
+            self._counts[key] = self._counts.get(key, 0) + 1
+            self._sums[key] = self._sums.get(key, 0.0) + float(value)
 
     @staticmethod
     def _rank(sorted_values: "list[float]", q: float) -> float:
@@ -246,20 +271,29 @@ class Summary(Metric):
         return sorted_values[index]
 
     def quantile(self, q: float, **labels: Any) -> float:
-        """Nearest-rank quantile of the observations (NaN when empty)."""
+        """Nearest-rank quantile of the windowed observations (NaN when
+        empty)."""
         key = _label_key(self.label_names, labels)
         with self._lock:
-            return self._rank(sorted(self._observations.get(key, [])), q)
+            return self._rank(sorted(self._observations.get(key, ())), q)
 
     def count(self, **labels: Any) -> int:
+        """Exact number of observations ever made (not the window size)."""
         key = _label_key(self.label_names, labels)
         with self._lock:
-            return len(self._observations.get(key, []))
+            return self._counts.get(key, 0)
 
     def sum(self, **labels: Any) -> float:
+        """Exact sum of every observation ever made."""
         key = _label_key(self.label_names, labels)
         with self._lock:
-            return sum(self._observations.get(key, []))
+            return self._sums.get(key, 0.0)
+
+    def window_size(self, **labels: Any) -> int:
+        """How many observations the quantile window currently holds."""
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            return len(self._observations.get(key, ()))
 
     def samples(self) -> "list[tuple[str, LabelKey, float]]":
         out: list[tuple[str, LabelKey, float]] = []
@@ -270,8 +304,8 @@ class Summary(Metric):
                     out.append(
                         ("", key + (("quantile", f"{q:g}"),), self._rank(values, q))
                     )
-                out.append(("_sum", key, sum(values)))
-                out.append(("_count", key, float(len(values))))
+                out.append(("_sum", key, self._sums[key]))
+                out.append(("_count", key, float(self._counts[key])))
         return out
 
 
@@ -331,9 +365,15 @@ class MetricsRegistry:
         help_text: str = "",
         labels: Iterable[str] = (),
         quantiles: Iterable[float] = DEFAULT_QUANTILES,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
     ) -> Summary:
         return self._get_or_create(
-            Summary, name, help_text, tuple(labels), quantiles=quantiles
+            Summary,
+            name,
+            help_text,
+            tuple(labels),
+            quantiles=quantiles,
+            max_samples=max_samples,
         )
 
     # -- export --------------------------------------------------------------

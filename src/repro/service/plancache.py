@@ -80,11 +80,18 @@ class PlanCache:
 
     def lookup(self, fingerprint: str, version: int) -> OptimizationResult | None:
         """The cached plan for a fingerprint, if optimized under the
-        current catalog version; stale entries are evicted on sight."""
+        current catalog version; stale entries are evicted on sight.
+
+        A hit refreshes the entry's recency (dicts preserve insertion
+        order, so re-inserting moves it to the end), making capacity
+        eviction LRU rather than FIFO: a hot plan re-used every query is
+        never the eviction victim.
+        """
         with self._lock:
             entry = self._plans.get(fingerprint)
             if entry is not None and entry.version != version:
                 del self._plans[fingerprint]
+                self._drop_sql_for(fingerprint)
                 self.stats.invalidations += 1
                 entry = None
             if entry is None:
@@ -92,6 +99,8 @@ class PlanCache:
                 return None
             self.stats.hits += 1
             entry.uses += 1
+            del self._plans[fingerprint]
+            self._plans[fingerprint] = entry
             return entry.optimized
 
     def store(
@@ -104,17 +113,40 @@ class PlanCache:
             ):
                 oldest = next(iter(self._plans))
                 del self._plans[oldest]
+                # Any SQL text still pointing at the evicted fingerprint
+                # would resolve to a guaranteed plan miss (a dangling
+                # fingerprint skips the parser only to miss the plan map);
+                # drop those entries so the SQL falls back to a full
+                # parse-and-store.
+                self._drop_sql_for(oldest)
             self._plans[fingerprint] = _Entry(version=version, optimized=optimized)
+
+    def _drop_sql_for(self, fingerprint: str) -> None:
+        """Remove SQL-text entries resolving to an evicted fingerprint
+        (caller holds the lock)."""
+        dangling = [
+            sql
+            for sql, entry in self._sql.items()
+            if entry.fingerprint == fingerprint
+        ]
+        for sql in dangling:
+            del self._sql[sql]
 
     # -- the parse-skipping SQL text map --------------------------------------
 
     def fingerprint_for_sql(self, sql: str, version: int) -> str | None:
-        """The fingerprint of byte-identical, already-seen SQL text."""
+        """The fingerprint of byte-identical, already-seen SQL text.
+
+        Hits refresh recency here too, so the SQL map's capacity
+        eviction is LRU in step with the plan map.
+        """
         with self._lock:
             entry = self._sql.get(sql)
             if entry is None or entry.version != version:
                 return None
             self.stats.sql_hits += 1
+            del self._sql[sql]
+            self._sql[sql] = entry
             return entry.fingerprint
 
     def remember_sql(self, sql: str, fingerprint: str, version: int) -> None:

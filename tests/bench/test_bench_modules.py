@@ -219,6 +219,33 @@ class TestServingModule:
         assert "rejected" in experiment.backpressure_table()
 
 
+class TestShardingModule:
+    def test_e12_fast_run(self):
+        import json
+
+        from repro.bench.sharding import run_sharding_experiment
+
+        experiment = run_sharding_experiment(fast=True)
+        doc = json.loads(json.dumps(experiment.to_json_dict()))
+        assert doc["experiment"] == "E12"
+        # The paper-shaped claim the sweep exists to show: for every
+        # multi-shard federation, estimated AND simulated TotalTime drop
+        # as more of the workload aligns with the shard key.
+        assert doc["pruning_wins"] is True
+        cells = {
+            (cell["shards"], cell["alignment"]): cell
+            for cell in doc["cells"]
+        }
+        # Fully oblivious workload fans out to every shard; fully
+        # aligned workload prunes every query to one branch.
+        assert cells[(4, 0.0)]["mean_branches"] == 4.0
+        assert cells[(4, 1.0)]["mean_branches"] == 1.0
+        # The 1-shard column is flat — no fan-out to save.
+        one = [c for (s, _), c in cells.items() if s == 1]
+        assert len({c["mean_branches"] for c in one}) == 1
+        assert "pruning" in experiment.table()
+
+
 class TestBenchJsonOutput:
     def test_out_dir_writer(self, tmp_path):
         import json

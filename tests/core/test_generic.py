@@ -188,6 +188,7 @@ class TestInstallers:
             "bindjoin",
             "union",
             "submit",
+            "scatter",
         }
 
     def test_install_counts_match(self):

@@ -1,0 +1,75 @@
+"""Regression: §4.3.2 pruning leaves the same counter trail with and
+without the subplan cache.
+
+The seed raised :class:`PlanPruned` on the cache-hit path *before*
+incrementing ``variables_computed``, so a warm cache reported one fewer
+variable than the identical cold run — OptimizerStats undercounted
+pruned work exactly when the cache made pruning cheap.
+"""
+
+from repro.algebra.builders import scan
+from repro.core.estimator import CostEstimator, EstimatorOptions
+from repro.core.generic import CoefficientSet, standard_repository
+from repro.core.statistics import (
+    AttributeStats,
+    CollectionStats,
+    StatisticsCatalog,
+)
+
+
+def make_estimator(cache: bool) -> CostEstimator:
+    catalog = StatisticsCatalog()
+    catalog.put(
+        CollectionStats.from_extent(
+            "R",
+            1000,
+            100,
+            attributes=[AttributeStats("a", indexed=True, count_distinct=1000)],
+        )
+    )
+    return CostEstimator(
+        standard_repository(),
+        catalog,
+        options=EstimatorOptions(cache_subplans=cache),
+        coefficients=CoefficientSet(),
+    )
+
+
+def make_plan():
+    return scan("R").where_eq("a", 5).submit_to("w").build()
+
+
+class TestPrunedCounters:
+    def test_cold_cache_agrees_with_uncached(self):
+        # An empty cache computes exactly what the uncached path does.
+        cached = make_estimator(cache=True)
+        uncached = make_estimator(cache=False)
+        pruned_cached = cached.estimate(make_plan(), bound_ms=1.0)
+        pruned_uncached = uncached.estimate(make_plan(), bound_ms=1.0)
+        assert pruned_cached.pruned and pruned_uncached.pruned
+        assert cached.last_counters.variables_computed > 0
+        assert (
+            cached.last_counters.variables_computed
+            == uncached.last_counters.variables_computed
+        )
+
+    def test_warm_cache_hit_counts_the_tripping_variable(self):
+        estimator = make_estimator(cache=True)
+        plan = make_plan()
+        estimator.estimate(plan)  # warm the cache
+        pruned = estimator.estimate(plan, bound_ms=1.0)
+        assert pruned.pruned
+        # The cached TotalTime that tripped the bound is one computed
+        # variable — the seed reported zero here.
+        assert estimator.last_counters.variables_computed == 1
+
+    def test_unpruned_estimates_agree_too(self):
+        cached = make_estimator(cache=True)
+        uncached = make_estimator(cache=False)
+        first = cached.estimate(make_plan())
+        second = uncached.estimate(make_plan())
+        assert first.total_time == second.total_time
+        assert (
+            cached.last_counters.variables_computed
+            == uncached.last_counters.variables_computed
+        )

@@ -1,0 +1,305 @@
+"""Sharded federations: partition schemes, scatter planning, pruning,
+execution, degradation, and catalog lifecycle."""
+
+import pytest
+
+from repro.algebra.logical import (
+    Scan,
+    Scatter,
+    Submit,
+    Union,
+    strip_submits,
+    validate_plan,
+)
+from repro.errors import (
+    PlanError,
+    RegistrationError,
+    UnknownCollectionError,
+)
+from repro.mediator.catalog import (
+    PARTITIONED_WRAPPER,
+    PartitionScheme,
+    Shard,
+)
+from repro.mediator.executor import ExecutorOptions
+from repro.mediator.mediator import Mediator
+from repro.mediator.resilience import ResilienceOptions
+from repro.sources.relationaldb import RelationalDatabase
+from repro.wrappers import RelationalWrapper
+from repro.wrappers.faults import FaultInjector, FaultProfile
+
+ROWS = 200
+
+
+def order_rows():
+    return [
+        {"oid": i, "supplier": i % 50, "qty": (i * 7) % 100}
+        for i in range(ROWS)
+    ]
+
+
+def scheme_for(shards, kind="hash", boundaries=()):
+    return PartitionScheme(
+        collection="Orders",
+        shard_key="oid",
+        shards=tuple(
+            Shard(collection=f"Orders#{i}", wrapper=f"node{i}")
+            for i in range(shards)
+        ),
+        kind=kind,
+        boundaries=boundaries,
+    )
+
+
+def build_federation(
+    shards=4, kind="hash", boundaries=(), faulty=(), resilience=None
+):
+    """One wrapper per shard; rows placed exactly where the scheme routes
+    them, so pruning is sound by construction."""
+    scheme = scheme_for(shards, kind, boundaries)
+    mediator = Mediator(
+        executor_options=ExecutorOptions(resilience=resilience)
+    )
+    for index in range(shards):
+        db = RelationalDatabase()
+        db.create_table(
+            f"Orders#{index}",
+            [row for row in order_rows() if scheme.shard_index(row["oid"]) == index],
+            row_size=32,
+            indexed_columns=["oid"],
+        )
+        wrapper = RelationalWrapper(f"node{index}", db)
+        if f"node{index}" in faulty:
+            wrapper = FaultInjector(
+                wrapper, FaultProfile(error_probability=1.0)
+            )
+        mediator.register(wrapper)
+    mediator.register_partitioned(scheme)
+    return mediator
+
+
+def build_unsharded():
+    mediator = Mediator()
+    db = RelationalDatabase()
+    db.create_table(
+        "Orders", order_rows(), row_size=32, indexed_columns=["oid"]
+    )
+    mediator.register(RelationalWrapper("node0", db))
+    return mediator
+
+
+def scatter_of(plan):
+    scatters = [n for n in plan.walk() if isinstance(n, Scatter)]
+    assert len(scatters) == 1
+    return scatters[0]
+
+
+def sort_key(row):
+    return row["oid"]
+
+
+class TestPartitionScheme:
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(ValueError, match=">= 1 shard"):
+            PartitionScheme("Orders", "oid", shards=())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown partition kind"):
+            scheme_for(2, kind="round-robin")
+
+    def test_range_boundary_count_enforced(self):
+        with pytest.raises(ValueError, match="needs 3 boundaries"):
+            scheme_for(4, kind="range", boundaries=(50,))
+
+    def test_range_boundaries_must_ascend(self):
+        with pytest.raises(ValueError, match="ascending"):
+            scheme_for(3, kind="range", boundaries=(100, 50))
+
+    def test_hash_takes_no_boundaries(self):
+        with pytest.raises(ValueError, match="no boundaries"):
+            scheme_for(2, kind="hash", boundaries=(50,))
+
+    def test_duplicate_shard_collections_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PartitionScheme(
+                "Orders",
+                "oid",
+                shards=(Shard("X", "w1"), Shard("X", "w2")),
+            )
+
+    def test_integer_hash_routing_is_modulo(self):
+        scheme = scheme_for(4)
+        for value in (0, 1, 123, 10**9):
+            assert scheme.shard_index(value) == value % 4
+
+    def test_non_integer_routing_is_deterministic(self):
+        # Builtin ``hash`` is salted per process; routing must not be.
+        for value in ("alice", 3.5, True, None):
+            indices = {scheme_for(4).shard_index(value) for _ in range(3)}
+            assert len(indices) == 1
+            assert 0 <= indices.pop() < 4
+
+    def test_range_routing_respects_boundaries(self):
+        scheme = scheme_for(3, kind="range", boundaries=(50, 100))
+        assert scheme.shard_index(0) == 0
+        assert scheme.shard_index(49) == 0
+        assert scheme.shard_index(50) == 1
+        assert scheme.shard_index(99) == 1
+        assert scheme.shard_index(100) == 2
+
+    def test_range_pruning_for_intervals(self):
+        scheme = scheme_for(3, kind="range", boundaries=(50, 100))
+        assert scheme.shards_for_range(None, 75) == (0, 1)
+        assert scheme.shards_for_range(120, None) == (2,)
+        assert scheme.shards_for_range(None, None) == (0, 1, 2)
+
+    def test_hash_cannot_prune_ranges(self):
+        assert scheme_for(4).shards_for_range(10, 20) == (0, 1, 2, 3)
+
+
+class TestScatterPlanning:
+    def test_oblivious_predicate_scatters_to_all_shards(self):
+        mediator = build_federation(shards=4)
+        optimized = mediator.plan("SELECT * FROM Orders WHERE qty > 90")
+        scatter = scatter_of(optimized.plan)
+        assert len(scatter.branches) == 4
+        assert scatter.total_shards == 4
+
+    def test_shard_key_equality_prunes_to_owner(self):
+        mediator = build_federation(shards=4)
+        optimized = mediator.plan("SELECT * FROM Orders WHERE oid = 123")
+        scatter = scatter_of(optimized.plan)
+        assert len(scatter.branches) == 1
+        assert scatter.branches[0].wrapper == f"node{123 % 4}"
+
+    def test_range_predicate_prunes_range_partition(self):
+        mediator = build_federation(
+            shards=4, kind="range", boundaries=(50, 100, 150)
+        )
+        optimized = mediator.plan("SELECT * FROM Orders WHERE oid < 40")
+        scatter = scatter_of(optimized.plan)
+        assert [b.wrapper for b in scatter.branches] == ["node0"]
+
+    def test_pruned_lookup_estimate_beats_full_scatter(self):
+        mediator = build_federation(shards=4)
+        pruned = mediator.plan("SELECT * FROM Orders WHERE oid = 123")
+        full = mediator.plan("SELECT * FROM Orders WHERE qty > 90")
+        assert pruned.estimated_total_ms < full.estimated_total_ms
+
+    def test_contradictory_key_predicates_yield_empty_answer(self):
+        mediator = build_federation(shards=4)
+        result = mediator.query(
+            "SELECT * FROM Orders WHERE oid = 5 AND oid = 7"
+        )
+        assert result.rows == []
+        assert len(scatter_of(result.plan).branches) == 1
+
+
+class TestScatterExecution:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT * FROM Orders WHERE qty > 90",
+            "SELECT * FROM Orders WHERE oid = 123",
+            "SELECT * FROM Orders",
+        ],
+    )
+    @pytest.mark.parametrize("kind", ["hash", "range"])
+    def test_gather_matches_unsharded_answer(self, sql, kind):
+        boundaries = (50, 100, 150) if kind == "range" else ()
+        sharded = build_federation(shards=4, kind=kind, boundaries=boundaries)
+        assert sorted(sharded.query(sql).rows, key=sort_key) == sorted(
+            build_unsharded().query(sql).rows, key=sort_key
+        )
+
+    def test_dead_shard_yields_partial_answer(self):
+        mediator = build_federation(
+            shards=4,
+            faulty=("node2",),
+            resilience=ResilienceOptions(mode="partial"),
+        )
+        result = mediator.query("SELECT * FROM Orders")
+        assert result.degraded
+        partial = result.partial
+        assert partial.missing_wrappers == ["node2"]
+        assert partial.missing_collections == ["Orders#2"]
+        assert partial.dropped_union_branches == 1
+        assert partial.sound_lower_bound is True
+        survivors = [r for r in order_rows() if r["oid"] % 4 != 2]
+        assert sorted(result.rows, key=sort_key) == sorted(
+            survivors, key=sort_key
+        )
+
+
+class TestCatalogLifecycle:
+    def test_register_partitioned_bumps_catalog_version(self):
+        mediator = build_federation(shards=2)
+        before = mediator.catalog.version
+        mediator.register_partitioned(scheme_for(2))
+        assert mediator.catalog.version > before
+
+    def test_aggregated_statistics(self):
+        mediator = build_federation(shards=4)
+        stats = mediator.catalog.statistics.get("Orders")
+        assert stats.count_object == ROWS
+        # Shards hold disjoint key sets: the shard key's distinct sums.
+        assert stats.attributes["oid"].count_distinct == ROWS
+
+    def test_logical_entry_uses_partitioned_sentinel(self):
+        mediator = build_federation(shards=4)
+        assert mediator.catalog.is_partitioned("Orders")
+        assert mediator.catalog.wrapper_for("Orders") == PARTITIONED_WRAPPER
+
+    def test_unregistered_shard_collection_rejected(self):
+        mediator = Mediator()
+        with pytest.raises(RegistrationError, match="not registered"):
+            mediator.register_partitioned(scheme_for(2))
+
+    def test_shard_wrapper_must_own_the_shard_collection(self):
+        mediator = build_federation(shards=2)
+        stolen = PartitionScheme(
+            "Other",
+            "oid",
+            shards=(Shard("Orders#0", "node1"),),
+        )
+        with pytest.raises(UnknownCollectionError, match="not registered"):
+            mediator.catalog.add_partition(stolen)
+
+    def test_remove_wrapper_drops_dependent_scheme(self):
+        mediator = build_federation(shards=4)
+        mediator.catalog.remove_wrapper("node2")
+        assert not mediator.catalog.is_partitioned("Orders")
+        assert "Orders" not in mediator.catalog
+
+    def test_remove_partition_keeps_physical_shards(self):
+        mediator = build_federation(shards=2)
+        mediator.catalog.remove_partition("Orders")
+        assert not mediator.catalog.is_partitioned("Orders")
+        assert "Orders#0" in mediator.catalog
+        assert "Orders#1" in mediator.catalog
+
+
+class TestScatterAlgebra:
+    def test_strip_submits_collapses_to_union_chain(self):
+        plan = Scatter(
+            [Submit(Scan("A"), "w1"), Submit(Scan("B"), "w2")],
+            collection="L",
+            shard_key="k",
+            total_shards=2,
+        )
+        stripped = strip_submits(plan)
+        assert isinstance(stripped, Union)
+        assert all(
+            n.operator_name not in ("submit", "scatter")
+            for n in stripped.walk()
+        )
+
+    def test_scatter_inside_submit_rejected(self):
+        scatter = Scatter(
+            [Submit(Scan("A"), "w1")],
+            collection="L",
+            shard_key="k",
+            total_shards=1,
+        )
+        with pytest.raises(PlanError, match="scatter inside a submit"):
+            validate_plan(Submit(scatter, "outer"))

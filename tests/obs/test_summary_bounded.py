@@ -1,0 +1,67 @@
+"""Regression: ``Summary`` memory stays bounded under sustained traffic.
+
+The seed implementation appended every observation to an unbounded
+per-label list — a serving-layer memory leak.  The window is now a
+bounded deque; exact counts and sums survive eviction, and quantiles
+stay deterministic over the retained window.
+"""
+
+from repro.obs.metrics import DEFAULT_MAX_SAMPLES, MetricsRegistry, Summary
+
+
+class TestBoundedWindow:
+    def test_one_million_observations_stay_bounded(self):
+        summary = Summary("latency_ms", "test", max_samples=1024)
+        total = 1_000_000
+        for i in range(total):
+            summary.observe(float(i % 1000))
+        # The retained window is capped...
+        assert summary.window_size() == 1024
+        # ...while the exact accumulators still see every observation.
+        assert summary.count() == total
+        assert summary.sum() == sum(float(i % 1000) for i in range(total))
+
+    def test_window_never_exceeds_cap_per_label_set(self):
+        summary = Summary(
+            "latency_ms", "test", label_names=("tenant",), max_samples=64
+        )
+        for i in range(10_000):
+            summary.observe(float(i), tenant="a")
+            summary.observe(float(i), tenant="b")
+        assert summary.window_size(tenant="a") == 64
+        assert summary.window_size(tenant="b") == 64
+        assert summary.count(tenant="a") == 10_000
+
+    def test_quantiles_deterministic_over_window(self):
+        summary = Summary("latency_ms", "test", max_samples=100)
+        for i in range(1_000):
+            summary.observe(float(i))
+        # Window holds exactly the last 100 values (900..999): the
+        # nearest-rank quantiles are fully determined.
+        assert summary.quantile(0.0) == 900.0
+        assert summary.quantile(0.5) == 949.0
+        assert summary.quantile(1.0) == 999.0
+
+    def test_below_cap_behaves_like_unbounded(self):
+        bounded = Summary("a_ms", "test", max_samples=1000)
+        for value in (5.0, 1.0, 3.0):
+            bounded.observe(value)
+        assert bounded.quantile(0.5) == 3.0
+        assert bounded.count() == 3
+        assert bounded.sum() == 9.0
+        assert bounded.window_size() == 3
+
+    def test_exposition_uses_exact_count_and_sum(self):
+        summary = Summary("lat_ms", "test", max_samples=8)
+        for i in range(100):
+            summary.observe(1.0)
+        text = summary.expose()
+        assert "lat_ms_count 100" in text
+        assert "lat_ms_sum 100" in text
+
+    def test_registry_passes_max_samples_through(self):
+        registry = MetricsRegistry()
+        summary = registry.summary("s_ms", "test", max_samples=16)
+        assert summary.max_samples == 16
+        # Default cap applies when unspecified.
+        assert registry.summary("t_ms", "test").max_samples == DEFAULT_MAX_SAMPLES

@@ -1,0 +1,81 @@
+"""Regression: the plan cache evicts LRU, not FIFO, and never leaves
+dangling SQL-text entries.
+
+Seed behavior evicted ``next(iter(self._plans))`` — insertion order — so
+a hot plan re-used on every query was the victim as soon as it was the
+oldest insertion.  ``lookup`` now refreshes recency in both maps, and
+evicting a plan (capacity or stale version) drops the SQL texts that
+resolve to it (a dangling fingerprint guaranteed a double miss: the
+parse was skipped only to miss the plan map).
+"""
+
+from repro.service.plancache import PlanCache
+
+V = 1
+
+
+def plan(tag: str) -> object:
+    return ("optimized", tag)
+
+
+class TestLruEviction:
+    def test_hot_entry_survives_capacity_eviction(self):
+        cache = PlanCache(max_entries=2)
+        cache.store("hot", V, plan("hot"))
+        cache.store("cold", V, plan("cold"))
+        # Touch the older entry: it becomes most recently used.
+        assert cache.lookup("hot", V) == plan("hot")
+        cache.store("new", V, plan("new"))
+        assert cache.lookup("hot", V) == plan("hot")
+        assert cache.lookup("cold", V) is None  # the true LRU was evicted
+
+    def test_seed_fifo_behavior_would_evict_the_hot_plan(self):
+        # The exact scenario from the issue: a plan re-used every query
+        # must never be the victim, however old its insertion.
+        cache = PlanCache(max_entries=3)
+        cache.store("hot", V, plan("hot"))
+        for generation in range(10):
+            fingerprint = f"cold{generation}"
+            cache.store(fingerprint, V, plan(fingerprint))
+            assert cache.lookup("hot", V) == plan("hot")
+
+    def test_sql_map_hits_refresh_recency(self):
+        cache = PlanCache(max_entries=2)
+        cache.remember_sql("SELECT 1", "f1", V)
+        cache.remember_sql("SELECT 2", "f2", V)
+        assert cache.fingerprint_for_sql("SELECT 1", V) == "f1"
+        cache.remember_sql("SELECT 3", "f3", V)
+        assert cache.fingerprint_for_sql("SELECT 1", V) == "f1"
+        assert cache.fingerprint_for_sql("SELECT 2", V) is None
+
+
+class TestDanglingSqlEntries:
+    def test_capacity_eviction_drops_sql_texts_of_the_victim(self):
+        cache = PlanCache(max_entries=1)
+        cache.store("f1", V, plan("one"))
+        cache.remember_sql("SELECT 1", "f1", V)
+        cache.remember_sql("SELECT 1 -- same spec", "f1", V)
+        cache.store("f2", V, plan("two"))  # evicts f1
+        # Both texts resolving to the evicted fingerprint are gone: the
+        # next query re-parses and re-stores instead of double-missing.
+        assert cache.fingerprint_for_sql("SELECT 1", V) is None
+        assert cache.fingerprint_for_sql("SELECT 1 -- same spec", V) is None
+        assert cache.lookup("f2", V) == plan("two")
+
+    def test_stale_version_eviction_drops_sql_texts_too(self):
+        cache = PlanCache(max_entries=8)
+        cache.store("f1", V, plan("one"))
+        cache.remember_sql("SELECT 1", "f1", V)
+        assert cache.lookup("f1", V + 1) is None  # catalog changed
+        assert cache.stats.invalidations == 1
+        dangling = cache.fingerprint_for_sql("SELECT 1", V)
+        assert dangling is None
+
+    def test_unrelated_sql_entries_survive_eviction(self):
+        cache = PlanCache(max_entries=1)
+        cache.store("f1", V, plan("one"))
+        cache.remember_sql("SELECT 1", "f1", V)
+        cache.store("f2", V, plan("two"))
+        cache.remember_sql("SELECT 2", "f2", V)
+        assert cache.fingerprint_for_sql("SELECT 2", V) == "f2"
+        assert cache.lookup("f2", V) == plan("two")
