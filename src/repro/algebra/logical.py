@@ -438,12 +438,26 @@ class Submit(PlanNode):
 
     operator_name = "submit"
 
-    def __init__(self, child: PlanNode, wrapper: str) -> None:
+    def __init__(
+        self,
+        child: PlanNode,
+        wrapper: str,
+        *,
+        shard: int | None = None,
+        shard_of: str | None = None,
+    ) -> None:
         super().__init__()
         if not wrapper:
             raise PlanError("submit needs a wrapper name")
         self.child = child
         self.wrapper = wrapper
+        #: Shard identity when this submit is a :class:`Scatter` branch:
+        #: the scheme index of the shard it targets and the *logical*
+        #: collection being fanned out.  Telemetry-only metadata — it
+        #: never changes what the wrapper executes, so plans with and
+        #: without it behave identically.
+        self.shard = shard
+        self.shard_of = shard_of
 
     @property
     def children(self) -> tuple[PlanNode, ...]:

@@ -4,8 +4,8 @@ Options:
     --fast            use reduced scales (TINY OO7, fewer repetitions)
     --out-dir DIR     also write machine-readable results (currently
                       ``BENCH_E8.json``, ``BENCH_E9.json``,
-                      ``BENCH_E10.json``, ``BENCH_E11.json`` and
-                      ``BENCH_E12.json``) into DIR
+                      ``BENCH_E10.json``, ``BENCH_E11.json``,
+                      ``BENCH_E12.json`` and ``BENCH_E14.json``) into DIR
 """
 
 from __future__ import annotations
@@ -19,6 +19,7 @@ from repro.bench.bindjoin_bench import run_bindjoin_experiment
 from repro.bench.clustering import run_clustering
 from repro.bench.fig12 import run_fig12
 from repro.bench.history_bench import run_history
+from repro.bench.hotpath import run_hotpath_experiment
 from repro.bench.overhead import run_overhead
 from repro.bench.parallel import run_parallel_experiment
 from repro.bench.plan_quality import run_plan_quality
@@ -167,6 +168,12 @@ def main() -> None:
         f"\npruning beats full scatter everywhere: {sharding.pruning_wins}"
     )
     write_json(out_dir, "BENCH_E12.json", sharding.to_json_dict())
+
+    banner("E14 — plans costed per second (optimizer hot path, wall clock)")
+    hotpath = run_hotpath_experiment(fast=fast)
+    print(hotpath.table())
+    print(f"\n{hotpath.summary()}")
+    write_json(out_dir, "BENCH_E14.json", hotpath.to_json_dict())
 
 
 if __name__ == "__main__":

@@ -1,0 +1,203 @@
+"""E14 — plans costed per second: the optimizer hot path on the wall clock.
+
+Every other experiment measures *simulated* milliseconds — what the cost
+model predicts.  E14 measures what producing those predictions costs in
+**real** time: the E8/E9 federation workload is parsed once, then
+``Mediator.plan`` runs in a timed loop with the wall-clock hot-path
+profiler (:mod:`repro.obs.hotpath`) on, yielding
+
+* **plans / second** — the headline optimizer-throughput figure, the
+  baseline ROADMAP item 5 ("perf optimisation of the estimator hot
+  path") optimizes against;
+* **candidates / second** and **estimates / second** — where inside one
+  ``plan`` call the time goes (enumeration vs cost evaluation);
+* the **phase breakdown** — cumulative ``optimize`` ⊃ ``candidate`` ⊃
+  ``estimate`` wall seconds (phases nest, so the outer ones include the
+  inner ones by design);
+* the **profiler overhead** — the same loop against a default
+  (observability-off) mediator, so the cost of measuring is itself
+  measured.
+
+Wall-clock numbers vary across machines and runs — the JSON records the
+machine-independent invariants (positive throughput, phase nesting) and
+the figures themselves for trend tracking in CI artifacts.
+
+Run: ``python -m repro.bench.hotpath [--fast] [--out-dir DIR]`` →
+``BENCH_E14.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.harness import WORKLOAD, build_federation, format_table
+from repro.obs import ObservabilityOptions
+
+#: Timed repetitions of the whole parsed workload.
+ITERATIONS = 60
+ITERATIONS_FAST = 8
+#: Untimed warmup repetitions (imports, first-touch caches).
+WARMUP = 3
+
+#: Hot-path-only observability: the profiler measures the planning wall
+#: clock without paying for span trees, metrics folding or drift joins.
+HOTPATH_ONLY = ObservabilityOptions(
+    enabled=True,
+    trace=False,
+    trace_compose=False,
+    metrics=False,
+    drift=False,
+    profile=False,
+    hotpath=True,
+)
+
+
+@dataclass
+class HotpathExperiment:
+    """All E14 measurements."""
+
+    iterations: int = 0
+    plans: int = 0
+    candidates: int = 0
+    wall_s: float = 0.0
+    baseline_wall_s: float = 0.0
+    #: phase -> {calls, wall_s, mean_us} from the hot-path profiler.
+    phases: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def plans_per_second(self) -> float:
+        return self.plans / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def candidates_per_second(self) -> float:
+        return self.candidates / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def baseline_plans_per_second(self) -> float:
+        if self.baseline_wall_s <= 0:
+            return 0.0
+        return self.plans / self.baseline_wall_s
+
+    @property
+    def profiler_overhead_pct(self) -> float:
+        """Wall-clock cost of measuring, percent of the unprofiled loop."""
+        if self.baseline_wall_s <= 0:
+            return 0.0
+        return (self.wall_s / self.baseline_wall_s - 1.0) * 100.0
+
+    @property
+    def phases_nested(self) -> bool:
+        """The structural invariant: optimize ⊇ candidate ⊇ estimate."""
+        optimize = self.phases.get("optimize", {}).get("wall_s", 0.0)
+        candidate = self.phases.get("candidate", {}).get("wall_s", 0.0)
+        estimate = self.phases.get("estimate", {}).get("wall_s", 0.0)
+        return optimize >= candidate >= estimate > 0.0
+
+    def table(self) -> str:
+        rows = [
+            [
+                name,
+                int(data["calls"]),
+                round(data["wall_s"] * 1000.0, 1),
+                round(data["mean_us"], 1),
+            ]
+            for name, data in sorted(self.phases.items())
+        ]
+        return format_table(
+            ("phase", "calls", "wall ms", "mean us/call"),
+            rows,
+            title=(
+                f"E14 — planning hot path ({self.plans} plans over "
+                f"{self.iterations} workload iterations)"
+            ),
+        )
+
+    def summary(self) -> str:
+        return (
+            f"plans/s: {self.plans_per_second:.0f} "
+            f"(unprofiled baseline {self.baseline_plans_per_second:.0f}, "
+            f"profiler overhead {self.profiler_overhead_pct:+.1f}%); "
+            f"candidates/s: {self.candidates_per_second:.0f}; "
+            f"phases nested: {self.phases_nested}"
+        )
+
+    def to_json_dict(self) -> dict:
+        """Machine-readable form (``BENCH_E14.json``)."""
+        return {
+            "experiment": "E14",
+            "iterations": self.iterations,
+            "plans": self.plans,
+            "candidates": self.candidates,
+            "wall_s": round(self.wall_s, 6),
+            "baseline_wall_s": round(self.baseline_wall_s, 6),
+            "plans_per_second": round(self.plans_per_second, 1),
+            "baseline_plans_per_second": round(
+                self.baseline_plans_per_second, 1
+            ),
+            "candidates_per_second": round(self.candidates_per_second, 1),
+            "profiler_overhead_pct": round(self.profiler_overhead_pct, 1),
+            "phases_nested": self.phases_nested,
+            "phases": {
+                name: {
+                    "calls": int(data["calls"]),
+                    "wall_s": round(data["wall_s"], 6),
+                    "mean_us": round(data["mean_us"], 2),
+                }
+                for name, data in self.phases.items()
+            },
+        }
+
+
+def _plan_loop(mediator, specs, iterations: int) -> tuple[float, int]:
+    """Time ``iterations`` passes of ``plan`` over the parsed specs;
+    returns (wall seconds, candidates considered)."""
+    candidates = 0
+    start = time.perf_counter()
+    for _ in range(iterations):
+        for spec in specs:
+            candidates += mediator.plan(spec).stats.candidates_considered
+    return time.perf_counter() - start, candidates
+
+
+def run_hotpath_experiment(fast: bool = False) -> HotpathExperiment:
+    iterations = ITERATIONS_FAST if fast else ITERATIONS
+    experiment = HotpathExperiment(iterations=iterations)
+
+    profiled = build_federation(observability=HOTPATH_ONLY)
+    specs = [profiled.parse(sql) for _label, sql in WORKLOAD]
+    _plan_loop(profiled, specs, WARMUP)
+    assert profiled.telemetry is not None
+    hotpath = profiled.telemetry.hotpath
+    assert hotpath is not None
+    hotpath.reset()  # drop parse + warmup; time only the measured loop
+    experiment.wall_s, experiment.candidates = _plan_loop(
+        profiled, specs, iterations
+    )
+    experiment.plans = iterations * len(specs)
+    experiment.phases = hotpath.snapshot()
+
+    baseline = build_federation()  # observability off entirely
+    baseline_specs = [baseline.parse(sql) for _label, sql in WORKLOAD]
+    _plan_loop(baseline, baseline_specs, WARMUP)
+    experiment.baseline_wall_s, _ = _plan_loop(
+        baseline, baseline_specs, iterations
+    )
+    return experiment
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    import sys
+
+    experiment = run_hotpath_experiment(fast="--fast" in sys.argv)
+    print(experiment.table())
+    print()
+    print(experiment.summary())
+    from repro.bench.__main__ import parse_out_dir, write_json
+
+    out_dir = parse_out_dir(sys.argv)
+    write_json(out_dir, "BENCH_E14.json", experiment.to_json_dict())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -38,13 +38,17 @@ ALIGNMENTS_FAST = (0.0, 0.5, 1.0)
 QUERIES_PER_CELL = 8
 
 
-def build_sharded_federation(shards: int, rows: int) -> Mediator:
+def build_sharded_federation(
+    shards: int, rows: int, observability=None
+) -> Mediator:
     """One wrapper ("node<i>") per shard of a hash-partitioned Orders.
 
     Rows are placed exactly where the scheme routes them (``oid % S``),
-    so shard pruning is sound by construction.
+    so shard pruning is sound by construction.  ``observability`` passes
+    through to the mediator — the ops CLI's ``record`` subcommand uses
+    this builder with tracing on.
     """
-    mediator = Mediator()
+    mediator = Mediator(observability=observability)
     for index in range(shards):
         db = RelationalDatabase()
         db.create_table(

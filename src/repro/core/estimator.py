@@ -57,6 +57,7 @@ from repro.errors import (
     NoApplicableRuleError,
     UnknownStatisticError,
 )
+from repro.obs.hotpath import NULL_HOTPATH, HotpathProfiler
 from repro.obs.trace import NULL_TRACER, SpanTracer
 
 
@@ -575,6 +576,8 @@ class CostEstimator:
         self.last_counters = EstimatorCounters()
         #: Telemetry sink; defaults to the shared no-op tracer.
         self.tracer: SpanTracer = NULL_TRACER
+        #: Wall-clock phase timers; defaults to the shared no-op profiler.
+        self.hotpath: HotpathProfiler = NULL_HOTPATH
         #: (node_id, variable) -> (value, provenance); None when disabled.
         self.subplan_cache: dict[tuple[int, str], tuple[Value, str]] | None = (
             {} if self.options.cache_subplans else None
@@ -650,6 +653,19 @@ class CostEstimator:
             A :class:`PlanEstimate`; ``pruned`` is True when the bound cut
             the estimation short.
         """
+        hotpath = self.hotpath
+        if hotpath.enabled:
+            with hotpath.phase("estimate"):
+                return self._estimate_traced(plan, default_source, bound_ms, variables)
+        return self._estimate_traced(plan, default_source, bound_ms, variables)
+
+    def _estimate_traced(
+        self,
+        plan: PlanNode,
+        default_source: str | None,
+        bound_ms: float | None,
+        variables: tuple[str, ...],
+    ) -> PlanEstimate:
         tracer = self.tracer
         if not tracer.enabled:
             return self._estimate(plan, default_source, bound_ms, variables)

@@ -233,7 +233,10 @@ class MediatorExecutor:
     def _traced_run(self, node: PlanNode) -> Iterator[Row]:
         tracer = self.tracer
         span = tracer.start(
-            f"compose:{node.operator_name}", kind="compose", node=node.describe()
+            f"compose:{node.operator_name}",
+            kind="compose",
+            node=node.describe(),
+            node_id=node.node_id,
         )
         rows = 0
         try:
@@ -330,6 +333,16 @@ class MediatorExecutor:
         shard is a dropped branch: strict mode raises, partial mode
         records it for the :class:`PartialAnswer`.
         """
+        if self.tracer.enabled:
+            self.tracer.event(
+                "scatter",
+                kind="scatter",
+                collection=node.collection,
+                shard_key=node.shard_key,
+                node_id=node.node_id,
+                branches=len(node.branches),
+                total_shards=node.total_shards,
+            )
         outcomes: list[DispatchOutcome]
         if all(branch.node_id in self._prefetched for branch in node.branches):
             outcomes = [

@@ -36,6 +36,7 @@ from repro.mediator.queryspec import QuerySpec, UnionSpec
 from repro.mediator.registration import register_wrapper
 from repro.mediator.resilience import PartialAnswer
 from repro.obs import ObservabilityOptions, QueryTelemetry
+from repro.obs.hotpath import NULL_HOTPATH, HotpathProfiler
 from repro.obs.trace import NULL_TRACER, Span, SpanTracer
 from repro.sources.pages import Row
 from repro.wrappers.base import Wrapper
@@ -67,6 +68,11 @@ class QueryResult:
     #: joins were pruned, and whether the answer is a sound lower bound.
     #: ``None`` on a complete answer.
     partial: PartialAnswer | None = None
+    #: Per-operator cost attribution (built from the span tree when the
+    #: mediator runs with tracing + profiling on); ``None`` otherwise.
+    #: Typed loosely to keep the import graph acyclic — always a
+    #: :class:`repro.obs.profile.QueryProfile` when set.
+    profile: "object | None" = None
 
     @property
     def count(self) -> int:
@@ -125,6 +131,7 @@ class Mediator:
         #: observability is off — disabled telemetry costs nothing.
         self.telemetry: QueryTelemetry | None = None
         self._tracer: SpanTracer = NULL_TRACER
+        self._hotpath: HotpathProfiler = NULL_HOTPATH
         if self.observability.enabled:
             self.telemetry = QueryTelemetry(
                 self.observability, clock=self.executor.clock
@@ -135,6 +142,10 @@ class Mediator:
             self.executor.set_tracer(
                 self._tracer, trace_compose=self.observability.trace_compose
             )
+            if self.telemetry.hotpath is not None:
+                self._hotpath = self.telemetry.hotpath
+                self.estimator.hotpath = self._hotpath
+                self.optimizer.hotpath = self._hotpath
 
     # -- registration phase (§2.1) ---------------------------------------------
 
@@ -163,14 +174,17 @@ class Mediator:
         """Parse SQL into the optimizer's query representation."""
         from repro.sqlfe.translator import translate_sql
 
-        with self._tracer.span("parse/translate", kind="phase", sql=sql):
-            return translate_sql(sql, self.catalog)
+        with self._hotpath.phase("parse"):
+            with self._tracer.span("parse/translate", kind="phase", sql=sql):
+                return translate_sql(sql, self.catalog)
 
     def plan(self, query: "str | QuerySpec | UnionSpec") -> OptimizationResult:
         """Optimize a query without executing it."""
         spec = self.parse(query) if isinstance(query, str) else query
         tracer = self._tracer
-        with tracer.span("optimize", kind="phase") as span:
+        with self._hotpath.phase("optimize"), tracer.span(
+            "optimize", kind="phase"
+        ) as span:
             optimized = self.optimizer.optimize(spec)
             if tracer.enabled:
                 span.set(
@@ -219,7 +233,9 @@ class Mediator:
             partial=execution.partial,
         )
         if self.telemetry is not None:
-            self.telemetry.record_query(result, execution)
+            self.telemetry.record_query(
+                result, execution, breakers=self.executor.scheduler.breakers
+            )
         return result
 
     def execute_plan(self, plan: PlanNode) -> QueryResult:
@@ -245,7 +261,9 @@ class Mediator:
             partial=execution.partial,
         )
         if self.telemetry is not None:
-            self.telemetry.record_query(result, execution)
+            self.telemetry.record_query(
+                result, execution, breakers=self.executor.scheduler.breakers
+            )
         return result
 
     def explain(

@@ -53,6 +53,7 @@ from repro.core.estimator import CostEstimator, PlanEstimate
 from repro.errors import QueryError
 from repro.mediator.catalog import MediatorCatalog, PartitionScheme
 from repro.mediator.queryspec import QuerySpec, UnionSpec
+from repro.obs.hotpath import NULL_HOTPATH, HotpathProfiler
 from repro.obs.trace import NULL_TRACER, SpanTracer
 
 
@@ -134,6 +135,8 @@ class Optimizer:
         self.options = options or OptimizerOptions()
         #: Telemetry sink; defaults to the shared no-op tracer.
         self.tracer: SpanTracer = NULL_TRACER
+        #: Wall-clock phase timers; defaults to the shared no-op profiler.
+        self.hotpath: HotpathProfiler = NULL_HOTPATH
         if self.options.parallel_submits is not None:
             estimator.options.parallel_submits = self.options.parallel_submits
             estimator.options.max_concurrency = self.options.max_concurrency
@@ -177,6 +180,15 @@ class Optimizer:
         self, plan: PlanNode, stats: OptimizerStats, bound: float | None
     ) -> _Candidate | None:
         """Estimate one candidate; None when pruned by the §4.3.2 bound."""
+        hotpath = self.hotpath
+        if hotpath.enabled:
+            with hotpath.phase("candidate"):
+                return self._cost_traced(plan, stats, bound)
+        return self._cost_traced(plan, stats, bound)
+
+    def _cost_traced(
+        self, plan: PlanNode, stats: OptimizerStats, bound: float | None
+    ) -> _Candidate | None:
         tracer = self.tracer
         if not tracer.enabled:
             return self._cost_inner(plan, stats, bound)
@@ -268,7 +280,9 @@ class Optimizer:
                     inner = Select(inner, conjunction(filters))
                 else:
                     needs_outer = True
-            branches.append(Submit(inner, wrapper.name))
+            branches.append(
+                Submit(inner, wrapper.name, shard=index, shard_of=collection)
+            )
         plan: PlanNode = Scatter(
             branches, collection, scheme.shard_key, len(scheme.shards)
         )

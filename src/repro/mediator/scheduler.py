@@ -381,8 +381,7 @@ class SubmitScheduler:
             tracer.start(
                 f"submit:{submit.wrapper}",
                 kind="submit",
-                wrapper=submit.wrapper,
-                subquery=submit.child.describe(),
+                **self._submit_open_attrs(submit),
             )
             if tracer.enabled
             else None
@@ -417,6 +416,22 @@ class SubmitScheduler:
                 attrs.update(result.device_stats)
             tracer.end(span, **attrs)
         return DispatchOutcome(submit=submit, result=result)
+
+    @staticmethod
+    def _submit_open_attrs(submit: Submit) -> dict:
+        """Attributes a submit span opens with: enough identity to join
+        it back to the estimated plan (node ids) and, for scatter
+        branches, to the shard it targets."""
+        attrs: dict = {
+            "wrapper": submit.wrapper,
+            "subquery": submit.child.describe(),
+            "node_id": submit.node_id,
+            "child_node_id": submit.child.node_id,
+        }
+        if submit.shard is not None:
+            attrs["shard"] = submit.shard
+            attrs["shard_of"] = submit.shard_of
+        return attrs
 
     @staticmethod
     def _span_attrs(outcome: DispatchOutcome) -> dict:
@@ -465,8 +480,7 @@ class SubmitScheduler:
                 tracer.start(
                     f"submit:{submit.wrapper}",
                     kind="submit",
-                    wrapper=submit.wrapper,
-                    subquery=submit.child.describe(),
+                    **self._submit_open_attrs(submit),
                 )
                 if tracer.enabled
                 else None

@@ -20,9 +20,11 @@ answered query.  See ``docs/observability.md``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Mapping
 
 from repro.obs.accuracy import DriftObservation, DriftTracker, RuleDrift, q_error
+from repro.obs.export import chrome_trace, chrome_trace_json
+from repro.obs.hotpath import NULL_HOTPATH, HotpathProfiler
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -30,11 +32,16 @@ from repro.obs.metrics import (
     MetricsRegistry,
     Summary,
 )
+from repro.obs.profile import OperatorRow, QueryProfile, build_query_profile
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, SpanTracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mediator.mediator import QueryResult
+    from repro.mediator.resilience import CircuitBreaker
     from repro.wrappers.base import ExecutionResult
+
+#: Breaker states exported by the ``repro_breaker_state`` gauge.
+_BREAKER_STATES = ("closed", "half_open", "open")
 
 
 @dataclass
@@ -53,6 +60,14 @@ class ObservabilityOptions:
     metrics: bool = True
     #: Track per-(scope, rule) estimate-vs-actual drift.
     drift: bool = True
+    #: Build a :class:`~repro.obs.profile.QueryProfile` per answered
+    #: query (requires ``trace``; attached to ``QueryResult.profile``).
+    profile: bool = True
+    #: Wall-clock phase timers around parse/optimize/candidate/estimate
+    #: (see :mod:`repro.obs.hotpath`).  Off even under ``all_on`` —
+    #: real-time measurements are nondeterministic by nature, so they
+    #: are opt-in for benchmarks (E14) rather than ambient.
+    hotpath: bool = False
 
     @classmethod
     def all_on(cls) -> "ObservabilityOptions":
@@ -71,17 +86,30 @@ class QueryTelemetry:
             MetricsRegistry() if options.metrics else None
         )
         self.drift: DriftTracker | None = DriftTracker() if options.drift else None
+        self.hotpath: HotpathProfiler | None = (
+            HotpathProfiler() if options.hotpath else None
+        )
 
     # -- per-query feeding -----------------------------------------------------
 
     def record_query(
-        self, result: "QueryResult", execution: "ExecutionResult"
+        self,
+        result: "QueryResult",
+        execution: "ExecutionResult",
+        breakers: "Mapping[str, CircuitBreaker] | None" = None,
     ) -> None:
-        """Fold one answered query into the registry and drift tracker."""
+        """Fold one answered query into the registry and drift tracker,
+        refresh breaker-state gauges, and attach the query's profile."""
         if self.metrics is not None:
             self._record_metrics(result, execution)
+            if breakers:
+                self._record_breaker_states(breakers)
+            if self.hotpath is not None:
+                self._record_hotpath()
         if self.drift is not None:
             self.drift.observe_plan(result.estimate, execution.submit_log)
+        if self.options.profile and result.trace is not None:
+            result.profile = build_query_profile(result, execution)
 
     def _record_metrics(
         self, result: "QueryResult", execution: "ExecutionResult"
@@ -98,9 +126,16 @@ class QueryTelemetry:
         rows_shipped = metrics.counter(
             "repro_rows_shipped_total", "Rows returned by wrappers", ("wrapper",)
         )
+        shard_submits = metrics.counter(
+            "repro_shard_submits_total",
+            "Scatter-branch subqueries dispatched per shard",
+            ("wrapper", "shard"),
+        )
         for submit, submit_result in execution.submit_log:
             submits.inc(wrapper=submit.wrapper)
             rows_shipped.inc(len(submit_result.rows), wrapper=submit.wrapper)
+            if submit.shard is not None:
+                shard_submits.inc(wrapper=submit.wrapper, shard=str(submit.shard))
         metrics.counter("repro_rows_returned_total", "Rows answered to clients").inc(
             len(execution.rows)
         )
@@ -195,6 +230,49 @@ class QueryTelemetry:
             "Simulated wrapper-wait ms avoided by deadline cancellation",
         ).inc(res.cancelled_wait_ms)
 
+    def _record_breaker_states(
+        self, breakers: "Mapping[str, CircuitBreaker]"
+    ) -> None:
+        """One-hot ``repro_breaker_state{wrapper, state}`` gauge rows.
+
+        Every (wrapper, state) pair is materialized — 1 for the current
+        state, 0 for the other two — so dashboards can plot transitions
+        without join gymnastics."""
+        metrics = self.metrics
+        assert metrics is not None
+        gauge = metrics.gauge(
+            "repro_breaker_state",
+            "Circuit-breaker state per wrapper (one-hot)",
+            ("wrapper", "state"),
+        )
+        for wrapper, breaker in breakers.items():
+            current = breaker.state
+            for state in _BREAKER_STATES:
+                gauge.set(
+                    1.0 if state == current else 0.0,
+                    wrapper=wrapper,
+                    state=state,
+                )
+
+    def _record_hotpath(self) -> None:
+        """Surface the wall-clock phase timers as gauges."""
+        metrics = self.metrics
+        hotpath = self.hotpath
+        assert metrics is not None and hotpath is not None
+        wall = metrics.gauge(
+            "repro_hotpath_wall_seconds",
+            "Cumulative real seconds per planning phase",
+            ("phase",),
+        )
+        calls = metrics.gauge(
+            "repro_hotpath_calls",
+            "Cumulative phase entries on the planning hot path",
+            ("phase",),
+        )
+        for name, seconds in hotpath.wall_s.items():
+            wall.set(seconds, phase=name)
+            calls.set(float(hotpath.calls.get(name, 0)), phase=name)
+
 
 __all__ = [
     "Counter",
@@ -202,14 +280,21 @@ __all__ = [
     "DriftTracker",
     "Gauge",
     "Histogram",
+    "HotpathProfiler",
     "MetricsRegistry",
+    "NULL_HOTPATH",
     "NULL_TRACER",
     "NullTracer",
     "ObservabilityOptions",
+    "OperatorRow",
+    "QueryProfile",
     "QueryTelemetry",
     "RuleDrift",
     "Span",
     "SpanTracer",
     "Summary",
+    "build_query_profile",
+    "chrome_trace",
+    "chrome_trace_json",
     "q_error",
 ]

@@ -1,0 +1,164 @@
+"""The observability ops CLI: ``python -m repro.obs <subcommand>``.
+
+The operator-facing surface of the flight recorder.  Subcommands:
+
+* ``record`` — run one profiled scatter query over a small sharded
+  federation and write every artifact the other subcommands consume
+  (``profile.json``, ``spans.jsonl``, ``trace.json``, ``drift.json``,
+  ``metrics.json``, ``metrics.txt``) into ``--out-dir``;
+* ``profile FILE`` — pretty-print a saved ``profile.json`` (the
+  per-operator attribution table, shard/wave summaries, blame ranking);
+* ``trace FILE`` — convert a ``spans.jsonl`` span export into a Chrome
+  trace-event / Perfetto document (stdout or ``--out``);
+* ``drift FILE`` — render a saved drift snapshot as the q-error table;
+* ``metrics FILE`` — render a saved metrics snapshot as the Prometheus
+  text exposition.
+
+Everything operates on files, so a recorded query can be inspected long
+after (and far away from) the process that ran it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.accuracy import render_drift_snapshot
+from repro.obs.export import chrome_trace
+from repro.obs.metrics import exposition_from_snapshot
+from repro.obs.profile import QueryProfile
+from repro.obs.trace import spans_from_json_lines
+
+DEFAULT_SQL = "SELECT * FROM Orders WHERE qty > 70"
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    # Imported lazily: the viewer subcommands must not drag the whole
+    # mediator stack in just to pretty-print a JSON file.
+    from repro.bench.sharding import build_sharded_federation
+    from repro.obs import ObservabilityOptions
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    mediator = build_sharded_federation(
+        args.shards, args.rows, observability=ObservabilityOptions.all_on()
+    )
+    result = mediator.query(args.sql)
+    telemetry = mediator.telemetry
+    assert telemetry is not None
+    profile = result.profile
+    assert isinstance(profile, QueryProfile)
+
+    (out_dir / "profile.json").write_text(profile.to_json() + "\n")
+    (out_dir / "spans.jsonl").write_text(telemetry.tracer.to_json_lines() + "\n")
+    document = chrome_trace(telemetry.tracer.roots)
+    (out_dir / "trace.json").write_text(
+        json.dumps(document, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    assert telemetry.drift is not None and telemetry.metrics is not None
+    (out_dir / "drift.json").write_text(telemetry.drift.snapshot_json() + "\n")
+    (out_dir / "metrics.json").write_text(telemetry.metrics.snapshot_json() + "\n")
+    (out_dir / "metrics.txt").write_text(telemetry.metrics.expose_text() + "\n")
+
+    print(
+        f"recorded 1 query over {args.shards} shards "
+        f"({result.count} rows, {result.elapsed_ms:.1f} simulated ms) "
+        f"into {out_dir}/"
+    )
+    print(
+        "artifacts: profile.json spans.jsonl trace.json drift.json "
+        "metrics.json metrics.txt"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    profile = QueryProfile.from_json(Path(args.file).read_text())
+    print(profile.render())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    roots = spans_from_json_lines(Path(args.file).read_text())
+    document = chrome_trace(roots, tenant=args.tenant)
+    text = json.dumps(document, indent=2, sort_keys=True, default=str)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(
+            f"wrote {len(document['traceEvents'])} trace events to {args.out} "
+            "(load in chrome://tracing or https://ui.perfetto.dev)"
+        )
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_drift(args: argparse.Namespace) -> int:
+    snapshot = json.loads(Path(args.file).read_text())
+    print(render_drift_snapshot(snapshot))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    snapshot = json.loads(Path(args.file).read_text())
+    print(exposition_from_snapshot(snapshot))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Flight-recorder ops: record, inspect and convert "
+        "query telemetry.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser(
+        "record", help="run one profiled scatter query and write artifacts"
+    )
+    record.add_argument("--shards", type=int, default=3)
+    record.add_argument("--rows", type=int, default=300)
+    record.add_argument("--sql", default=DEFAULT_SQL)
+    record.add_argument("--out-dir", default="obs-artifacts")
+    record.set_defaults(func=_cmd_record)
+
+    profile = sub.add_parser("profile", help="pretty-print a profile.json")
+    profile.add_argument("file")
+    profile.set_defaults(func=_cmd_profile)
+
+    trace = sub.add_parser(
+        "trace", help="convert spans.jsonl to a Chrome/Perfetto trace"
+    )
+    trace.add_argument("file")
+    trace.add_argument("--out", default=None)
+    trace.add_argument("--tenant", default=None)
+    trace.set_defaults(func=_cmd_trace)
+
+    drift = sub.add_parser("drift", help="render a drift.json q-error table")
+    drift.add_argument("file")
+    drift.set_defaults(func=_cmd_drift)
+
+    metrics = sub.add_parser(
+        "metrics", help="render a metrics.json as text exposition"
+    )
+    metrics.add_argument("file")
+    metrics.set_defaults(func=_cmd_metrics)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — a normal way to
+        # consume CLI output, not an error.
+        sys.stderr.close()
+        sys.exit(0)

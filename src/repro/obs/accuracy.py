@@ -208,35 +208,7 @@ class DriftTracker:
 
     def report(self) -> str:
         """An aligned text table of per-(scope, rule) drift."""
-        headers = ("scope", "source", "rule", "variable", "n", "mean q", "max q")
-        rows = [
-            (
-                a.scope,
-                a.source or "-",
-                a.rule if len(a.rule) <= 48 else a.rule[:45] + "...",
-                a.variable,
-                str(a.count),
-                f"{a.mean_q:.2f}",
-                f"{a.max_q:.2f}",
-            )
-            for a in self.aggregates()
-        ]
-        widths = [
-            max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
-            for i in range(len(headers))
-        ]
-        lines = [
-            "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
-            "  ".join("-" * w for w in widths),
-        ]
-        for row in rows:
-            lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
-        if self.unmatched_submits:
-            lines.append(
-                f"({self.unmatched_submits} runtime-built submits without a "
-                "plan estimate were skipped)"
-            )
-        return "\n".join(lines)
+        return render_drift_snapshot(self.snapshot())
 
     def snapshot(self) -> dict:
         """JSON-ready export, grouped per (scope, rule)."""
@@ -261,3 +233,39 @@ class DriftTracker:
 
     def snapshot_json(self) -> str:
         return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+
+def render_drift_snapshot(snapshot: dict) -> str:
+    """The drift report table, built from a :meth:`DriftTracker.snapshot`
+    dict — live (``tracker.report()``) or loaded back from a saved JSON
+    by the ``python -m repro.obs drift`` CLI."""
+    headers = ("scope", "source", "rule", "variable", "n", "mean q", "max q")
+    rows = [
+        (
+            r["scope"],
+            r["source"] or "-",
+            r["rule"] if len(r["rule"]) <= 48 else r["rule"][:45] + "...",
+            r["variable"],
+            str(r["count"]),
+            f"{r['mean_q_error']:.2f}",
+            f"{r['max_q_error']:.2f}",
+        )
+        for r in snapshot.get("rules", ())
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    unmatched = snapshot.get("unmatched_submits", 0)
+    if unmatched:
+        lines.append(
+            f"({unmatched} runtime-built submits without a "
+            "plan estimate were skipped)"
+        )
+    return "\n".join(lines)

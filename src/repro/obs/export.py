@@ -1,0 +1,215 @@
+"""Span-tree export to the Chrome trace-event (Perfetto) format.
+
+Converts :class:`~repro.obs.trace.Span` forests into the JSON object
+format every Chromium-family profiler UI loads (``chrome://tracing``,
+https://ui.perfetto.dev): one complete (``ph: "X"``) event per span,
+instant (``ph: "i"``) events for zero-duration markers, and metadata
+records naming the process and thread lanes.
+
+Lane layout — the flame graph of a federated query:
+
+* the **mediator lane** (tid 0) holds the query root, phases, compose
+  operators, waves and sequentially-dispatched submits;
+* every **scatter-branch submit** gets a ``shard <collection>[<i>]``
+  lane (one per shard index), so a scatter query fans out visually
+  exactly as it does on the simulated clock;
+* other **wave branches** get ``branch <i>`` lanes by position;
+* the **process** is named after the tenant when one is given — the
+  serving layer's per-task traces export side by side as per-tenant
+  process groups.
+
+Timestamps are simulated milliseconds scaled to the format's
+microseconds.  Wave-branch submit spans have zero simulated duration
+(the clock only advances when the wave commits), so their slices use the
+recorded ``wrapper_ms`` — the wrapper's real overlapped busy time —
+and are marked ``"overlap": true`` in ``args``.
+
+Every event's ``args`` carries the span's attributes plus its
+depth-first export ordinal (``id``) and parent ordinal (``parent``) —
+the same ids :meth:`~repro.obs.trace.SpanTracer.to_json_lines` assigns —
+so the original tree (ids, parent links, attributes) survives the
+conversion losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.obs.trace import Span
+
+#: tid of the mediator's own lane.
+MEDIATOR_LANE = 0
+#: tid base of positional wave-branch lanes.
+BRANCH_LANE_BASE = 100
+#: tid base of shard lanes.
+SHARD_LANE_BASE = 200
+
+
+def chrome_trace_events(
+    roots: Iterable[Span], *, pid: int = 1, tenant: str | None = None
+) -> list[dict[str, Any]]:
+    """Flatten span trees into a list of trace-event records."""
+    events: list[dict[str, Any]] = []
+    lanes: dict[int, str] = {MEDIATOR_LANE: tenant or "mediator"}
+    counter = 0
+
+    def lane_for(span: Span, parent: Span | None, inherited: int) -> int:
+        if span.kind != "submit" or parent is None or parent.kind != "wave":
+            return inherited
+        shard = span.attributes.get("shard")
+        if shard is not None:
+            tid = SHARD_LANE_BASE + int(shard)
+            lanes.setdefault(
+                tid, f"shard {span.attributes.get('shard_of')}[{shard}]"
+            )
+            return tid
+        index = parent.children.index(span)
+        tid = BRANCH_LANE_BASE + index
+        lanes.setdefault(tid, f"branch {index}")
+        return tid
+
+    def emit(span: Span, parent: Span | None, parent_id: int | None, tid: int):
+        nonlocal counter
+        span_id = counter
+        counter += 1
+        lane = lane_for(span, parent, tid)
+        args: dict[str, Any] = {"id": span_id, "parent": parent_id, "kind": span.kind}
+        args.update(span.attributes)
+        duration_ms = span.duration_ms
+        overlap = (
+            span.kind == "submit"
+            and duration_ms == 0.0
+            and span.attributes.get("wrapper_ms") is not None
+        )
+        if overlap:
+            # A wave branch: zero simulated width, real wrapper overlap.
+            duration_ms = float(span.attributes["wrapper_ms"])
+            args["overlap"] = True
+        if duration_ms == 0.0 and not span.children:
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": span.start_ms * 1000.0,
+                    "pid": pid,
+                    "tid": lane,
+                    "cat": span.kind,
+                    "args": args,
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": span.start_ms * 1000.0,
+                    "dur": duration_ms * 1000.0,
+                    "pid": pid,
+                    "tid": lane,
+                    "cat": span.kind,
+                    "args": args,
+                }
+            )
+        for child in span.children:
+            emit(child, span, span_id, lane)
+
+    for root in roots:
+        emit(root, None, None, MEDIATOR_LANE)
+
+    metadata: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": tenant or "federation"},
+        }
+    ]
+    for tid in sorted(lanes):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": lanes[tid]},
+            }
+        )
+        metadata.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+    return metadata + events
+
+
+def chrome_trace(
+    roots: Iterable[Span], *, pid: int = 1, tenant: str | None = None
+) -> dict[str, Any]:
+    """The loadable trace document (``{"traceEvents": [...]}``)."""
+    return {
+        "traceEvents": chrome_trace_events(roots, pid=pid, tenant=tenant),
+        "displayTimeUnit": "ms",
+    }
+
+
+def chrome_trace_json(
+    roots: Iterable[Span], *, pid: int = 1, tenant: str | None = None
+) -> str:
+    return json.dumps(
+        chrome_trace(roots, pid=pid, tenant=tenant), default=str, sort_keys=True
+    )
+
+
+def spans_from_chrome_trace(document: dict[str, Any]) -> list[Span]:
+    """Rebuild the span forest from an exported trace document.
+
+    The inverse of :func:`chrome_trace`, for round-trip verification:
+    non-metadata events carry their export ordinal and parent ordinal in
+    ``args``, so names, kinds, timestamps, attributes and parent links
+    all restore exactly.  ``overlap`` slices restore their zero
+    simulated duration.
+    """
+    by_id: dict[int, Span] = {}
+    roots: list[Span] = []
+    ordered = [
+        event
+        for event in document.get("traceEvents", ())
+        if event.get("ph") in ("X", "i")
+    ]
+    for event in sorted(ordered, key=lambda e: e["args"]["id"]):
+        args = dict(event["args"])
+        span_id = args.pop("id")
+        parent_id = args.pop("parent")
+        kind = args.pop("kind")
+        args.pop("overlap", None)
+        start_ms = event["ts"] / 1000.0
+        duration_ms = event.get("dur", 0.0) / 1000.0
+        if event["args"].get("overlap"):
+            duration_ms = 0.0
+        span = Span(
+            name=event["name"],
+            kind=kind,
+            start_ms=start_ms,
+            end_ms=start_ms + duration_ms,
+            attributes=args,
+        )
+        by_id[span_id] = span
+        if parent_id is None:
+            roots.append(span)
+        else:
+            by_id[parent_id].children.append(span)
+    return roots
+
+
+__all__ = [
+    "chrome_trace",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "spans_from_chrome_trace",
+]

@@ -1,0 +1,102 @@
+"""Wall-clock profiling of the optimizer hot path.
+
+Everything else in :mod:`repro.obs` runs on the *simulated* clock — the
+milliseconds the cost model predicts.  This module measures the opposite
+axis: how much **real** CPU time the mediator spends producing those
+predictions.  :class:`HotpathProfiler` wraps the four phases of the
+planning pipeline in ``time.perf_counter`` timers:
+
+* ``parse`` — SQL → :class:`~repro.mediator.queryspec.QuerySpec`;
+* ``optimize`` — one whole :meth:`~repro.mediator.optimizer.Optimizer.
+  optimize` call (enumeration + costing);
+* ``candidate`` — one candidate costed by the enumerator (nested inside
+  ``optimize``);
+* ``estimate`` — one :meth:`~repro.core.estimator.CostEstimator.
+  estimate` call (nested inside ``candidate``).
+
+Phases nest, so their wall totals overlap by design: ``optimize``
+contains every ``candidate``, which contains every ``estimate``.  The
+interesting derived numbers — plans costed per second, the
+estimate-vs-enumeration split — are computed by the E14 benchmark
+(``repro.bench.hotpath``), the baseline ROADMAP item 5 optimizes
+against.
+
+The profiler follows the tracer's null-object discipline exactly:
+instrumentation sites hold a reference that defaults to
+:data:`NULL_HOTPATH` and guard on ``hotpath.enabled`` (a plain class
+attribute), so the disabled path costs one attribute read.  The profiler
+never touches the simulated clock — enabling it cannot perturb a single
+estimated or measured millisecond.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+
+class HotpathProfiler:
+    """Accumulates real (``perf_counter``) seconds per named phase."""
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.wall_s: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one phase occurrence on the wall clock."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.wall_s[name] = self.wall_s.get(name, 0.0) + elapsed
+            self.calls[name] = self.calls.get(name, 0) + 1
+
+    def reset(self) -> None:
+        self.wall_s.clear()
+        self.calls.clear()
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-phase ``{calls, wall_s, mean_us}`` (JSON-ready)."""
+        out: dict[str, dict[str, float]] = {}
+        for name in sorted(self.calls):
+            calls = self.calls[name]
+            wall = self.wall_s.get(name, 0.0)
+            out[name] = {
+                "calls": calls,
+                "wall_s": wall,
+                "mean_us": (wall / calls) * 1e6 if calls else 0.0,
+            }
+        return out
+
+
+class _NullPhase:
+    """Reusable no-op context manager of the disabled profiler."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class NullHotpathProfiler(HotpathProfiler):
+    """The disabled profiler: every operation is a constant-time no-op."""
+
+    enabled = False
+
+    def phase(self, name: str):  # type: ignore[override]
+        return _NULL_PHASE
+
+
+#: Shared disabled profiler — the default every instrumented site holds.
+NULL_HOTPATH = NullHotpathProfiler()

@@ -408,3 +408,28 @@ class MetricsRegistry:
 
     def snapshot_json(self) -> str:
         return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+
+def exposition_from_snapshot(snapshot: Mapping[str, Any]) -> str:
+    """Render a saved :meth:`MetricsRegistry.snapshot` as text exposition.
+
+    The offline twin of :meth:`MetricsRegistry.expose_text`, for the
+    ``python -m repro.obs metrics`` CLI: a snapshot JSON recorded earlier
+    renders the same families and samples the live registry would have
+    (labels are emitted in sorted order, since JSON round-trips do not
+    preserve the registry's label declaration order).
+    """
+    blocks: list[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        lines = [
+            f"# HELP {name} {family.get('help', '')}",
+            f"# TYPE {name} {family.get('type', 'untyped')}",
+        ]
+        for sample in family.get("samples", ()):
+            key = tuple(sorted(sample.get("labels", {}).items()))
+            value = sample["value"]
+            rendered = value if not math.isinf(value) else "+Inf"
+            lines.append(f"{sample['name']}{_render_labels(key)} {rendered}")
+        blocks.append("\n".join(lines))
+    return "\n".join(blocks)

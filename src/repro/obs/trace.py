@@ -224,6 +224,37 @@ class SpanTracer:
         return "\n".join(lines)
 
 
+def spans_from_json_lines(text: str) -> list[Span]:
+    """Rebuild span trees from a :meth:`SpanTracer.to_json_lines` export.
+
+    The inverse of the exporter: records reference their parent by
+    depth-first export ordinal, so children re-attach in input order and
+    the returned forest is structurally identical to the exported one
+    (names, kinds, timestamps, attributes, parent links).
+    """
+    by_id: dict[int, Span] = {}
+    roots: list[Span] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        span = Span(
+            name=record["name"],
+            kind=record["kind"],
+            start_ms=record["start_ms"],
+            end_ms=record["end_ms"],
+            attributes=dict(record["attributes"]),
+        )
+        by_id[record["id"]] = span
+        parent = record["parent"]
+        if parent is None:
+            roots.append(span)
+        else:
+            by_id[parent].children.append(span)
+    return roots
+
+
 class _NullContext:
     """Reusable no-op context manager returned by the null tracer."""
 

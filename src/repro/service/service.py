@@ -106,6 +106,15 @@ class Ticket:
     rejection_reason: str = ""
     result: QueryResult | None = None
     error: BaseException | None = None
+    #: Admission/lifecycle events (submit, queue, reject, start, finish)
+    #: on the simulated clock; copied into ``QueryResult.profile
+    #: .timeline`` when profiling is on.
+    events: list[dict] = field(default_factory=list)
+
+    def record_event(self, event: str, at_ms: float, **details) -> None:
+        self.events.append(
+            {"event": event, "at_ms": at_ms, "tenant": self.tenant, **details}
+        )
 
     @property
     def queue_wait_ms(self) -> float | None:
@@ -218,6 +227,12 @@ class FederationService:
         tenant = session.tenant
         policy = self.policy_for(tenant)
         ticket = self._new_ticket(session, resolution, estimated)
+        ticket.record_event(
+            "submit",
+            ticket.submitted_ms,
+            estimated_ms=estimated,
+            plan_cached=resolution.plan_cached,
+        )
         self._count("repro_service_submitted_total", tenant)
         if resolution.plan_cached:
             self._count("repro_service_plan_cache_hits_total", tenant)
@@ -249,6 +264,11 @@ class FederationService:
             self.scheduler.start_now(task, policy)
         else:
             ticket.status = QUEUED
+            ticket.record_event(
+                "queue",
+                self.clock.now_ms,
+                depth=self.admission.usage(tenant).queued + 1,
+            )
             self._count("repro_service_queued_total", tenant)
             if self._tracer.enabled:
                 self._tracer.event(
@@ -295,6 +315,7 @@ class FederationService:
     def _reject(self, ticket: Ticket, reason: str) -> Ticket:
         ticket.status = REJECTED
         ticket.rejection_reason = reason
+        ticket.record_event("reject", self.clock.now_ms, reason=reason)
         kind = reason.split(":", 1)[0]
         counter = self.metrics.counter(
             "repro_service_rejected_total",
@@ -352,6 +373,9 @@ class FederationService:
         ticket: Ticket = task.ticket
         ticket.status = RUNNING
         ticket.started_ms = self.clock.now_ms
+        ticket.record_event(
+            "start", ticket.started_ms, queue_wait_ms=ticket.queue_wait_ms or 0.0
+        )
         self._count("repro_service_admitted_total", ticket.tenant)
         self.metrics.summary(
             "repro_service_queue_wait_ms",
@@ -367,8 +391,14 @@ class FederationService:
         if task.error is not None:
             ticket.status = FAILED
             ticket.error = task.error
+            ticket.record_event(
+                "fail", ticket.finished_ms, error=type(task.error).__name__
+            )
             self._count("repro_service_failed_total", ticket.tenant)
         else:
+            ticket.record_event(
+                "finish", ticket.finished_ms, latency_ms=ticket.latency_ms or 0.0
+            )
             ticket.result = self._finalize(task)
             ticket.status = DONE
             self._count("repro_service_completed_total", ticket.tenant)
@@ -410,7 +440,17 @@ class FederationService:
             partial=execution.partial,
         )
         if mediator.telemetry is not None:
-            mediator.telemetry.record_query(result, execution)
+            mediator.telemetry.record_query(
+                result,
+                execution,
+                breakers=mediator.executor.scheduler.breakers,
+            )
+            profile = result.profile
+            if profile is not None:
+                # The ticket's admission lifecycle (submit/queue/start/
+                # finish) becomes the profile's timeline — queueing is
+                # part of the latency story the flight recorder tells.
+                profile.timeline.extend(dict(event) for event in task.ticket.events)
         return result
 
     def _count(self, name: str, tenant: str) -> None:

@@ -246,6 +246,28 @@ class TestShardingModule:
         assert "pruning" in experiment.table()
 
 
+class TestHotpathModule:
+    def test_e14_fast_run(self):
+        import json
+
+        from repro.bench.hotpath import run_hotpath_experiment
+
+        experiment = run_hotpath_experiment(fast=True)
+        doc = json.loads(json.dumps(experiment.to_json_dict()))
+        assert doc["experiment"] == "E14"
+        # The headline figure: a positive plans-costed-per-second rate,
+        # profiled and unprofiled.
+        assert doc["plans_per_second"] > 0
+        assert doc["baseline_plans_per_second"] > 0
+        assert doc["candidates_per_second"] > 0
+        # The structural invariant: optimize ⊇ candidate ⊇ estimate.
+        assert doc["phases_nested"] is True
+        assert doc["phases"]["optimize"]["calls"] == doc["plans"]
+        assert doc["phases"]["candidate"]["calls"] >= doc["plans"]
+        assert "plans" in experiment.table()
+        assert "plans/s" in experiment.summary()
+
+
 class TestBenchJsonOutput:
     def test_out_dir_writer(self, tmp_path):
         import json

@@ -1,0 +1,102 @@
+"""The ``python -m repro.obs`` ops CLI, every subcommand in-process.
+
+``record`` runs a tiny profiled scatter query and writes the artifact
+set; each viewer subcommand then renders the artifact it owns.  The
+tests drive :func:`repro.obs.__main__.main` directly so they exercise
+argument parsing as well as the command bodies.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import build_parser, main
+from repro.obs.profile import QueryProfile
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("obs-artifacts")
+    code = main(
+        ["record", "--shards", "2", "--rows", "120", "--out-dir", str(out_dir)]
+    )
+    assert code == 0
+    return out_dir
+
+
+class TestRecord:
+    def test_writes_every_artifact(self, artifacts):
+        names = {p.name for p in artifacts.iterdir()}
+        assert {
+            "profile.json",
+            "spans.jsonl",
+            "trace.json",
+            "drift.json",
+            "metrics.json",
+            "metrics.txt",
+        } <= names
+
+    def test_profile_artifact_telescopes(self, artifacts):
+        profile = QueryProfile.from_json(
+            (artifacts / "profile.json").read_text()
+        )
+        assert profile.attributed_ms == pytest.approx(profile.elapsed_ms)
+        shards = {s["shard"] for s in profile.shards}
+        assert shards == {0, 1}
+
+    def test_trace_artifact_is_a_chrome_document(self, artifacts):
+        document = json.loads((artifacts / "trace.json").read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert any(e.get("ph") == "X" for e in document["traceEvents"])
+
+
+class TestViewers:
+    def test_profile_subcommand_renders(self, artifacts, capsys):
+        assert main(["profile", str(artifacts / "profile.json")]) == 0
+        out = capsys.readouterr().out
+        assert "QueryProfile" in out and "blame ranking" in out
+
+    def test_trace_subcommand_stdout(self, artifacts, capsys):
+        assert main(["trace", str(artifacts / "spans.jsonl")]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "traceEvents" in document
+
+    def test_trace_subcommand_matches_recorded_document(
+        self, artifacts, capsys, tmp_path
+    ):
+        out_file = tmp_path / "converted.json"
+        code = main(
+            [
+                "trace",
+                str(artifacts / "spans.jsonl"),
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        assert "perfetto" in capsys.readouterr().out
+        converted = json.loads(out_file.read_text())
+        recorded = json.loads((artifacts / "trace.json").read_text())
+        assert converted == recorded
+
+    def test_drift_subcommand_renders_the_table(self, artifacts, capsys):
+        assert main(["drift", str(artifacts / "drift.json")]) == 0
+        out = capsys.readouterr().out
+        assert "scope" in out and "mean q" in out
+
+    def test_metrics_subcommand_renders_exposition(self, artifacts, capsys):
+        assert main(["metrics", str(artifacts / "metrics.json")]) == 0
+        out = capsys.readouterr().out
+        assert "# HELP repro_queries_total" in out
+        assert "# TYPE repro_queries_total counter" in out
+        assert 'repro_shard_submits_total{shard="0",wrapper="node0"}' in out
+
+
+class TestParser:
+    def test_subcommand_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])

@@ -1,0 +1,188 @@
+"""Trace export round-tripping: JSON-lines and Chrome trace-event.
+
+Both exporters must be lossless over ids, parent links and attributes:
+``to_json_lines`` -> ``spans_from_json_lines`` and ``chrome_trace`` ->
+``spans_from_chrome_trace`` each reconstruct a forest structurally
+identical to the recorded one.  The Chrome document also has to be a
+valid trace-event file (``traceEvents`` with X/i/M phases and
+process/thread metadata) so it loads in chrome://tracing and Perfetto.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.sharding import build_sharded_federation
+from repro.obs import ObservabilityOptions
+from repro.obs.export import (
+    BRANCH_LANE_BASE,
+    MEDIATOR_LANE,
+    SHARD_LANE_BASE,
+    chrome_trace,
+    chrome_trace_events,
+    chrome_trace_json,
+    spans_from_chrome_trace,
+)
+from repro.obs.trace import Span, SpanTracer, spans_from_json_lines
+
+SCATTER_SQL = "SELECT * FROM Orders WHERE qty > 70"
+
+
+def structure(roots):
+    """Comparable forest shape: every span's identity and parentage."""
+    out = []
+
+    def visit(span, parent_index):
+        index = len(out)
+        out.append(
+            (
+                span.name,
+                span.kind,
+                round(span.start_ms, 9),
+                round(span.duration_ms, 9),
+                dict(span.attributes),
+                parent_index,
+            )
+        )
+        for child in span.children:
+            visit(child, index)
+
+    for root in roots:
+        visit(root, None)
+    return out
+
+
+@pytest.fixture(scope="module")
+def recorded_tracer():
+    mediator = build_sharded_federation(
+        3, 300, observability=ObservabilityOptions.all_on()
+    )
+    mediator.query(SCATTER_SQL)
+    return mediator.telemetry.tracer
+
+
+class TestJsonLinesRoundTrip:
+    def test_scatter_trace_round_trips(self, recorded_tracer):
+        text = recorded_tracer.to_json_lines()
+        restored = spans_from_json_lines(text)
+        assert structure(restored) == structure(recorded_tracer.roots)
+
+    def test_hand_built_forest_round_trips(self):
+        tracer = SpanTracer()
+        with tracer.span("a", kind="phase", x=1):
+            tracer.event("marker", kind="event", note="hi")
+            with tracer.span("b", kind="submit", wrapper="w"):
+                pass
+        with tracer.span("second-root"):
+            pass
+        restored = spans_from_json_lines(tracer.to_json_lines())
+        assert structure(restored) == structure(tracer.roots)
+        assert len(restored) == 2
+
+    def test_empty_export(self):
+        assert spans_from_json_lines("") == []
+        assert spans_from_json_lines("\n  \n") == []
+
+
+class TestChromeTraceRoundTrip:
+    def test_scatter_trace_round_trips(self, recorded_tracer):
+        document = chrome_trace(recorded_tracer.roots)
+        restored = spans_from_chrome_trace(document)
+        assert structure(restored) == structure(recorded_tracer.roots)
+
+    def test_overlap_slices_restore_zero_sim_duration(self):
+        # A wave-branch submit: zero simulated width, wrapper_ms overlap.
+        parent = Span(name="wave", kind="wave", start_ms=10.0, end_ms=10.0)
+        child = Span(
+            name="sub",
+            kind="submit",
+            start_ms=10.0,
+            end_ms=10.0,
+            attributes={"wrapper_ms": 42.0, "shard": 1, "shard_of": "Orders"},
+        )
+        parent.children.append(child)
+        events = chrome_trace_events([parent])
+        slices = [e for e in events if e.get("ph") == "X" and e["name"] == "sub"]
+        assert len(slices) == 1
+        assert slices[0]["dur"] == pytest.approx(42.0 * 1000.0)
+        assert slices[0]["args"]["overlap"] is True
+        restored = spans_from_chrome_trace({"traceEvents": events})
+        sub = restored[0].children[0]
+        assert sub.duration_ms == 0.0
+        assert sub.attributes["wrapper_ms"] == 42.0
+        assert "overlap" not in sub.attributes
+
+
+class TestLaneLayout:
+    def test_scatter_branches_land_on_shard_lanes(self, recorded_tracer):
+        events = chrome_trace_events(recorded_tracer.roots)
+        submits = [
+            e
+            for e in events
+            if e.get("cat") == "submit" and "shard" in e.get("args", {})
+        ]
+        assert {e["tid"] for e in submits} == {
+            SHARD_LANE_BASE,
+            SHARD_LANE_BASE + 1,
+            SHARD_LANE_BASE + 2,
+        }
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in events
+            if e.get("ph") == "M" and e["name"] == "thread_name"
+        }
+        assert names[MEDIATOR_LANE] == "mediator"
+        assert names[SHARD_LANE_BASE] == "shard Orders[0]"
+        assert names[SHARD_LANE_BASE + 2] == "shard Orders[2]"
+
+    def test_shardless_wave_branches_get_positional_lanes(self):
+        wave = Span(name="wave", kind="wave", start_ms=0.0, end_ms=5.0)
+        for index in range(2):
+            wave.children.append(
+                Span(
+                    name=f"sub{index}",
+                    kind="submit",
+                    start_ms=0.0,
+                    end_ms=0.0,
+                    attributes={"wrapper_ms": 3.0},
+                )
+            )
+        events = chrome_trace_events([wave])
+        tids = [e["tid"] for e in events if e.get("cat") == "submit"]
+        assert tids == [BRANCH_LANE_BASE, BRANCH_LANE_BASE + 1]
+
+    def test_tenant_names_the_process(self):
+        root = Span(name="query", kind="query", start_ms=0.0, end_ms=1.0)
+        events = chrome_trace_events([root], tenant="analytics")
+        process = [
+            e for e in events if e.get("ph") == "M" and e["name"] == "process_name"
+        ]
+        assert process[0]["args"]["name"] == "analytics"
+
+
+class TestDocumentShape:
+    def test_document_is_loadable_trace_json(self, recorded_tracer):
+        text = chrome_trace_json(recorded_tracer.roots)
+        document = json.loads(text)
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert {e["ph"] for e in events} <= {"X", "i", "M"}
+        for event in events:
+            assert "pid" in event and "name" in event
+            if event["ph"] == "X":
+                assert event["dur"] >= 0 and "ts" in event
+            if event["ph"] == "i":
+                assert event["s"] == "t"
+
+    def test_instant_events_for_zero_duration_markers(self, recorded_tracer):
+        events = chrome_trace_events(recorded_tracer.roots)
+        instants = [e for e in events if e.get("ph") == "i"]
+        assert any(e["cat"] == "scatter" for e in instants)
+
+    def test_timestamps_scale_to_microseconds(self):
+        root = Span(name="q", kind="query", start_ms=2.5, end_ms=4.0)
+        (event,) = [
+            e for e in chrome_trace_events([root]) if e.get("ph") == "X"
+        ]
+        assert event["ts"] == pytest.approx(2500.0)
+        assert event["dur"] == pytest.approx(1500.0)

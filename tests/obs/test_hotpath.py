@@ -1,0 +1,110 @@
+"""The wall-clock hot-path profiler and its null-object discipline."""
+
+import pytest
+
+from repro.mediator.mediator import Mediator
+from repro.obs import ObservabilityOptions
+from repro.obs.hotpath import (
+    NULL_HOTPATH,
+    HotpathProfiler,
+    NullHotpathProfiler,
+)
+from tests.federation_fixtures import build_oo7_wrapper, build_sales_wrapper
+
+SQL = "SELECT * FROM AtomicParts WHERE Id = 3"
+
+HOTPATH_ON = ObservabilityOptions(enabled=True, hotpath=True)
+
+
+def build_mediator(observability=None):
+    mediator = Mediator(observability=observability)
+    mediator.register(build_oo7_wrapper())
+    mediator.register(build_sales_wrapper())
+    return mediator
+
+
+class TestProfiler:
+    def test_phase_accumulates_calls_and_wall_time(self):
+        profiler = HotpathProfiler()
+        for _ in range(3):
+            with profiler.phase("work"):
+                pass
+        assert profiler.calls["work"] == 3
+        assert profiler.wall_s["work"] >= 0.0
+        snapshot = profiler.snapshot()
+        assert snapshot["work"]["calls"] == 3
+        assert snapshot["work"]["mean_us"] == pytest.approx(
+            profiler.wall_s["work"] / 3 * 1e6
+        )
+
+    def test_phase_records_even_when_the_body_raises(self):
+        profiler = HotpathProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.phase("bad"):
+                raise RuntimeError("boom")
+        assert profiler.calls["bad"] == 1
+
+    def test_reset_clears_everything(self):
+        profiler = HotpathProfiler()
+        with profiler.phase("x"):
+            pass
+        profiler.reset()
+        assert profiler.snapshot() == {}
+
+    def test_null_profiler_is_a_constant_no_op(self):
+        assert NULL_HOTPATH.enabled is False
+        assert isinstance(NULL_HOTPATH, NullHotpathProfiler)
+        with NULL_HOTPATH.phase("anything"):
+            pass
+        assert NULL_HOTPATH.snapshot() == {}
+
+
+class TestMediatorWiring:
+    def test_planning_populates_every_phase(self):
+        mediator = build_mediator(observability=HOTPATH_ON)
+        hotpath = mediator.telemetry.hotpath
+        assert hotpath is not None
+        mediator.plan(SQL)
+        snapshot = hotpath.snapshot()
+        assert {"parse", "optimize", "candidate", "estimate"} <= set(snapshot)
+        # Phases nest: optimize contains every candidate, which contains
+        # every estimate call.
+        assert (
+            snapshot["optimize"]["wall_s"]
+            >= snapshot["candidate"]["wall_s"]
+            >= snapshot["estimate"]["wall_s"]
+            > 0.0
+        )
+        assert snapshot["optimize"]["calls"] == 1
+        assert snapshot["candidate"]["calls"] >= 2
+
+    def test_hotpath_is_off_even_under_all_on(self):
+        mediator = build_mediator(observability=ObservabilityOptions.all_on())
+        assert mediator.telemetry.hotpath is None
+        assert mediator.estimator.hotpath.enabled is False
+        assert mediator.optimizer.hotpath.enabled is False
+
+    def test_disabled_mediator_holds_the_null_profiler(self):
+        mediator = build_mediator()
+        assert mediator.estimator.hotpath is NULL_HOTPATH
+        assert mediator.optimizer.hotpath is NULL_HOTPATH
+
+    def test_profiling_never_touches_the_simulated_clock(self):
+        plain = build_mediator().query(SQL)
+        profiled = build_mediator(observability=HOTPATH_ON).query(SQL)
+        assert profiled.rows == plain.rows
+        assert profiled.elapsed_ms == plain.elapsed_ms
+
+    def test_phase_timers_surface_as_gauges(self):
+        mediator = build_mediator(
+            observability=ObservabilityOptions(
+                enabled=True, hotpath=True, metrics=True
+            )
+        )
+        mediator.query(SQL)
+        metrics = mediator.telemetry.metrics
+        wall = metrics["repro_hotpath_wall_seconds"]
+        calls = metrics["repro_hotpath_calls"]
+        for phase in ("parse", "optimize", "candidate", "estimate"):
+            assert wall.value(phase=phase) > 0.0
+            assert calls.value(phase=phase) >= 1.0
