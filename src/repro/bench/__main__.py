@@ -5,7 +5,8 @@ Options:
     --out-dir DIR     also write machine-readable results (currently
                       ``BENCH_E8.json``, ``BENCH_E9.json``,
                       ``BENCH_E10.json``, ``BENCH_E11.json``,
-                      ``BENCH_E12.json`` and ``BENCH_E14.json``) into DIR
+                      ``BENCH_E12.json``, ``BENCH_E13.json`` and
+                      ``BENCH_E14.json``) into DIR
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ import sys
 
 from repro.bench.accuracy import run_accuracy
 from repro.bench.bindjoin_bench import run_bindjoin_experiment
+from repro.bench.calibration import run_calibration_experiment
 from repro.bench.clustering import run_clustering
 from repro.bench.fig12 import run_fig12
 from repro.bench.history_bench import run_history
@@ -160,6 +162,12 @@ def main() -> None:
     print()
     print(serving.backpressure_table())
     write_json(out_dir, "BENCH_E11.json", serving.to_json_dict())
+
+    banner("E13 — online recalibration: drift recovery without re-registration")
+    calibration = run_calibration_experiment(fast=fast)
+    print(calibration.table())
+    print(f"\n{calibration.summary()}")
+    write_json(out_dir, "BENCH_E13.json", calibration.to_json_dict())
 
     banner("E12 — sharded federations: scatter-gather vs shard pruning")
     sharding = run_sharding_experiment(fast=fast)

@@ -527,6 +527,7 @@ class _Estimation:
         policy = self.estimator.options.conflict_policy
         best_value: Value | None = None
         best_provenance = ""
+        best_scope = ""
         for match in matches:
             ctx = _NodeContext(self, node, source, match)
             for formula in match.rule.formulas_for(variable):
@@ -540,6 +541,7 @@ class _Estimation:
                 )
                 if improves:
                     best_value = value
+                    best_scope = str(match.scope)
                     best_provenance = (
                         f"{match.scope}[{match.scoped.source}]: {match.rule.name}"
                     )
@@ -548,6 +550,24 @@ class _Estimation:
             if policy is ConflictPolicy.FIRST and best_value is not None:
                 break
         assert best_value is not None
+        # Online calibration overlay: wrapper-owned predictions are
+        # multiplied by the active coefficient for (wrapper, scope,
+        # variable).  Mediator-side nodes (source None) are never
+        # calibrated — the drift tracker only measures wrapper work.
+        calibration = self.estimator.calibration
+        if (
+            calibration is not None
+            and source is not None
+            and isinstance(best_value, (int, float))
+            and calibration.active.multipliers
+        ):
+            multiplier = calibration.multiplier_for(source, best_scope, variable)
+            if multiplier != 1.0:
+                best_value = float(best_value) * multiplier
+                best_provenance += (
+                    f" | calibrated x{multiplier:.4g}"
+                    f" (v{calibration.active_version})"
+                )
         return best_value, best_provenance
 
 
@@ -578,6 +598,10 @@ class CostEstimator:
         self.tracer: SpanTracer = NULL_TRACER
         #: Wall-clock phase timers; defaults to the shared no-op profiler.
         self.hotpath: HotpathProfiler = NULL_HOTPATH
+        #: Online calibration overlay (duck-typed
+        #: :class:`repro.mediator.calibration.CalibrationState`); the
+        #: mediator wires the catalog's state in.  None = seed behaviour.
+        self.calibration: Any = None
         #: (node_id, variable) -> (value, provenance); None when disabled.
         self.subplan_cache: dict[tuple[int, str], tuple[Value, str]] | None = (
             {} if self.options.cache_subplans else None

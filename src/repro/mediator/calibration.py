@@ -1,0 +1,460 @@
+"""Online cost recalibration — closing the paper's §4.3 feedback loop.
+
+The drift tracker (:mod:`repro.obs.accuracy`) measures how far every
+cost-rule prediction lands from the executed truth.  This module *acts*
+on those measurements: a :class:`Calibrator` re-fits per-wrapper
+multiplicative corrections from drift aggregates and installs them as a
+**versioned calibration overlay** on the catalog.  The estimator then
+multiplies every wrapper-owned prediction by the active coefficient, so
+the very next plan is costed with the corrected model — no wrapper
+re-registration, no restart.
+
+Design points, in the order they matter:
+
+* **Keys.** A coefficient is addressed by
+  :class:`CoefficientKey(wrapper, scope, variable) <CoefficientKey>`.
+  ``wrapper`` is the *owning source of the plan node* (who actually ran
+  the work), not the source of the rule that priced it — a generic
+  default-scope rule (``__mediator__``) prices every wrapper, yet each
+  wrapper drifts independently.  ``scope=None`` is a wildcard matching
+  any rule scope at that wrapper; lookups try the exact scope first.
+
+* **Fit math (log space).** The drift tracker folds
+  ``log(actual / estimate)`` per observation.  The geometric-mean ratio
+  ``r = exp(sum_log_ratio / n)`` of a window measures the *residual*
+  drift under the currently-active multiplier ``m`` (estimates already
+  include it), so the true correction is ``m·r`` and the smoothed update
+  is ``m·r^alpha`` — exponential smoothing with factor ``alpha``.
+
+* **Guardrails.** No key is fitted below ``min_samples`` observations;
+  a single update never moves a coefficient by more than ``max_step``
+  in either direction; every coefficient is clamped to
+  ``[clamp_min, clamp_max]``; sub-``min_change`` proposals are dropped
+  as no-ops.  Together these give the properties the guardrail test
+  battery asserts: updates stay in range, steps stay bounded, and on
+  stationary drift the residual ``|log(R/m)|`` contracts monotonically.
+
+* **Versioning.** :class:`CalibrationState` is an append-only list of
+  overlays (version 0 is the identity) plus an ``active_version``
+  pointer.  Applying a fit appends a new overlay built on top of the
+  active one; rollback just moves the pointer, preserving history so a
+  rollback can itself be rolled forward.  The catalog bumps its global
+  version on every apply/rollback, which invalidates the plan cache's
+  version-guarded entries for free.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+from repro.core.scopes import MEDIATOR_SOURCE
+
+#: Serialized wildcard marker for ``scope=None`` keys.
+_WILDCARD = "*"
+
+
+@dataclass(frozen=True)
+class CoefficientKey:
+    """Address of one calibrated coefficient.
+
+    ``scope=None`` is a wildcard: the multiplier applies to every rule
+    scope at that wrapper (for that variable) unless a more specific
+    exact-scope key exists in the same overlay.
+    """
+
+    wrapper: str
+    scope: str | None
+    variable: str
+
+    def as_string(self) -> str:
+        return f"{self.wrapper}|{self.scope or _WILDCARD}|{self.variable}"
+
+    @classmethod
+    def from_string(cls, text: str) -> "CoefficientKey":
+        parts = text.split("|")
+        if len(parts) != 3:
+            raise ValueError(f"malformed coefficient key: {text!r}")
+        wrapper, scope, variable = parts
+        return cls(
+            wrapper=wrapper,
+            scope=None if scope == _WILDCARD else scope,
+            variable=variable,
+        )
+
+
+@dataclass(frozen=True)
+class CalibrationPolicy:
+    """Guardrails for the fitter.  Every update obeys all of them."""
+
+    #: Minimum pooled observations before a key may be fitted at all.
+    min_samples: int = 8
+    #: Exponential-smoothing factor: 1.0 jumps straight to the measured
+    #: ratio, 0.0 never moves.
+    alpha: float = 0.5
+    #: Bound on one update: ``new in [old / max_step, old * max_step]``.
+    max_step: float = 2.0
+    #: Hard range every coefficient is clamped into.
+    clamp_min: float = 0.1
+    clamp_max: float = 10.0
+    #: Relative change below which a proposal is dropped as a no-op
+    #: (avoids churning catalog versions on noise).
+    min_change: float = 1e-3
+    #: Fit one coefficient per (wrapper, scope) instead of pooling all
+    #: scopes of a wrapper into one wildcard coefficient.
+    per_scope: bool = False
+    #: Variables the fitter is allowed to touch.
+    variables: tuple[str, ...] = ("TotalTime", "CountObject")
+
+    def __post_init__(self) -> None:
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if self.max_step <= 1.0:
+            raise ValueError("max_step must be > 1")
+        if not 0.0 < self.clamp_min <= 1.0 <= self.clamp_max:
+            raise ValueError("clamp range must straddle 1.0")
+        if self.min_change < 0.0:
+            raise ValueError("min_change must be >= 0")
+
+
+@dataclass(frozen=True)
+class CoefficientUpdate:
+    """One fitted change, with enough context to audit it."""
+
+    key: CoefficientKey
+    previous: float
+    proposed: float
+    #: Geometric-mean measured ratio actual/estimate over the window
+    #: (residual drift under ``previous``).
+    measured_ratio: float
+    samples: int
+
+    @property
+    def step_ratio(self) -> float:
+        return self.proposed / self.previous
+
+
+@dataclass
+class CalibrationFit:
+    """Outcome of one fit pass over a drift window."""
+
+    updates: list[CoefficientUpdate] = field(default_factory=list)
+    #: Keys seen in the window but left alone, with the reason.
+    skipped: dict[str, str] = field(default_factory=dict)
+    #: Pooled observations that informed the fit (fitted keys only).
+    observations: int = 0
+    #: Mean q-error of the window across all considered keys — the
+    #: "how wrong were we" gauge the service exports.
+    window_mean_q: float = 0.0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.updates)
+
+
+@dataclass(frozen=True)
+class CalibrationOverlay:
+    """One immutable version of the coefficient set."""
+
+    version: int
+    multipliers: dict[CoefficientKey, float] = field(default_factory=dict)
+    note: str = ""
+    #: Observations behind the fit that produced this version.
+    fitted_observations: int = 0
+
+    def multiplier_for(
+        self, wrapper: str, scope: str | None, variable: str
+    ) -> float:
+        """Exact-scope match first, wildcard second, identity last."""
+        if scope is not None:
+            exact = self.multipliers.get(CoefficientKey(wrapper, scope, variable))
+            if exact is not None:
+                return exact
+        wildcard = self.multipliers.get(CoefficientKey(wrapper, None, variable))
+        return wildcard if wildcard is not None else 1.0
+
+    @property
+    def is_identity(self) -> bool:
+        return all(m == 1.0 for m in self.multipliers.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "note": self.note,
+            "fitted_observations": self.fitted_observations,
+            "multipliers": {
+                key.as_string(): value
+                for key, value in sorted(
+                    self.multipliers.items(), key=lambda kv: kv[0].as_string()
+                )
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CalibrationOverlay":
+        return cls(
+            version=int(data["version"]),
+            note=str(data.get("note", "")),
+            fitted_observations=int(data.get("fitted_observations", 0)),
+            multipliers={
+                CoefficientKey.from_string(text): float(value)
+                for text, value in data.get("multipliers", {}).items()
+            },
+        )
+
+
+class CalibrationState:
+    """Append-only overlay history with an active-version pointer.
+
+    Version 0 is always the identity overlay (no multipliers); it is the
+    rollback target that restores seed behaviour exactly.
+    """
+
+    def __init__(self) -> None:
+        self.versions: list[CalibrationOverlay] = [
+            CalibrationOverlay(version=0, note="identity")
+        ]
+        self.active_version = 0
+
+    # -- reading ---------------------------------------------------------------
+
+    @property
+    def active(self) -> CalibrationOverlay:
+        return self.versions[self.active_version]
+
+    @property
+    def latest_version(self) -> int:
+        return len(self.versions) - 1
+
+    def multiplier_for(
+        self, wrapper: str, scope: str | None, variable: str
+    ) -> float:
+        return self.active.multiplier_for(wrapper, scope, variable)
+
+    @property
+    def is_identity(self) -> bool:
+        return self.active.is_identity
+
+    def __len__(self) -> int:
+        return len(self.versions)
+
+    # -- mutation --------------------------------------------------------------
+
+    def apply(
+        self,
+        updates: dict[CoefficientKey, float] | list[CoefficientUpdate],
+        note: str = "",
+        observations: int = 0,
+    ) -> CalibrationOverlay:
+        """Append a new overlay: active coefficients + the updates.
+
+        Returns the new overlay, which becomes active.
+        """
+        if not isinstance(updates, dict):
+            updates = {u.key: u.proposed for u in updates}
+        merged = dict(self.active.multipliers)
+        merged.update(updates)
+        overlay = CalibrationOverlay(
+            version=len(self.versions),
+            multipliers=merged,
+            note=note,
+            fitted_observations=observations,
+        )
+        self.versions.append(overlay)
+        self.active_version = overlay.version
+        return overlay
+
+    def rollback(self, version: int) -> CalibrationOverlay:
+        """Point the active overlay at any recorded version.
+
+        History is preserved — a rollback can be rolled forward again.
+        """
+        if not 0 <= version < len(self.versions):
+            raise ValueError(
+                f"unknown calibration version {version} "
+                f"(have 0..{self.latest_version})"
+            )
+        self.active_version = version
+        return self.active
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "active_version": self.active_version,
+            "versions": [overlay.to_dict() for overlay in self.versions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CalibrationState":
+        state = cls()
+        versions = [
+            CalibrationOverlay.from_dict(entry)
+            for entry in data.get("versions", [])
+        ]
+        if versions:
+            if versions[0].version != 0:
+                raise ValueError("calibration history must start at version 0")
+            state.versions = versions
+        active = int(data.get("active_version", 0))
+        if not 0 <= active < len(state.versions):
+            raise ValueError(f"active_version {active} out of range")
+        state.active_version = active
+        return state
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CalibrationState":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass
+class _Pool:
+    """Per-key accumulator while grouping drift rows."""
+
+    samples: int = 0
+    sum_log_ratio: float = 0.0
+    sum_q: float = 0.0
+
+
+class Calibrator:
+    """Fits guardrailed coefficient updates from drift aggregates."""
+
+    def __init__(self, policy: CalibrationPolicy | None = None) -> None:
+        self.policy = policy or CalibrationPolicy()
+
+    # -- fitting ---------------------------------------------------------------
+
+    def fit(self, snapshot: dict, state: CalibrationState) -> CalibrationFit:
+        """One fit pass over a drift window.
+
+        ``snapshot`` is a :meth:`DriftTracker.snapshot` dict (live or
+        loaded from ``drift.json``).  The returned fit is *not* applied;
+        pass its updates to :meth:`CalibrationState.apply` — or use
+        :meth:`fit_and_apply`.
+        """
+        policy = self.policy
+        pools: dict[CoefficientKey, _Pool] = {}
+        fit = CalibrationFit()
+        considered_q = 0.0
+        considered_n = 0
+
+        for row in snapshot.get("rules", ()):
+            variable = row.get("variable")
+            if variable not in policy.variables:
+                continue
+            wrapper = row.get("wrapper") or row.get("source") or ""
+            if not wrapper or wrapper == MEDIATOR_SOURCE:
+                # Mediator-side compose operators are never calibrated —
+                # only work a wrapper actually executed.
+                continue
+            count = int(row.get("count", 0))
+            if count <= 0:
+                continue
+            log_ratio = row.get("sum_log_ratio")
+            if log_ratio is None:
+                geo = row.get("geo_mean_ratio")
+                if geo is None or geo <= 0.0:
+                    continue
+                log_ratio = count * math.log(geo)
+            scope = row.get("scope") if policy.per_scope else None
+            key = CoefficientKey(wrapper, scope, variable)
+            pool = pools.setdefault(key, _Pool())
+            pool.samples += count
+            pool.sum_log_ratio += float(log_ratio)
+            pool.sum_q += float(row.get("mean_q_error", 0.0)) * count
+            considered_q += float(row.get("mean_q_error", 0.0)) * count
+            considered_n += count
+
+        fit.window_mean_q = considered_q / considered_n if considered_n else 0.0
+
+        for key in sorted(pools, key=CoefficientKey.as_string):
+            pool = pools[key]
+            if pool.samples < policy.min_samples:
+                fit.skipped[key.as_string()] = (
+                    f"below min_samples ({pool.samples} < {policy.min_samples})"
+                )
+                continue
+            previous = state.multiplier_for(key.wrapper, key.scope, key.variable)
+            measured = math.exp(pool.sum_log_ratio / pool.samples)
+            proposed = self.propose(previous, measured)
+            if previous > 0 and abs(proposed / previous - 1.0) < policy.min_change:
+                fit.skipped[key.as_string()] = "no-op (below min_change)"
+                continue
+            fit.updates.append(
+                CoefficientUpdate(
+                    key=key,
+                    previous=previous,
+                    proposed=proposed,
+                    measured_ratio=measured,
+                    samples=pool.samples,
+                )
+            )
+            fit.observations += pool.samples
+        return fit
+
+    def propose(self, previous: float, measured_ratio: float) -> float:
+        """The guardrailed update rule for one coefficient.
+
+        ``measured_ratio`` is the residual actual/estimate ratio under
+        ``previous``; the smoothed target is ``previous * ratio^alpha``,
+        then step-bounded, then range-clamped.
+        """
+        policy = self.policy
+        smoothed = previous * measured_ratio**policy.alpha
+        stepped = min(
+            max(smoothed, previous / policy.max_step),
+            previous * policy.max_step,
+        )
+        return min(max(stepped, policy.clamp_min), policy.clamp_max)
+
+    def fit_and_apply(
+        self, snapshot: dict, state: CalibrationState, note: str = ""
+    ) -> tuple[CalibrationFit, CalibrationOverlay | None]:
+        """Fit, and apply as a new overlay iff anything changed."""
+        fit = self.fit(snapshot, state)
+        if not fit.changed:
+            return fit, None
+        overlay = state.apply(
+            fit.updates,
+            note=note or f"fit over {fit.observations} observations",
+            observations=fit.observations,
+        )
+        return fit, overlay
+
+
+def render_calibration_state(state: CalibrationState) -> str:
+    """Aligned text table of the overlay history (CLI ``show``)."""
+    lines = [
+        f"calibration: {len(state)} version(s), "
+        f"active v{state.active_version}"
+    ]
+    for overlay in state.versions:
+        marker = "*" if overlay.version == state.active_version else " "
+        lines.append(
+            f"{marker} v{overlay.version}  "
+            f"{len(overlay.multipliers)} coefficient(s)  "
+            f"obs={overlay.fitted_observations}  {overlay.note}"
+        )
+        for key, value in sorted(
+            overlay.multipliers.items(), key=lambda kv: kv[0].as_string()
+        ):
+            lines.append(f"    {key.as_string()} = {value:.4f}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "CalibrationFit",
+    "CalibrationOverlay",
+    "CalibrationPolicy",
+    "CalibrationState",
+    "Calibrator",
+    "CoefficientKey",
+    "CoefficientUpdate",
+    "render_calibration_state",
+]

@@ -15,6 +15,12 @@ from typing import Any
 
 from repro.core.statistics import CollectionStats, StatisticsCatalog
 from repro.errors import UnknownAttributeError, UnknownCollectionError
+from repro.mediator.calibration import (
+    CalibrationOverlay,
+    CalibrationState,
+    CoefficientKey,
+    CoefficientUpdate,
+)
 from repro.wrappers.base import Wrapper
 
 #: Sentinel "wrapper" name carried by the logical entry of a partitioned
@@ -123,9 +129,40 @@ class MediatorCatalog:
     _partitions: dict[str, PartitionScheme] = field(default_factory=dict)
     #: Monotonic change counter, bumped on every mutation that can alter
     #: what the optimizer would choose (wrapper/collection membership,
-    #: statistics).  Plan caches key on it: a cached plan is only valid
-    #: while the catalog version it was optimized under is current.
+    #: statistics, calibration overlays).  Plan caches key on it: a
+    #: cached plan is only valid while the catalog version it was
+    #: optimized under is current.
     version: int = 0
+    #: Versioned online-calibration overlay history (§4.3 feedback loop).
+    calibration: CalibrationState = field(default_factory=CalibrationState)
+
+    # -- calibration -------------------------------------------------------------
+
+    def apply_calibration(
+        self,
+        updates: "dict[CoefficientKey, float] | list[CoefficientUpdate]",
+        note: str = "",
+        observations: int = 0,
+    ) -> CalibrationOverlay:
+        """Install a new calibration overlay version.
+
+        Bumps :attr:`version`: every cached plan was costed under the
+        previous coefficients and is now stale.
+        """
+        overlay = self.calibration.apply(
+            updates, note=note, observations=observations
+        )
+        self.version += 1
+        return overlay
+
+    def rollback_calibration(self, version: int) -> CalibrationOverlay:
+        """Re-activate a prior overlay version (0 = identity/seed).
+
+        Bumps :attr:`version` for the same staleness reason as apply.
+        """
+        overlay = self.calibration.rollback(version)
+        self.version += 1
+        return overlay
 
     # -- wrappers ---------------------------------------------------------------
 

@@ -111,6 +111,9 @@ class Mediator:
             options=estimator_options,
             coefficients=self.coefficients,
         )
+        # The catalog owns the calibration overlay history; the estimator
+        # reads the active version on every wrapper-owned prediction.
+        self.estimator.calibration = self.catalog.calibration
         if executor_options is not None and estimator_options is None:
             # Keep what the optimizer believes aligned with how the
             # executor will actually dispatch, unless the caller pinned
@@ -155,6 +158,10 @@ class Mediator:
             # Re-registration means the source's data or rules changed;
             # memoized subanswers from it are no longer trustworthy.
             self.executor.cache.invalidate_wrapper(wrapper.name)
+        if self.telemetry is not None and self.telemetry.drift is not None:
+            # Registered sources report drift even before any submit is
+            # measured ("no data" beats a silently missing row).
+            self.telemetry.drift.expect_wrapper(wrapper.name)
         return register_wrapper(
             wrapper, self.catalog, self.repository, self.estimator
         )
@@ -167,6 +174,28 @@ class Mediator:
         return register_partitioned_collection(
             scheme, self.catalog, self.estimator
         )
+
+    # -- calibration (§4.3 feedback loop) ---------------------------------------
+
+    def apply_calibration(self, updates, note: str = "", observations: int = 0):
+        """Install a calibration overlay and drop every stale estimate.
+
+        ``updates`` is a ``{CoefficientKey: multiplier}`` dict or a list
+        of :class:`~repro.mediator.calibration.CoefficientUpdate`.  The
+        catalog-version bump invalidates plan caches; the subplan cache
+        holds calibrated values, so it is flushed here too.
+        """
+        overlay = self.catalog.apply_calibration(
+            updates, note=note, observations=observations
+        )
+        self.estimator.invalidate_cache()
+        return overlay
+
+    def rollback_calibration(self, version: int):
+        """Re-activate a prior overlay version (0 = seed behaviour)."""
+        overlay = self.catalog.rollback_calibration(version)
+        self.estimator.invalidate_cache()
+        return overlay
 
     # -- query phase (§2.2) ---------------------------------------------------------
 

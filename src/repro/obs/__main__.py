@@ -12,7 +12,10 @@ The operator-facing surface of the flight recorder.  Subcommands:
   trace-event / Perfetto document (stdout or ``--out``);
 * ``drift FILE`` — render a saved drift snapshot as the q-error table;
 * ``metrics FILE`` — render a saved metrics snapshot as the Prometheus
-  text exposition.
+  text exposition;
+* ``calibrate fit|show|rollback`` — fit guardrailed cost-calibration
+  overlays from a saved drift window, inspect the overlay history, and
+  re-activate any prior version (§4.3 feedback loop, offline flavour).
 
 Everything operates on files, so a recorded query can be inspected long
 after (and far away from) the process that ran it.
@@ -107,6 +110,84 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_calibration_state(path: str | None):
+    from repro.mediator.calibration import CalibrationState
+
+    if path and Path(path).exists():
+        return CalibrationState.from_json(Path(path).read_text())
+    return CalibrationState()
+
+
+def _cmd_calibrate_fit(args: argparse.Namespace) -> int:
+    # Lazy import for the same reason record uses one: pretty-printing a
+    # JSON file must not require the calibration stack.
+    from repro.mediator.calibration import CalibrationPolicy, Calibrator
+
+    snapshot = json.loads(Path(args.drift).read_text())
+    state = _load_calibration_state(args.state)
+    policy = CalibrationPolicy(
+        min_samples=args.min_samples,
+        alpha=args.alpha,
+        max_step=args.max_step,
+        clamp_min=args.clamp_min,
+        clamp_max=args.clamp_max,
+        per_scope=args.per_scope,
+    )
+    fit = Calibrator(policy).fit(snapshot, state)
+    if not fit.updates and not fit.skipped:
+        print("nothing to fit: no wrapper-attributed drift rows in the window")
+    for update in fit.updates:
+        print(
+            f"fit {update.key.as_string()}: "
+            f"{update.previous:.4f} -> {update.proposed:.4f} "
+            f"(measured ratio {update.measured_ratio:.4f}, "
+            f"n={update.samples})"
+        )
+    for key, reason in sorted(fit.skipped.items()):
+        print(f"skip {key}: {reason}")
+    if args.apply:
+        if fit.changed:
+            overlay = state.apply(
+                fit.updates,
+                note=f"cli fit from {args.drift}",
+                observations=fit.observations,
+            )
+            Path(args.state).write_text(state.to_json() + "\n")
+            print(
+                f"applied overlay v{overlay.version} "
+                f"({len(fit.updates)} update(s)) to {args.state}"
+            )
+        else:
+            print("no updates to apply; state file unchanged")
+    elif fit.changed:
+        print(f"(dry run: re-run with --apply to write {args.state})")
+    return 0
+
+
+def _cmd_calibrate_show(args: argparse.Namespace) -> int:
+    from repro.mediator.calibration import (
+        CalibrationState,
+        render_calibration_state,
+    )
+
+    state = CalibrationState.from_json(Path(args.state).read_text())
+    print(render_calibration_state(state))
+    return 0
+
+
+def _cmd_calibrate_rollback(args: argparse.Namespace) -> int:
+    from repro.mediator.calibration import CalibrationState
+
+    state = CalibrationState.from_json(Path(args.state).read_text())
+    overlay = state.rollback(args.version)
+    Path(args.state).write_text(state.to_json() + "\n")
+    print(
+        f"rolled back to v{overlay.version} "
+        f"({len(overlay.multipliers)} coefficient(s)); wrote {args.state}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -145,6 +226,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument("file")
     metrics.set_defaults(func=_cmd_metrics)
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="fit / inspect / roll back cost-calibration overlays",
+    )
+    calibrate_sub = calibrate.add_subparsers(dest="calibrate_command", required=True)
+
+    fit = calibrate_sub.add_parser(
+        "fit", help="fit coefficient updates from a drift.json window"
+    )
+    fit.add_argument("drift", help="drift snapshot JSON (DriftTracker.snapshot)")
+    fit.add_argument(
+        "--state",
+        default="calibration.json",
+        help="calibration state file (created on first --apply)",
+    )
+    fit.add_argument("--apply", action="store_true", help="write the overlay")
+    fit.add_argument("--min-samples", type=int, default=8)
+    fit.add_argument("--alpha", type=float, default=0.5)
+    fit.add_argument("--max-step", type=float, default=2.0)
+    fit.add_argument("--clamp-min", type=float, default=0.1)
+    fit.add_argument("--clamp-max", type=float, default=10.0)
+    fit.add_argument(
+        "--per-scope",
+        action="store_true",
+        help="fit one coefficient per (wrapper, scope) instead of pooling",
+    )
+    fit.set_defaults(func=_cmd_calibrate_fit)
+
+    show = calibrate_sub.add_parser(
+        "show", help="print the overlay history of a calibration state file"
+    )
+    show.add_argument("state")
+    show.set_defaults(func=_cmd_calibrate_show)
+
+    rollback = calibrate_sub.add_parser(
+        "rollback", help="re-activate a prior overlay version (0 = identity)"
+    )
+    rollback.add_argument("state")
+    rollback.add_argument("version", type=int)
+    rollback.set_defaults(func=_cmd_calibrate_rollback)
 
     return parser
 

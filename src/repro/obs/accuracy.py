@@ -23,6 +23,7 @@ poison §4.3.1 history recording).
 from __future__ import annotations
 
 import json
+import math
 import re
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
@@ -63,6 +64,20 @@ def q_error(estimated: float, actual: float, floor: float = 1e-9) -> float:
     return max(est / act, act / est)
 
 
+def log_ratio(estimated: float, actual: float, floor: float = 1e-9) -> float:
+    """The *directional* error ``log(actual / estimate)``.
+
+    q-error is symmetric by design, which is right for ranking
+    mispredictions but useless for correcting them: a calibrator needs
+    to know whether the model under- or over-estimates.  Summing this
+    log ratio over a window gives the geometric-mean correction factor
+    ``exp(sum / n)`` the fitter applies.
+    """
+    est = max(float(estimated), floor)
+    act = max(float(actual), floor)
+    return math.log(act / est)
+
+
 @dataclass
 class DriftObservation:
     """One (estimate, measurement) pair for one variable of one submit."""
@@ -73,10 +88,19 @@ class DriftObservation:
     variable: str
     estimated: float
     actual: float
+    #: The wrapper that executed the submit — the owner of the drift,
+    #: regardless of which scope's rule priced it (a default-scope
+    #: generic rule has source ``__mediator__`` but the work still ran
+    #: on exactly one wrapper).
+    wrapper: str = ""
 
     @property
     def q_error(self) -> float:
         return q_error(self.estimated, self.actual)
+
+    @property
+    def log_ratio(self) -> float:
+        return log_ratio(self.estimated, self.actual)
 
 
 @dataclass
@@ -87,9 +111,13 @@ class RuleDrift:
     source: str
     rule: str
     variable: str
+    wrapper: str = ""
     count: int = 0
     sum_q: float = 0.0
     max_q: float = 0.0
+    #: Directional drift: summed ``log(actual / estimate)``.  The
+    #: window's geometric-mean correction is ``exp(sum / count)``.
+    sum_log_ratio: float = 0.0
     last_estimated: float = 0.0
     last_actual: float = 0.0
 
@@ -98,12 +126,18 @@ class RuleDrift:
         self.count += 1
         self.sum_q += q
         self.max_q = max(self.max_q, q)
+        self.sum_log_ratio += observation.log_ratio
         self.last_estimated = observation.estimated
         self.last_actual = observation.actual
 
     @property
     def mean_q(self) -> float:
         return self.sum_q / self.count if self.count else 0.0
+
+    @property
+    def geo_mean_ratio(self) -> float:
+        """Geometric-mean actual/estimate ratio (1.0 = unbiased)."""
+        return math.exp(self.sum_log_ratio / self.count) if self.count else 1.0
 
 
 class DriftTracker:
@@ -118,16 +152,26 @@ class DriftTracker:
     VARIABLES = ("TotalTime", "CountObject")
 
     def __init__(self) -> None:
-        self._aggregates: dict[tuple[str, str, str, str], RuleDrift] = {}
+        self._aggregates: dict[tuple[str, str, str, str, str], RuleDrift] = {}
         #: Submits executed but absent from the estimated plan (runtime-
         #: built bind-join probes): counted, never silently dropped.
         self.unmatched_submits = 0
         self.observations = 0
+        #: Wrappers the federation *expects* drift data for (registered
+        #: sources).  A wrapper in this set with no aggregates gets an
+        #: explicit ``count=0`` snapshot row, so downstream consumers
+        #: (calibrator, CLI) can tell "no data" from "perfect fit".
+        self.expected_wrappers: set[str] = set()
 
     def __len__(self) -> int:
         return len(self._aggregates)
 
     # -- feeding ---------------------------------------------------------------
+
+    def expect_wrapper(self, name: str) -> None:
+        """Declare a wrapper whose drift should be reported even when no
+        submit has been measured yet (zero-sample row)."""
+        self.expected_wrappers.add(name)
 
     def observe_submit(
         self,
@@ -168,12 +212,17 @@ class DriftTracker:
                 variable=variable,
                 estimated=float(estimated),
                 actual=actuals[variable],
+                wrapper=submit.wrapper,
             )
-            key = (scope, source, rule, variable)
+            key = (scope, source, rule, variable, submit.wrapper)
             aggregate = self._aggregates.get(key)
             if aggregate is None:
                 aggregate = RuleDrift(
-                    scope=scope, source=source, rule=rule, variable=variable
+                    scope=scope,
+                    source=source,
+                    rule=rule,
+                    variable=variable,
+                    wrapper=submit.wrapper,
                 )
                 self._aggregates[key] = aggregate
             aggregate.fold(observation)
@@ -211,24 +260,52 @@ class DriftTracker:
         return render_drift_snapshot(self.snapshot())
 
     def snapshot(self) -> dict:
-        """JSON-ready export, grouped per (scope, rule)."""
+        """JSON-ready export, grouped per (scope, rule, wrapper).
+
+        Expected wrappers with no measured submits contribute explicit
+        ``count=0`` rows — "no data" must never be confused with
+        "perfect fit" by a consumer folding over the rows.
+        """
+        rows = [
+            {
+                "scope": a.scope,
+                "source": a.source,
+                "rule": a.rule,
+                "variable": a.variable,
+                "wrapper": a.wrapper,
+                "count": a.count,
+                "mean_q_error": a.mean_q,
+                "max_q_error": a.max_q,
+                "sum_log_ratio": a.sum_log_ratio,
+                "geo_mean_ratio": a.geo_mean_ratio,
+                "last_estimated": a.last_estimated,
+                "last_actual": a.last_actual,
+            }
+            for a in self.aggregates()
+        ]
+        measured = {a.wrapper for a in self._aggregates.values()}
+        for wrapper in sorted(self.expected_wrappers - measured):
+            for variable in self.VARIABLES:
+                rows.append(
+                    {
+                        "scope": "none",
+                        "source": wrapper,
+                        "rule": "(no measured submits)",
+                        "variable": variable,
+                        "wrapper": wrapper,
+                        "count": 0,
+                        "mean_q_error": 0.0,
+                        "max_q_error": 0.0,
+                        "sum_log_ratio": 0.0,
+                        "geo_mean_ratio": 1.0,
+                        "last_estimated": 0.0,
+                        "last_actual": 0.0,
+                    }
+                )
         return {
             "observations": self.observations,
             "unmatched_submits": self.unmatched_submits,
-            "rules": [
-                {
-                    "scope": a.scope,
-                    "source": a.source,
-                    "rule": a.rule,
-                    "variable": a.variable,
-                    "count": a.count,
-                    "mean_q_error": a.mean_q,
-                    "max_q_error": a.max_q,
-                    "last_estimated": a.last_estimated,
-                    "last_actual": a.last_actual,
-                }
-                for a in self.aggregates()
-            ],
+            "rules": rows,
         }
 
     def snapshot_json(self) -> str:
@@ -239,16 +316,26 @@ def render_drift_snapshot(snapshot: dict) -> str:
     """The drift report table, built from a :meth:`DriftTracker.snapshot`
     dict — live (``tracker.report()``) or loaded back from a saved JSON
     by the ``python -m repro.obs drift`` CLI."""
-    headers = ("scope", "source", "rule", "variable", "n", "mean q", "max q")
+    headers = (
+        "scope",
+        "source",
+        "wrapper",
+        "rule",
+        "variable",
+        "n",
+        "mean q",
+        "max q",
+    )
     rows = [
         (
             r["scope"],
             r["source"] or "-",
+            r.get("wrapper") or "-",
             r["rule"] if len(r["rule"]) <= 48 else r["rule"][:45] + "...",
             r["variable"],
             str(r["count"]),
-            f"{r['mean_q_error']:.2f}",
-            f"{r['max_q_error']:.2f}",
+            f"{r['mean_q_error']:.2f}" if r["count"] else "-",
+            f"{r['max_q_error']:.2f}" if r["count"] else "-",
         )
         for r in snapshot.get("rules", ())
     ]

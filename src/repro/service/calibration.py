@@ -1,0 +1,184 @@
+"""Service-level online calibration: the cadence loop.
+
+:class:`CalibrationManager` closes the §4.3 feedback loop inside a
+running :class:`~repro.service.service.FederationService`: every
+finalized query's (estimate, measurement) pairs are folded into a
+*window* :class:`~repro.obs.accuracy.DriftTracker`, and every
+``cadence_queries`` queries the :class:`~repro.mediator.calibration.
+Calibrator` fits the window and — when anything actually changed —
+installs a new overlay through :meth:`Mediator.apply_calibration`.
+
+The catalog-version bump that apply performs is the whole invalidation
+story: the PR 4 plan cache is version-guarded, so stale plans evict on
+their next lookup, and the estimator's subplan cache is flushed by the
+mediator.  Nothing here needs to reach into the cache.
+
+The fit window **resets after every fit attempt** (applied or not): the
+cadence defines the measurement window, so a misbehaving source shows
+up with its recent drift, not diluted by hours of healthy history.
+
+Per-tenant tracking (``per_tenant=True``) keeps an additional drift
+window per tenant and exports its q-error per fit
+(``repro_calibration_tenant_qerror{tenant=...}``) — a noisy-neighbour
+diagnostic.  The *applied* coefficients are always fit from the global
+window: plans are shared across tenants through the plan cache, so a
+per-tenant coefficient set would be unsound without per-tenant plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.mediator.calibration import (
+    CalibrationFit,
+    CalibrationPolicy,
+    Calibrator,
+)
+from repro.obs.accuracy import DriftTracker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mediator.mediator import Mediator, QueryResult
+    from repro.obs.metrics import MetricsRegistry
+    from repro.wrappers.base import ExecutionResult
+
+
+@dataclass
+class CalibrationOptions:
+    """Knobs of the in-service calibration loop."""
+
+    #: Fit the window every N finalized queries.
+    cadence_queries: int = 32
+    #: Guardrails handed to the fitter.
+    policy: CalibrationPolicy = field(default_factory=CalibrationPolicy)
+    #: Track (and export) drift per tenant in addition to globally.
+    per_tenant: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cadence_queries < 1:
+            raise ValueError("cadence_queries must be >= 1")
+
+
+class CalibrationManager:
+    """Feeds measured queries into windowed drift and fits on cadence."""
+
+    def __init__(
+        self,
+        mediator: "Mediator",
+        options: CalibrationOptions,
+        metrics: "MetricsRegistry",
+    ) -> None:
+        self.mediator = mediator
+        self.options = options
+        self.metrics = metrics
+        self.calibrator = Calibrator(options.policy)
+        self.window = self._fresh_window()
+        self._tenant_windows: dict[str, DriftTracker] = {}
+        #: Queries folded into the current window.
+        self.window_queries = 0
+        self.fits_attempted = 0
+        self.overlays_applied = 0
+        self.last_fit: CalibrationFit | None = None
+
+    # -- feeding ---------------------------------------------------------------
+
+    def record(
+        self,
+        tenant: str,
+        result: "QueryResult",
+        execution: "ExecutionResult",
+    ) -> CalibrationFit | None:
+        """Fold one finalized query in; fit when the cadence is due.
+
+        Returns the fit when one ran, else None.
+        """
+        self.window.observe_plan(result.estimate, execution.submit_log)
+        if self.options.per_tenant:
+            window = self._tenant_windows.get(tenant)
+            if window is None:
+                window = self._tenant_windows.setdefault(
+                    tenant, self._fresh_window()
+                )
+            window.observe_plan(result.estimate, execution.submit_log)
+        self.window_queries += 1
+        if self.window_queries >= self.options.cadence_queries:
+            return self.run_fit()
+        return None
+
+    # -- fitting ---------------------------------------------------------------
+
+    def run_fit(self, note: str = "") -> CalibrationFit:
+        """Fit the current window now (cadence or operator-forced)."""
+        self.fits_attempted += 1
+        state = self.mediator.catalog.calibration
+        fit = self.calibrator.fit(self.window.snapshot(), state)
+        if fit.changed:
+            self.mediator.apply_calibration(
+                fit.updates,
+                note=note
+                or (
+                    f"service fit #{self.fits_attempted} over "
+                    f"{self.window_queries} queries"
+                ),
+                observations=fit.observations,
+            )
+            self.overlays_applied += 1
+        self._export_metrics(fit)
+        self.last_fit = fit
+        self._reset_windows()
+        return fit
+
+    # -- internals -------------------------------------------------------------
+
+    def _fresh_window(self) -> DriftTracker:
+        window = DriftTracker()
+        for name in self.mediator.catalog.wrapper_names():
+            window.expect_wrapper(name)
+        return window
+
+    def _reset_windows(self) -> None:
+        self.window = self._fresh_window()
+        self.window_queries = 0
+        if self.options.per_tenant:
+            self._tenant_windows = {
+                tenant: self._fresh_window() for tenant in self._tenant_windows
+            }
+
+    def _export_metrics(self, fit: CalibrationFit) -> None:
+        updates = self.metrics.counter(
+            "repro_calibration_updates_total",
+            "Calibration coefficient updates applied",
+            ("wrapper",),
+        )
+        for update in fit.updates:
+            updates.inc(wrapper=update.key.wrapper)
+        self.metrics.counter(
+            "repro_calibration_fits_total", "Calibration fit passes run"
+        ).inc()
+        self.metrics.gauge(
+            "repro_calibration_qerror",
+            "Mean q-error of the last calibration fit window",
+        ).set(fit.window_mean_q)
+        self.metrics.gauge(
+            "repro_calibration_active_version",
+            "Active calibration overlay version",
+        ).set(float(self.mediator.catalog.calibration.active_version))
+        if self.options.per_tenant:
+            tenant_gauge = self.metrics.gauge(
+                "repro_calibration_tenant_qerror",
+                "Per-tenant mean q-error over the last fit window",
+                ("tenant",),
+            )
+            for tenant, window in sorted(self._tenant_windows.items()):
+                snapshot = window.snapshot()
+                rows = [r for r in snapshot["rules"] if r["count"]]
+                total = sum(r["count"] for r in rows)
+                mean_q = (
+                    sum(r["mean_q_error"] * r["count"] for r in rows) / total
+                    if total
+                    else 0.0
+                )
+                tenant_gauge.set(mean_q, tenant=tenant)
+
+
+__all__ = ["CalibrationManager", "CalibrationOptions"]

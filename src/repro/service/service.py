@@ -46,6 +46,7 @@ from repro.mediator.optimizer import OptimizationResult
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, SpanTracer
 from repro.service.admission import AdmissionController, TenantPolicy
+from repro.service.calibration import CalibrationManager, CalibrationOptions
 from repro.service.plancache import PlanCache
 from repro.service.scheduler import FairShareScheduler, QueryTask, TaskDispatchProxy
 from repro.service.session import PlanResolution, Session, SessionManager
@@ -77,6 +78,9 @@ class ServiceOptions:
     fast_reject_on_open_breakers: bool = True
     #: Policy for tenants without an explicit ``set_policy`` entry.
     default_policy: TenantPolicy = field(default_factory=TenantPolicy)
+    #: Online cost recalibration on a query-count cadence (§4.3 feedback
+    #: loop; see ``docs/calibration.md``).  None = off, the seed path.
+    calibration: CalibrationOptions | None = None
 
     def __post_init__(self) -> None:
         if (
@@ -177,6 +181,12 @@ class FederationService:
         self._tracer = telemetry.tracer if telemetry is not None else NULL_TRACER
         self._trace_tasks = (
             mediator.observability.enabled and mediator.observability.trace
+        )
+        #: Online recalibration loop; None when the option is off.
+        self.calibration: CalibrationManager | None = (
+            CalibrationManager(mediator, self.options.calibration, self.metrics)
+            if self.options.calibration is not None
+            else None
         )
 
     # -- sessions --------------------------------------------------------------
@@ -451,6 +461,11 @@ class FederationService:
                 # finish) becomes the profile's timeline — queueing is
                 # part of the latency story the flight recorder tells.
                 profile.timeline.extend(dict(event) for event in task.ticket.events)
+        if self.calibration is not None:
+            # Feed the measured query into the calibration window; on
+            # cadence this fits and (via the catalog-version bump)
+            # invalidates stale plan-cache entries.
+            self.calibration.record(task.tenant, result, execution)
         return result
 
     def _count(self, name: str, tenant: str) -> None:

@@ -246,6 +246,36 @@ class TestShardingModule:
         assert "pruning" in experiment.table()
 
 
+class TestCalibrationModule:
+    def test_e13_fast_run(self):
+        import json
+
+        from repro.bench.calibration import run_calibration_experiment
+
+        experiment = run_calibration_experiment(fast=True)
+        doc = json.loads(json.dumps(experiment.to_json_dict()))
+        assert doc["experiment"] == "E13"
+        # The acceptance bar from ISSUE.md: post-shift tail median
+        # q-error of the calibrated arm ≤ 0.5× the uncalibrated control.
+        assert doc["passed"] is True
+        assert doc["recovered_ratio"] <= 0.5
+        calibrated = doc["arms"]["calibrated"]
+        control = doc["arms"]["control"]
+        # The control arm never fits, never versions, never moves.
+        assert control["fits"] == 0
+        assert control["active_version"] == 0
+        assert control["final_multiplier"] == 1.0
+        # The calibrated arm actually adapted.
+        assert calibrated["overlays"] >= 1
+        assert calibrated["active_version"] >= 1
+        assert calibrated["final_multiplier"] != 1.0
+        # Recovery means the tail beats the post-shift spike.
+        phases = {p["phase"]: p for p in calibrated["phases"]}
+        assert phases["recovered"]["median_q"] < phases["adapting"]["median_q"]
+        assert "recovered" in experiment.table()
+        assert "PASS" in experiment.summary()
+
+
 class TestHotpathModule:
     def test_e14_fast_run(self):
         import json

@@ -1,0 +1,360 @@
+"""Unit battery for the calibration layer (§4.3 feedback loop).
+
+Covers the pieces in isolation: coefficient keys and their serialized
+form, policy validation, the guardrailed fit math, overlay state
+apply/rollback/serde, and the estimator actually consuming the active
+overlay (with provenance tags, mediator-side exclusion, and exact-scope
+precedence).
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.core.scopes import MEDIATOR_SOURCE
+from repro.mediator.calibration import (
+    CalibrationOverlay,
+    CalibrationPolicy,
+    CalibrationState,
+    Calibrator,
+    CoefficientKey,
+    render_calibration_state,
+)
+from repro.mediator.mediator import Mediator
+from tests.federation_fixtures import build_sales_wrapper
+
+K_TT = CoefficientKey("sales", None, "TotalTime")
+
+
+def drift_row(
+    wrapper="sales",
+    variable="TotalTime",
+    count=10,
+    ratio=2.0,
+    scope="wrapper",
+    mean_q=2.0,
+):
+    """One DriftTracker.snapshot() rule row with a chosen geo ratio."""
+    return {
+        "scope": scope,
+        "source": MEDIATOR_SOURCE,
+        "rule": "generic-scan",
+        "variable": variable,
+        "wrapper": wrapper,
+        "count": count,
+        "sum_log_ratio": count * math.log(ratio),
+        "geo_mean_ratio": ratio,
+        "mean_q_error": mean_q,
+        "max_q_error": mean_q,
+    }
+
+
+def snapshot(*rows):
+    return {"rules": list(rows)}
+
+
+class TestCoefficientKey:
+    def test_round_trips_through_string(self):
+        for key in (
+            CoefficientKey("west", None, "TotalTime"),
+            CoefficientKey("west", "wrapper", "CountObject"),
+            CoefficientKey("a-b_c", "collection", "TotalSize"),
+        ):
+            assert CoefficientKey.from_string(key.as_string()) == key
+
+    def test_wildcard_scope_serializes_as_star(self):
+        assert CoefficientKey("w", None, "TotalTime").as_string() == (
+            "w|*|TotalTime"
+        )
+
+    def test_malformed_string_rejected(self):
+        with pytest.raises(ValueError):
+            CoefficientKey.from_string("only|two")
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(min_samples=0),
+            dict(alpha=0.0),
+            dict(alpha=1.5),
+            dict(max_step=1.0),
+            dict(clamp_min=0.0),
+            dict(clamp_min=2.0, clamp_max=3.0),  # does not straddle 1.0
+            dict(clamp_max=0.5),
+            dict(min_change=-1e-6),
+        ],
+    )
+    def test_bad_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CalibrationPolicy(**kwargs)
+
+    def test_defaults_are_valid(self):
+        CalibrationPolicy()
+
+
+class TestFitMath:
+    def test_measured_ratio_is_geometric_mean(self):
+        fit = Calibrator(CalibrationPolicy(min_samples=1)).fit(
+            snapshot(drift_row(count=4, ratio=4.0)), CalibrationState()
+        )
+        [update] = fit.updates
+        assert update.measured_ratio == pytest.approx(4.0)
+        # alpha=0.5 smoothing: 1.0 * 4^0.5 = 2.0, exactly max_step.
+        assert update.proposed == pytest.approx(2.0)
+
+    def test_pools_rows_of_same_wrapper_across_scopes(self):
+        fit = Calibrator(CalibrationPolicy(min_samples=6)).fit(
+            snapshot(
+                drift_row(count=3, ratio=2.0, scope="wrapper"),
+                drift_row(count=3, ratio=8.0, scope="default"),
+            ),
+            CalibrationState(),
+        )
+        [update] = fit.updates
+        assert update.key == K_TT
+        assert update.samples == 6
+        assert update.measured_ratio == pytest.approx(4.0)
+
+    def test_per_scope_policy_fits_separate_keys(self):
+        fit = Calibrator(
+            CalibrationPolicy(min_samples=1, per_scope=True)
+        ).fit(
+            snapshot(
+                drift_row(count=3, ratio=3.0, scope="wrapper"),
+                drift_row(count=3, ratio=3.0, scope="default"),
+            ),
+            CalibrationState(),
+        )
+        assert sorted(u.key.scope for u in fit.updates) == [
+            "default",
+            "wrapper",
+        ]
+
+    def test_below_min_samples_is_skipped_not_fitted(self):
+        fit = Calibrator(CalibrationPolicy(min_samples=11)).fit(
+            snapshot(drift_row(count=10)), CalibrationState()
+        )
+        assert not fit.updates
+        assert fit.skipped == {
+            "sales|*|TotalTime": "below min_samples (10 < 11)"
+        }
+
+    def test_mediator_side_rows_never_calibrated(self):
+        fit = Calibrator(CalibrationPolicy(min_samples=1)).fit(
+            snapshot(drift_row(wrapper=MEDIATOR_SOURCE), drift_row(wrapper="")),
+            CalibrationState(),
+        )
+        assert not fit.updates and not fit.skipped
+
+    def test_zero_count_rows_ignored(self):
+        fit = Calibrator(CalibrationPolicy(min_samples=1)).fit(
+            snapshot(drift_row(count=0)), CalibrationState()
+        )
+        assert not fit.updates and not fit.skipped
+
+    def test_variable_allowlist_enforced(self):
+        fit = Calibrator(
+            CalibrationPolicy(min_samples=1, variables=("CountObject",))
+        ).fit(snapshot(drift_row(variable="TotalTime")), CalibrationState())
+        assert not fit.updates
+
+    def test_noop_proposal_dropped_below_min_change(self):
+        fit = Calibrator(CalibrationPolicy(min_samples=1, min_change=0.01)).fit(
+            snapshot(drift_row(ratio=1.0001)), CalibrationState()
+        )
+        assert not fit.updates
+        assert "no-op" in fit.skipped["sales|*|TotalTime"]
+
+    def test_fit_measures_residual_under_active_multiplier(self):
+        # With m=4 active and a residual window ratio of 1/2, the
+        # smoothed proposal walks m toward 4·(1/2)=2: 4·(1/2)^0.5 ≈ 2.83.
+        state = CalibrationState()
+        state.apply({K_TT: 4.0})
+        fit = Calibrator(CalibrationPolicy(min_samples=1)).fit(
+            snapshot(drift_row(ratio=0.5)), state
+        )
+        [update] = fit.updates
+        assert update.previous == pytest.approx(4.0)
+        assert update.proposed == pytest.approx(4.0 * 0.5**0.5)
+
+    def test_geo_mean_fallback_when_sum_log_ratio_missing(self):
+        row = drift_row(count=4, ratio=9.0)
+        del row["sum_log_ratio"]
+        fit = Calibrator(CalibrationPolicy(min_samples=1)).fit(
+            snapshot(row), CalibrationState()
+        )
+        [update] = fit.updates
+        assert update.measured_ratio == pytest.approx(9.0)
+
+    def test_window_mean_q_weighted_by_count(self):
+        fit = Calibrator(CalibrationPolicy(min_samples=1)).fit(
+            snapshot(
+                drift_row(count=1, mean_q=10.0), drift_row(count=3, mean_q=2.0)
+            ),
+            CalibrationState(),
+        )
+        assert fit.window_mean_q == pytest.approx((10.0 + 3 * 2.0) / 4)
+
+    def test_fit_and_apply_appends_overlay_only_on_change(self):
+        state = CalibrationState()
+        calibrator = Calibrator(CalibrationPolicy(min_samples=1))
+        fit, overlay = calibrator.fit_and_apply(
+            snapshot(drift_row(ratio=4.0)), state
+        )
+        assert overlay is not None and overlay.version == 1
+        assert state.active_version == 1
+        # An empty window changes nothing and appends nothing.
+        fit, overlay = calibrator.fit_and_apply(snapshot(), state)
+        assert overlay is None and len(state) == 2
+
+
+class TestStateVersioning:
+    def test_version_zero_is_identity(self):
+        state = CalibrationState()
+        assert state.active_version == 0
+        assert state.is_identity
+        assert state.multiplier_for("anything", "wrapper", "TotalTime") == 1.0
+
+    def test_apply_merges_onto_active(self):
+        state = CalibrationState()
+        state.apply({K_TT: 2.0})
+        other = CoefficientKey("oo7", None, "TotalTime")
+        state.apply({other: 0.5})
+        assert state.active_version == 2
+        assert state.multiplier_for("sales", None, "TotalTime") == 2.0
+        assert state.multiplier_for("oo7", None, "TotalTime") == 0.5
+
+    def test_rollback_restores_exact_coefficients_and_preserves_history(self):
+        state = CalibrationState()
+        state.apply({K_TT: 2.0})
+        state.apply({K_TT: 3.0})
+        expected = dict(state.versions[1].multipliers)
+        state.rollback(1)
+        assert state.active_version == 1
+        assert dict(state.active.multipliers) == expected
+        assert len(state) == 3  # nothing was deleted
+        # Roll forward again: the newer overlay is still there.
+        state.rollback(2)
+        assert state.multiplier_for("sales", None, "TotalTime") == 3.0
+
+    def test_rollback_to_unknown_version_rejected(self):
+        state = CalibrationState()
+        with pytest.raises(ValueError):
+            state.rollback(1)
+        with pytest.raises(ValueError):
+            state.rollback(-1)
+
+    def test_exact_scope_beats_wildcard(self):
+        overlay = CalibrationOverlay(
+            version=1,
+            multipliers={
+                CoefficientKey("w", None, "TotalTime"): 2.0,
+                CoefficientKey("w", "collection", "TotalTime"): 5.0,
+            },
+        )
+        assert overlay.multiplier_for("w", "collection", "TotalTime") == 5.0
+        assert overlay.multiplier_for("w", "wrapper", "TotalTime") == 2.0
+        assert overlay.multiplier_for("w", None, "TotalTime") == 2.0
+        assert overlay.multiplier_for("other", "collection", "TotalTime") == 1.0
+
+    def test_json_round_trip(self):
+        state = CalibrationState()
+        state.apply({K_TT: 2.5}, note="first", observations=12)
+        state.apply(
+            {CoefficientKey("sales", "wrapper", "CountObject"): 0.75},
+            note="second",
+            observations=9,
+        )
+        state.rollback(1)
+        restored = CalibrationState.from_json(state.to_json())
+        assert restored.to_dict() == state.to_dict()
+        assert restored.active_version == 1
+        assert restored.versions[2].note == "second"
+        assert restored.versions[2].fitted_observations == 9
+
+    def test_from_json_validates_shape(self):
+        with pytest.raises(ValueError):
+            CalibrationState.from_dict(
+                {"active_version": 5, "versions": [{"version": 0}]}
+            )
+        with pytest.raises(ValueError):
+            CalibrationState.from_dict(
+                {"active_version": 0, "versions": [{"version": 3}]}
+            )
+
+    def test_render_marks_active_version(self):
+        state = CalibrationState()
+        state.apply({K_TT: 2.0}, note="fit")
+        text = render_calibration_state(state)
+        assert "* v1" in text and "sales|*|TotalTime = 2.0000" in text
+        state.rollback(0)
+        text = render_calibration_state(state)
+        assert "* v0" in text and "  v1" in text
+
+
+class TestEstimatorApplication:
+    SQL = "SELECT * FROM Orders WHERE qty > 90"
+
+    def build(self):
+        mediator = Mediator()
+        mediator.register(build_sales_wrapper())
+        return mediator
+
+    def test_overlay_scales_wrapper_estimates_and_tags_provenance(self):
+        mediator = self.build()
+        before = mediator.query(self.SQL).estimated_ms
+        baseline_explain = mediator.explain(self.SQL)
+        mediator.apply_calibration({K_TT: 2.0}, note="test")
+        result = mediator.query(self.SQL)
+        # Every wrapper-owned TotalTime doubles; parents consume the
+        # calibrated children, so the plan total at least doubles.
+        assert result.estimated_ms >= 2.0 * before
+        explain = mediator.explain(self.SQL)
+        assert "calibrated x2 (v1)" in explain
+        # Rollback to identity byte-restores the seed explain.
+        mediator.rollback_calibration(0)
+        assert mediator.explain(self.SQL) == baseline_explain
+        assert mediator.query(self.SQL).estimated_ms == before
+
+    def test_apply_and_rollback_bump_catalog_version(self):
+        mediator = self.build()
+        v0 = mediator.catalog.version
+        mediator.apply_calibration({K_TT: 2.0})
+        v1 = mediator.catalog.version
+        mediator.rollback_calibration(0)
+        assert v1 > v0 and mediator.catalog.version > v1
+
+    def test_mediator_side_values_never_scaled(self):
+        mediator = self.build()
+        mediator.apply_calibration({K_TT: 1000.0})
+        result = mediator.query(self.SQL)
+        tagged = [
+            text
+            for node in result.estimate.nodes.values()
+            for text in node.provenance.values()
+            if "calibrated" in text
+        ]
+        # Wrapper-owned values were calibrated, but the mediator-side
+        # root (the local-submit value, owned by no source) never is.
+        assert tagged
+        root_estimate = result.estimate.nodes[result.plan.node_id]
+        for text in root_estimate.provenance.values():
+            assert "local-submit" not in text or "calibrated" not in text
+
+    def test_unrelated_wrapper_key_is_inert(self):
+        mediator = self.build()
+        baseline = mediator.explain(self.SQL)
+        mediator.apply_calibration(
+            {CoefficientKey("not-registered", None, "TotalTime"): 7.0}
+        )
+        assert mediator.explain(self.SQL) == baseline
+
+    def test_state_is_shared_with_catalog(self):
+        mediator = self.build()
+        mediator.apply_calibration({K_TT: 2.0})
+        assert mediator.estimator.calibration is mediator.catalog.calibration
+        payload = json.loads(mediator.catalog.calibration.to_json())
+        assert payload["active_version"] == 1

@@ -1,0 +1,182 @@
+"""The calibration layer's do-no-harm guarantee.
+
+Calibration off — and calibration *on* but with ``min_samples`` set
+above anything a fit window can reach — must be invisible: query
+results, submit logs, simulated latencies, estimates, and explain
+output byte-identical to the seed path, across the sequential executor,
+the concurrent-wave executor, and a fully armed (never-firing)
+resilience configuration.  The identity overlay (version 0) multiplies
+nothing and tags no provenance, and a fitter that proposes no update
+never bumps the catalog version — so the plan cache keeps its entries
+and nothing re-optimizes.  Mirrors ``tests/service/
+test_sharding_equivalence.py``.
+"""
+
+from repro.algebra.logical import Submit
+from repro.mediator.calibration import CalibrationPolicy
+from repro.mediator.executor import ExecutorOptions
+from repro.mediator.mediator import Mediator
+from repro.mediator.resilience import (
+    BreakerPolicy,
+    ResilienceOptions,
+    RetryPolicy,
+)
+from repro.service.calibration import CalibrationOptions
+from repro.service.service import FederationService, ServiceOptions
+from repro.wrappers.faults import FaultInjector, FaultProfile
+from tests.federation_fixtures import build_oo7_wrapper, build_sales_wrapper
+
+ARMED = ResilienceOptions(
+    retry=RetryPolicy(
+        max_attempts=5,
+        backoff_base_ms=100.0,
+        jitter_ratio=0.3,
+        deadline_ms=1e9,
+    ),
+    breaker=BreakerPolicy(failure_threshold=1, cooldown_ms=10.0),
+    mode="partial",
+)
+
+#: Unreachably high: every fit window stays below it, so the manager
+#: runs fits on cadence yet never proposes a single update.
+NEVER_FIT = CalibrationOptions(
+    cadence_queries=2,
+    policy=CalibrationPolicy(min_samples=10**6),
+)
+
+WORKLOAD = (
+    ("scan-filter", "SELECT * FROM Orders WHERE qty > 90"),
+    ("point-lookup", "SELECT * FROM Orders WHERE oid = 123"),
+    (
+        "join",
+        "SELECT * FROM Suppliers, Orders "
+        "WHERE Orders.supplier = Suppliers.sid AND Suppliers.city = 'city1'",
+    ),
+    (
+        "aggregate",
+        "SELECT supplier, COUNT(*) AS n FROM Orders GROUP BY supplier",
+    ),
+)
+
+
+def build_service(calibrated, resilience=None, inject=False, parallel=False):
+    mediator = Mediator(
+        executor_options=ExecutorOptions(
+            resilience=resilience, parallel_submits=parallel
+        )
+    )
+    for wrapper in (build_oo7_wrapper(), build_sales_wrapper()):
+        if inject:
+            wrapper = FaultInjector(wrapper, FaultProfile(error_probability=0.0))
+        mediator.register(wrapper)
+    options = ServiceOptions(calibration=NEVER_FIT if calibrated else None)
+    return mediator, FederationService(mediator, options)
+
+
+def submit_log(result):
+    return [
+        [inner.describe() for inner in node.walk()]
+        for node in result.plan.walk()
+        if isinstance(node, Submit)
+    ]
+
+
+def transcript_entry(label, result, explain):
+    return {
+        "label": label,
+        "rows": result.rows,
+        "elapsed_ms": result.elapsed_ms,
+        "time_first_ms": result.time_first_ms,
+        "estimated_ms": result.estimated_ms,
+        # Node ids come from a process-global counter, so key the
+        # estimate snapshot by position within the plan, not raw id.
+        "estimate_values": [
+            dict(node.values)
+            for _, node in sorted(result.estimate.nodes.items())
+        ],
+        "provenance": [
+            dict(node.provenance)
+            for _, node in sorted(result.estimate.nodes.items())
+        ],
+        "submits": submit_log(result),
+        "explain": explain,
+        "partial": result.partial,
+    }
+
+
+def clock_totals(mediator):
+    clock = mediator.executor.clock
+    return {
+        "clock_total": clock.now_ms,
+        "wait_ms": clock.stats.wait_ms,
+        "messages": clock.stats.messages,
+        "bytes": clock.stats.bytes_shipped,
+    }
+
+
+def run_workload(mediator, service):
+    session = service.open_session("tenant")
+    transcript = [
+        transcript_entry(
+            label, service.query(session, sql), mediator.explain(sql)
+        )
+        for label, sql in WORKLOAD
+    ]
+    transcript.append(clock_totals(mediator))
+    transcript.append({"catalog_version": mediator.catalog.version})
+    return transcript
+
+
+class TestInertCalibrationIsByteIdentical:
+    def test_sequential_executor(self):
+        assert run_workload(*build_service(calibrated=True)) == run_workload(
+            *build_service(calibrated=False)
+        )
+
+    def test_parallel_wave_executor(self):
+        assert run_workload(
+            *build_service(calibrated=True, parallel=True)
+        ) == run_workload(*build_service(calibrated=False, parallel=True))
+
+    def test_armed_resilience_executor(self):
+        assert run_workload(
+            *build_service(
+                calibrated=True, resilience=ARMED, inject=True, parallel=True
+            )
+        ) == run_workload(
+            *build_service(
+                calibrated=False, resilience=ARMED, inject=True, parallel=True
+            )
+        )
+
+    def test_fits_actually_ran_and_proposed_nothing(self):
+        # The equivalence above must not hold because calibration never
+        # engaged: the manager runs a fit every 2 queries, each one
+        # skipping every key on min_samples, and never versions.
+        mediator, service = build_service(calibrated=True)
+        run_workload(mediator, service)
+        manager = service.calibration
+        assert manager is not None
+        assert manager.fits_attempted >= 2
+        assert manager.overlays_applied == 0
+        assert mediator.catalog.calibration.active_version == 0
+        assert manager.last_fit is not None
+        assert not manager.last_fit.updates
+        assert manager.last_fit.skipped  # keys were seen, all skipped
+
+    def test_identity_overlay_tags_no_provenance(self):
+        mediator, service = build_service(calibrated=True)
+        transcript = run_workload(mediator, service)
+        for entry in transcript:
+            if "provenance" not in entry:
+                continue
+            for provenance in entry["provenance"]:
+                for text in provenance.values():
+                    assert "calibrated" not in text
+
+    def test_answers_are_complete(self):
+        # Sanity: byte-identical must not mean identically empty.
+        transcript = run_workload(*build_service(calibrated=True))
+        row_entries = [e for e in transcript if "rows" in e]
+        assert row_entries and all(len(e["rows"]) > 0 for e in row_entries)
+        assert all(e["partial"] is None for e in row_entries)

@@ -1,6 +1,7 @@
 """Drift tracker unit tests: provenance parsing, q-error, aggregation."""
 
 import json
+import math
 
 import pytest
 
@@ -9,8 +10,10 @@ from repro.algebra.logical import Submit
 from repro.core.estimator import NodeEstimate, PlanEstimate
 from repro.obs.accuracy import (
     DriftTracker,
+    log_ratio,
     parse_provenance,
     q_error,
+    render_drift_snapshot,
 )
 from repro.wrappers.base import ExecutionResult
 
@@ -137,3 +140,91 @@ class TestDriftTracker:
         aggregates = tracker.aggregates()
         assert aggregates[0].variable == "CountObject"
         assert tracker.worst("CountObject").mean_q == pytest.approx(10.0)
+
+
+class TestLogRatio:
+    def test_directional_unlike_q_error(self):
+        assert log_ratio(100.0, 200.0) == pytest.approx(math.log(2.0))
+        assert log_ratio(200.0, 100.0) == pytest.approx(-math.log(2.0))
+        assert log_ratio(100.0, 100.0) == 0.0
+
+    def test_zero_operands_floored_finite(self):
+        assert math.isfinite(log_ratio(0.0, 100.0))
+        assert math.isfinite(log_ratio(100.0, 0.0))
+        assert log_ratio(0.0, 0.0) == 0.0
+
+
+class TestWrapperAttribution:
+    """PR 8: drift rows carry the executing wrapper, for the fitter."""
+
+    def test_observations_and_aggregates_carry_wrapper(self):
+        plan, estimate = make_submit_estimate()
+        tracker = DriftTracker()
+        observations = tracker.observe_submit(estimate, plan, result(200.0, 50))
+        assert all(o.wrapper == "oo7" for o in observations)
+        assert all(a.wrapper == "oo7" for a in tracker.aggregates())
+
+    def test_sum_log_ratio_folds_and_geo_mean_recovers(self):
+        plan, estimate = make_submit_estimate(total_time=100.0, count=50.0)
+        tracker = DriftTracker()
+        tracker.observe_submit(estimate, plan, result(200.0, 50))
+        tracker.observe_submit(estimate, plan, result(800.0, 50))
+        [row] = [
+            r
+            for r in json.loads(tracker.snapshot_json())["rules"]
+            if r["variable"] == "TotalTime"
+        ]
+        assert row["wrapper"] == "oo7"
+        assert row["sum_log_ratio"] == pytest.approx(
+            math.log(2.0) + math.log(8.0)
+        )
+        assert row["geo_mean_ratio"] == pytest.approx(4.0)  # sqrt(2 * 8)
+
+
+class TestZeroSampleRows:
+    """Regression: expected-but-silent wrappers surface as count=0 rows.
+
+    Without them, a wrapper that stopped answering (or was never routed
+    to) is indistinguishable from a perfectly-calibrated one in the
+    drift snapshot, and the calibration CLI has nothing to report.
+    """
+
+    def test_silent_expected_wrapper_gets_placeholder_rows(self):
+        tracker = DriftTracker()
+        tracker.expect_wrapper("ghost")
+        rows = json.loads(tracker.snapshot_json())["rules"]
+        ghost = [r for r in rows if r["wrapper"] == "ghost"]
+        assert ghost and all(r["count"] == 0 for r in ghost)
+        assert {r["rule"] for r in ghost} == {"(no measured submits)"}
+
+    def test_measured_wrapper_gets_no_placeholder(self):
+        plan, estimate = make_submit_estimate()
+        tracker = DriftTracker()
+        tracker.expect_wrapper("oo7")
+        tracker.expect_wrapper("ghost")
+        tracker.observe_submit(estimate, plan, result(200.0, 50))
+        rows = json.loads(tracker.snapshot_json())["rules"]
+        oo7_rows = [r for r in rows if r["wrapper"] == "oo7"]
+        assert oo7_rows and all(r["count"] > 0 for r in oo7_rows)
+        assert any(r["wrapper"] == "ghost" and r["count"] == 0 for r in rows)
+
+    def test_renderer_shows_dashes_not_zero_qerrors(self):
+        tracker = DriftTracker()
+        tracker.expect_wrapper("ghost")
+        text = render_drift_snapshot(json.loads(tracker.snapshot_json()))
+        assert "ghost" in text and "-" in text
+        assert "(no measured submits)" in text
+
+    def test_zero_sample_rows_are_inert_to_the_fitter(self):
+        from repro.mediator.calibration import (
+            CalibrationPolicy,
+            CalibrationState,
+            Calibrator,
+        )
+
+        tracker = DriftTracker()
+        tracker.expect_wrapper("ghost")
+        fit = Calibrator(CalibrationPolicy(min_samples=1)).fit(
+            json.loads(tracker.snapshot_json()), CalibrationState()
+        )
+        assert not fit.updates and not fit.skipped

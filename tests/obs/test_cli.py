@@ -92,6 +92,105 @@ class TestViewers:
         assert 'repro_shard_submits_total{shard="0",wrapper="node0"}' in out
 
 
+class TestCalibrate:
+    """The offline flavour of the §4.3 loop: fit from drift.json files."""
+
+    @pytest.fixture()
+    def drift_file(self, tmp_path):
+        # A hand-built window with guaranteed wrapper-attributed drift:
+        # the recorded artifact's real drift may be below min_change.
+        import math
+
+        path = tmp_path / "drift.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "observations": 12,
+                    "rules": [
+                        {
+                            "scope": "wrapper",
+                            "source": "__mediator__",
+                            "rule": "generic-scan",
+                            "wrapper": "node0",
+                            "variable": "TotalTime",
+                            "count": 12,
+                            "sum_log_ratio": 12 * math.log(3.0),
+                            "mean_q_error": 3.0,
+                        }
+                    ],
+                }
+            )
+        )
+        return path
+
+    def test_fit_dry_run_prints_proposal_and_writes_nothing(
+        self, drift_file, tmp_path, capsys
+    ):
+        state = tmp_path / "calibration.json"
+        code = main(
+            ["calibrate", "fit", str(drift_file), "--state", str(state)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fit node0|*|TotalTime" in out
+        assert "dry run" in out
+        assert not state.exists()
+
+    def test_fit_apply_show_rollback_round_trip(
+        self, drift_file, tmp_path, capsys
+    ):
+        state = tmp_path / "calibration.json"
+        args = ["calibrate", "fit", str(drift_file), "--state", str(state)]
+        assert main(args + ["--apply"]) == 0
+        assert "applied overlay v1" in capsys.readouterr().out
+        assert state.exists()
+
+        assert main(["calibrate", "show", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "* v1" in out and "node0|*|TotalTime" in out
+
+        assert main(["calibrate", "rollback", str(state), "0"]) == 0
+        assert "rolled back to v0" in capsys.readouterr().out
+        assert main(["calibrate", "show", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "* v0" in out and "  v1" in out  # history preserved
+
+    def test_fit_on_recorded_drift_artifact(self, artifacts, capsys):
+        # End-to-end on the record subcommand's own drift.json: must
+        # parse and report (fits or skips), never crash.
+        assert (
+            main(
+                [
+                    "calibrate",
+                    "fit",
+                    str(artifacts / "drift.json"),
+                    "--min-samples",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fit " in out or "skip " in out or "nothing to fit" in out
+
+    def test_rollback_to_unknown_version_fails_loudly(
+        self, drift_file, tmp_path
+    ):
+        state = tmp_path / "calibration.json"
+        main(
+            [
+                "calibrate",
+                "fit",
+                str(drift_file),
+                "--state",
+                str(state),
+                "--apply",
+            ]
+        )
+        with pytest.raises(ValueError):
+            main(["calibrate", "rollback", str(state), "9"])
+
+
 class TestParser:
     def test_subcommand_is_required(self):
         with pytest.raises(SystemExit):
@@ -100,3 +199,7 @@ class TestParser:
     def test_unknown_subcommand_exits(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bogus"])
+
+    def test_calibrate_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["calibrate"])
