@@ -581,6 +581,59 @@ def _validate(node: PlanNode, inside_submit: bool, report: _Validation) -> None:
         _validate(child, inside_submit, report)
 
 
+def clone_plan(root: PlanNode) -> PlanNode:
+    """Deep-copy a plan tree with *fresh* node ids.
+
+    Used when a subtree must be re-costed under a different source
+    assignment (replica candidates): the estimator's subplan cache keys
+    on ``(node_id, variable)`` and cached values depend on the owning
+    source, so re-pricing a shared subtree in place would poison the
+    cache.  Scans are rebuilt too — every node in the clone is new.
+    """
+    if isinstance(root, Submit):
+        return Submit(
+            clone_plan(root.child),
+            root.wrapper,
+            shard=root.shard,
+            shard_of=root.shard_of,
+        )
+    if isinstance(root, Scan):
+        return Scan(root.collection)
+    if isinstance(root, Select):
+        return Select(clone_plan(root.child), root.predicate)
+    if isinstance(root, Project):
+        return Project(clone_plan(root.child), root.attributes, root.renames)
+    if isinstance(root, Sort):
+        return Sort(clone_plan(root.child), root.keys, root.descending)
+    if isinstance(root, Distinct):
+        return Distinct(clone_plan(root.child))
+    if isinstance(root, Aggregate):
+        return Aggregate(clone_plan(root.child), root.group_by, root.aggregates)
+    if isinstance(root, Join):
+        return Join(clone_plan(root.left), clone_plan(root.right), root.predicate)
+    if isinstance(root, BindJoin):
+        return BindJoin(
+            clone_plan(root.outer),
+            root.outer_attribute,
+            root.inner_collection,
+            root.inner_attribute,
+            root.wrapper,
+            root.inner_filters,
+            root.batch_size,
+        )
+    if isinstance(root, Union):
+        return Union(clone_plan(root.left), clone_plan(root.right))
+    if isinstance(root, Scatter):
+        branches = [clone_plan(branch) for branch in root.branches]
+        return Scatter(
+            branches,  # type: ignore[arg-type]
+            root.collection,
+            root.shard_key,
+            root.total_shards,
+        )
+    return root
+
+
 def strip_submits(root: PlanNode) -> PlanNode:
     """Return the same plan with Submit nodes removed (for wrappers that
     execute the raw algebra)."""

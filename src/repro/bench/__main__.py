@@ -5,8 +5,8 @@ Options:
     --out-dir DIR     also write machine-readable results (currently
                       ``BENCH_E8.json``, ``BENCH_E9.json``,
                       ``BENCH_E10.json``, ``BENCH_E11.json``,
-                      ``BENCH_E12.json``, ``BENCH_E13.json`` and
-                      ``BENCH_E14.json``) into DIR
+                      ``BENCH_E12.json``, ``BENCH_E13.json``,
+                      ``BENCH_E14.json`` and ``BENCH_E15.json``) into DIR
 """
 
 from __future__ import annotations
@@ -25,6 +25,7 @@ from repro.bench.hotpath import run_hotpath_experiment
 from repro.bench.overhead import run_overhead
 from repro.bench.parallel import run_parallel_experiment
 from repro.bench.plan_quality import run_plan_quality
+from repro.bench.replication import HEDGE_DELAYS, run_replication_experiment
 from repro.bench.resilience import PROBABILITIES, run_fault_experiment
 from repro.bench.serving import run_serving_experiment
 from repro.bench.sharding import run_sharding_experiment
@@ -182,6 +183,14 @@ def main() -> None:
     print(hotpath.table())
     print(f"\n{hotpath.summary()}")
     write_json(out_dir, "BENCH_E14.json", hotpath.to_json_dict())
+
+    banner("E15 — replicated sources: failover availability and hedged tails")
+    replication = run_replication_experiment(
+        rounds=20 if fast else 40,
+        hedge_delays=(300.0, 1_200.0) if fast else HEDGE_DELAYS,
+    )
+    print(replication.table())
+    write_json(out_dir, "BENCH_E15.json", replication.to_json_dict())
 
 
 if __name__ == "__main__":

@@ -135,6 +135,10 @@ class MediatorCatalog:
     version: int = 0
     #: Versioned online-calibration overlay history (§4.3 feedback loop).
     calibration: CalibrationState = field(default_factory=CalibrationState)
+    #: Replica sets: primary wrapper name -> ordered replica wrapper names.
+    _replicas: dict[str, list[str]] = field(default_factory=dict)
+    #: Reverse map: replica member name -> its primary.
+    _replica_primary: dict[str, str] = field(default_factory=dict)
 
     # -- calibration -------------------------------------------------------------
 
@@ -199,6 +203,77 @@ class MediatorCatalog:
             if entry is not None and entry.wrapper == PARTITIONED_WRAPPER:
                 del self._collections[logical]
                 self.statistics.remove(logical)
+        # Replica bookkeeping: a removed replica leaves its set; a removed
+        # primary dissolves the whole set (the replicas stay registered as
+        # plain wrappers but no longer serve the primary's collections).
+        primary = self._replica_primary.pop(name, None)
+        if primary is not None and primary in self._replicas:
+            self._replicas[primary] = [
+                r for r in self._replicas[primary] if r != name
+            ]
+            if not self._replicas[primary]:
+                del self._replicas[primary]
+        replicas = self._replicas.pop(name, None)
+        if replicas is not None:
+            for replica in replicas:
+                self._replica_primary.pop(replica, None)
+
+    # -- replicas ---------------------------------------------------------------
+
+    def add_replica(self, primary: str, replica: str) -> None:
+        """Attach a registered wrapper as a replica of ``primary``.
+
+        Both names must already be registered wrappers.  Bumps
+        :attr:`version`: replica-blind cached plans are stale.
+        """
+        if primary not in self._wrappers:
+            raise UnknownCollectionError(
+                f"replica primary {primary!r} is not registered"
+            )
+        if replica not in self._wrappers:
+            raise UnknownCollectionError(
+                f"replica wrapper {replica!r} is not registered"
+            )
+        if replica == primary:
+            raise UnknownCollectionError(
+                f"wrapper {primary!r} cannot replicate itself"
+            )
+        if primary in self._replica_primary:
+            raise UnknownCollectionError(
+                f"{primary!r} is itself a replica of "
+                f"{self._replica_primary[primary]!r}; replica sets do not nest"
+            )
+        if replica in self._replica_primary or replica in self._replicas:
+            raise UnknownCollectionError(
+                f"wrapper {replica!r} is already part of a replica set"
+            )
+        self.version += 1
+        self._replicas.setdefault(primary, []).append(replica)
+        self._replica_primary[replica] = primary
+
+    def has_replicas(self) -> bool:
+        """True when any replica set exists (the fast gate: every replica
+        code path stands down entirely when this is False)."""
+        return bool(self._replicas)
+
+    def replicas_of(self, wrapper: str) -> tuple[str, ...]:
+        """Replica members attached to ``wrapper`` (empty when none)."""
+        return tuple(self._replicas.get(wrapper, ()))
+
+    def replica_members(self, wrapper: str) -> tuple[str, ...]:
+        """The full replica set a wrapper belongs to, primary first.
+
+        A wrapper outside any replica set is its own 1-member set.
+        """
+        primary = self._replica_primary.get(wrapper, wrapper)
+        replicas = self._replicas.get(primary)
+        if not replicas:
+            return (wrapper,)
+        return (primary, *replicas)
+
+    def replica_primary(self, wrapper: str) -> str:
+        """The primary of a wrapper's replica set (itself when plain)."""
+        return self._replica_primary.get(wrapper, wrapper)
 
     # -- collections --------------------------------------------------------------
 
@@ -362,5 +437,9 @@ class MediatorCatalog:
             lines.append(
                 f"{name} partitioned by {scheme.kind}({scheme.shard_key}) "
                 f"over {len(scheme.shards)} shards"
+            )
+        for primary in sorted(self._replicas):
+            lines.append(
+                f"{primary} replicated by {', '.join(self._replicas[primary])}"
             )
         return "\n".join(lines)

@@ -156,6 +156,11 @@ class MediatorExecutor:
             if self.options.resilience is not None
             else None
         )
+        replication_before = (
+            self.scheduler.replica_stats.copy()
+            if self.catalog.has_replicas()
+            else None
+        )
         start = self.clock.now_ms
         if self.options.parallel_submits:
             self._prefetch_submits(plan)
@@ -191,6 +196,11 @@ class MediatorExecutor:
             resilience=(
                 self.scheduler.resilience_stats.minus(resilience_before)
                 if resilience_before is not None
+                else None
+            ),
+            replication=(
+                self.scheduler.replica_stats.minus(replication_before)
+                if replication_before is not None
                 else None
             ),
         )
@@ -318,8 +328,11 @@ class MediatorExecutor:
         if not outcome.cached:
             # Logged at consumption (not dispatch) so the log order matches
             # the sequential executor's; cache hits are excluded — history
-            # must only learn from real, measured executions.
-            self._submit_log.append((node, outcome.result))
+            # must only learn from real, measured executions.  The
+            # outcome's submit (not the plan node) is logged: a failover
+            # or won hedge rebinds it to the replica that actually served
+            # the rows, while sharing the planned child subtree.
+            self._submit_log.append((outcome.submit, outcome.result))
         yield from outcome.result.rows
 
     def _run_scatter(self, node: Scatter) -> Iterator[Row]:
@@ -350,13 +363,13 @@ class MediatorExecutor:
             ]
         else:
             outcomes = self.scheduler.dispatch_wave(list(node.branches))
-        for branch, outcome in zip(node.branches, outcomes):
+        for outcome in outcomes:
             if outcome.failed:
                 assert outcome.failure is not None
                 self._register_failure(outcome.failure)
                 continue
             if not outcome.cached:
-                self._submit_log.append((branch, outcome.result))
+                self._submit_log.append((outcome.submit, outcome.result))
             yield from outcome.result.rows
 
     def _payload_bytes(self, subplan: PlanNode, row_count: int) -> int:

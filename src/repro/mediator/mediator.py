@@ -126,6 +126,11 @@ class Mediator:
             )
         self.optimizer = Optimizer(self.catalog, self.estimator, optimizer_options)
         self.executor = MediatorExecutor(self.catalog, options=executor_options)
+        # Replica plumbing: the optimizer excludes breaker-open members
+        # at costing time, and the scheduler ranks failover/hedge
+        # candidates with the same cost model the optimizer used.
+        self.optimizer.health_view = self.executor.scheduler.open_breaker_wrappers
+        self.executor.scheduler.replica_ranker = self.optimizer.rank_replicas
         self.history = HistoryStore(self.repository) if record_history else None
         self.observability = (
             observability if observability is not None else ObservabilityOptions()
@@ -164,6 +169,28 @@ class Mediator:
             self.telemetry.drift.expect_wrapper(wrapper.name)
         return register_wrapper(
             wrapper, self.catalog, self.repository, self.estimator
+        )
+
+    def register_replica(self, wrapper: Wrapper, of: str) -> int:
+        """Register ``wrapper`` as a replica of the already-registered
+        source ``of``; returns the replica's rule count.
+
+        The replica must serve (at least) every collection the primary
+        serves.  The primary's statistics stay canonical; the replica
+        contributes its own cost rules and environment, so the optimizer
+        can price the same subquery differently per member.
+        """
+        if self.executor.cache is not None:
+            # A new member changes how submits to this logical source
+            # may be served; cached subanswers keyed on the primary stay
+            # valid, but be conservative about the new name.
+            self.executor.cache.invalidate_wrapper(wrapper.name)
+        if self.telemetry is not None and self.telemetry.drift is not None:
+            self.telemetry.drift.expect_wrapper(wrapper.name)
+        from repro.mediator.registration import register_replica
+
+        return register_replica(
+            wrapper, of, self.catalog, self.repository, self.estimator
         )
 
     def register_partitioned(self, scheme):

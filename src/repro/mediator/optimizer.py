@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
 
 from repro.algebra.expressions import (
     AttributeRef,
@@ -47,6 +48,7 @@ from repro.algebra.logical import (
     Select,
     Sort,
     Submit,
+    clone_plan,
 )
 from repro.algebra.logical import Union
 from repro.core.estimator import CostEstimator, PlanEstimate
@@ -137,6 +139,11 @@ class Optimizer:
         self.tracer: SpanTracer = NULL_TRACER
         #: Wall-clock phase timers; defaults to the shared no-op profiler.
         self.hotpath: HotpathProfiler = NULL_HOTPATH
+        #: Scheduler-fed health view: a callable returning the wrapper
+        #: names whose circuit breakers are currently not closed.  The
+        #: mediator wires in ``scheduler.open_breaker_wrappers``; replica
+        #: binding excludes those members at costing time.
+        self.health_view: Callable[[], Iterable[str]] | None = None
         if self.options.parallel_submits is not None:
             estimator.options.parallel_submits = self.options.parallel_submits
             estimator.options.max_concurrency = self.options.max_concurrency
@@ -145,6 +152,14 @@ class Optimizer:
 
     def optimize(self, spec: QuerySpec | UnionSpec) -> OptimizationResult:
         """Choose the cheapest complete plan for a query."""
+        result = self._optimize_any(spec)
+        if not self.catalog.has_replicas():
+            # No replica sets: the chosen plan and estimate pass through
+            # untouched — the replica layer is entirely inert.
+            return result
+        return self._bind_replicas(result)
+
+    def _optimize_any(self, spec: QuerySpec | UnionSpec) -> OptimizationResult:
         if isinstance(spec, UnionSpec):
             return self._optimize_union(spec)
         stats = OptimizerStats()
@@ -157,7 +172,7 @@ class Optimizer:
         """Optimize each branch independently, then combine (§2.2's union
         operator runs at the mediator)."""
         stats = OptimizerStats()
-        branch_results = [self.optimize(branch) for branch in spec.branches]
+        branch_results = [self._optimize_any(branch) for branch in spec.branches]
         plan: PlanNode = branch_results[0].plan
         for result in branch_results[1:]:
             plan = Union(plan, result.plan)
@@ -173,6 +188,182 @@ class Optimizer:
         return OptimizationResult(
             plan=candidate.plan, estimate=candidate.estimate, stats=stats
         )
+
+    # -- replica binding ----------------------------------------------------------
+
+    def _healthy_members(self, members: Sequence[str]) -> list[str]:
+        """Members whose breaker is closed; all of them when every member
+        is open (runtime failover and partial mode then take over)."""
+        open_wrappers = (
+            set(self.health_view()) if self.health_view is not None else set()
+        )
+        healthy = [m for m in members if m not in open_wrappers]
+        return healthy if healthy else list(members)
+
+    def _price_replica(self, submit: Submit, member: str) -> float:
+        """Estimated TotalTime of the submit's subtree served by one
+        replica member.  The subtree is cloned with fresh node ids: the
+        estimator's subplan cache keys on (node_id, variable) and cached
+        values depend on the owning source, so re-pricing a shared
+        subtree under a different wrapper would poison the cache."""
+        clone = Submit(
+            clone_plan(submit.child),
+            member,
+            shard=submit.shard,
+            shard_of=submit.shard_of,
+        )
+        return self.estimator.estimate(clone).total_time
+
+    def rank_replicas(
+        self, submit: Submit, candidates: tuple[str, ...]
+    ) -> list[str]:
+        """Candidates ordered cheapest-first by estimated TotalTime (the
+        scheduler's failover/hedge ranker; stable on ties)."""
+        priced = []
+        for index, member in enumerate(candidates):
+            try:
+                cost = self._price_replica(submit, member)
+            except Exception:
+                cost = float("inf")
+            priced.append((cost, index, member))
+        priced.sort()
+        return [member for _, _, member in priced]
+
+    def _bind_replicas(self, result: OptimizationResult) -> OptimizationResult:
+        """Re-target each Submit of a replicated source at the cheapest
+        healthy member, tagging the choice in the estimate's provenance.
+
+        Submits of unreplicated sources — and the plan/estimate objects
+        themselves when nothing rebinds — pass through untouched.
+        """
+        catalog = self.catalog
+        rebound: dict[int, Submit] = {}
+        for node in result.plan.walk():
+            if not isinstance(node, Submit):
+                continue
+            members = catalog.replica_members(node.wrapper)
+            if len(members) == 1:
+                continue
+            best_name: str | None = None
+            best_cost = float("inf")
+            for member in self._healthy_members(members):
+                try:
+                    cost = self._price_replica(node, member)
+                except Exception:
+                    continue
+                if cost < best_cost:
+                    best_cost, best_name = cost, member
+            if best_name is not None and best_name != node.wrapper:
+                rebound[node.node_id] = Submit(
+                    clone_plan(node.child),
+                    best_name,
+                    shard=node.shard,
+                    shard_of=node.shard_of,
+                )
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "replica.bound",
+                        kind="replica",
+                        wrapper=node.wrapper,
+                        replica=best_name,
+                        cost_ms=best_cost,
+                    )
+        estimate = result.estimate
+        plan = result.plan
+        if rebound:
+            plan = self._replace_submits(plan, rebound)
+            variables: tuple[str, ...] = ("TotalTime", "CountObject", "TotalSize")
+            if self.options.objective == "time_first":
+                variables = ("TimeFirst",) + variables
+            estimate = self.estimator.estimate(plan, variables=variables)
+        self._tag_replica_provenance(plan, estimate)
+        if not rebound:
+            return result
+        return OptimizationResult(plan=plan, estimate=estimate, stats=result.stats)
+
+    def _tag_replica_provenance(self, plan: PlanNode, estimate) -> None:
+        """Append ``| replica <name>`` to the TotalTime provenance of
+        every Submit bound against a replicated source — the EXPLAIN
+        trail of which member the optimizer chose."""
+        for node in plan.walk():
+            if not isinstance(node, Submit):
+                continue
+            if len(self.catalog.replica_members(node.wrapper)) == 1:
+                continue
+            node_estimate = estimate.nodes.get(node.node_id)
+            if node_estimate is None:
+                continue
+            provenance = node_estimate.provenance.get("TotalTime")
+            if provenance is None or " | replica " in provenance:
+                continue
+            node_estimate.provenance["TotalTime"] = (
+                f"{provenance} | replica {node.wrapper}"
+            )
+
+    def _replace_submits(
+        self, node: PlanNode, rebound: dict[int, Submit]
+    ) -> PlanNode:
+        """Rebuild the plan spine over rebound submits, sharing every
+        untouched subtree (their node ids keep their cached estimates)."""
+        if isinstance(node, Submit):
+            return rebound.get(node.node_id, node)
+        if isinstance(node, Select):
+            child = self._replace_submits(node.child, rebound)
+            return node if child is node.child else Select(child, node.predicate)
+        if isinstance(node, Project):
+            child = self._replace_submits(node.child, rebound)
+            if child is node.child:
+                return node
+            return Project(child, node.attributes, node.renames)
+        if isinstance(node, Sort):
+            child = self._replace_submits(node.child, rebound)
+            return node if child is node.child else Sort(child, node.keys, node.descending)
+        if isinstance(node, Distinct):
+            child = self._replace_submits(node.child, rebound)
+            return node if child is node.child else Distinct(child)
+        if isinstance(node, Aggregate):
+            child = self._replace_submits(node.child, rebound)
+            if child is node.child:
+                return node
+            return Aggregate(child, node.group_by, node.aggregates)
+        if isinstance(node, Join):
+            left = self._replace_submits(node.left, rebound)
+            right = self._replace_submits(node.right, rebound)
+            if left is node.left and right is node.right:
+                return node
+            return Join(left, right, node.predicate)
+        if isinstance(node, BindJoin):
+            outer = self._replace_submits(node.outer, rebound)
+            if outer is node.outer:
+                return node
+            return BindJoin(
+                outer,
+                node.outer_attribute,
+                node.inner_collection,
+                node.inner_attribute,
+                node.wrapper,
+                node.inner_filters,
+                node.batch_size,
+            )
+        if isinstance(node, Union):
+            left = self._replace_submits(node.left, rebound)
+            right = self._replace_submits(node.right, rebound)
+            if left is node.left and right is node.right:
+                return node
+            return Union(left, right)
+        if isinstance(node, Scatter):
+            branches = [
+                self._replace_submits(branch, rebound) for branch in node.branches
+            ]
+            if all(new is old for new, old in zip(branches, node.branches)):
+                return node
+            return Scatter(
+                branches,  # type: ignore[arg-type]
+                node.collection,
+                node.shard_key,
+                node.total_shards,
+            )
+        return node
 
     # -- costing helper ----------------------------------------------------------
 

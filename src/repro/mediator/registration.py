@@ -83,6 +83,64 @@ def register_wrapper(
     return len(compiled.rules)
 
 
+def register_replica(
+    wrapper: Wrapper,
+    of: str,
+    catalog: MediatorCatalog,
+    repository: RuleRepository,
+    estimator: CostEstimator,
+) -> int:
+    """Register a wrapper as a replica of an already-registered primary.
+
+    The replica runs the normal §2.1 upload — compiled cost rules under
+    its own source scope, variables/functions as its own estimator
+    environment — but does **not** claim collections: the primary owns
+    the collection namespace and its statistics stay canonical.  The
+    replica must actually serve every collection the primary does (it is
+    interchangeable at dispatch time) and is validated against the
+    primary's engine-visible collections.
+
+    Returns the number of cost rules integrated.  Bumps the catalog
+    version (via ``add_wrapper`` + ``add_replica``) so replica-blind
+    cached plans evict.
+    """
+    primary = catalog.wrapper(of)
+    try:
+        export = wrapper.export_cost_info()
+        compiled = export.compiled()
+    except Exception as exc:
+        raise RegistrationError(
+            f"replica {wrapper.name!r} export failed: {exc}"
+        ) from exc
+    if wrapper.name in catalog.wrapper_names():
+        raise RegistrationError(
+            f"wrapper {wrapper.name!r} is already registered; replicas "
+            "register once, via register_replica"
+        )
+    served = set(export.collection_names())
+    missing = [
+        name for name in primary.collection_names() if name not in served
+    ]
+    if missing:
+        raise RegistrationError(
+            f"replica {wrapper.name!r} does not serve {missing} exported "
+            f"by primary {of!r}; replicas must be interchangeable"
+        )
+
+    catalog.add_wrapper(wrapper)
+    catalog.add_replica(of, wrapper.name)
+    repository.add_wrapper_rules(wrapper.name, compiled.rules)
+    estimator.invalidate_cache()
+    estimator.register_environment(
+        SourceEnvironment(
+            name=wrapper.name,
+            variables=dict(compiled.variables),
+            functions=dict(compiled.functions),
+        )
+    )
+    return len(compiled.rules)
+
+
 def register_partitioned_collection(
     scheme: PartitionScheme,
     catalog: MediatorCatalog,

@@ -128,8 +128,10 @@ class CircuitBreaker:
     * **open** — requests fast-fail without consuming retry budget until
       ``cooldown_ms`` of simulated time has passed, then the next
       :meth:`allow` transitions to half-open.
-    * **half-open** — one probe flows; success closes the breaker,
-      failure re-opens it (and restarts the cooldown).
+    * **half-open** — exactly *one* in-flight probe flows (concurrent
+      requests in the same wave fast-fail while the probe is out);
+      success closes the breaker, failure re-opens it with a fresh
+      cooldown.
     """
 
     def __init__(self, policy: BreakerPolicy) -> None:
@@ -139,6 +141,8 @@ class CircuitBreaker:
         self.opened_at_ms: float | None = None
         #: Lifetime closed→open (and half-open→open) transitions.
         self.trips = 0
+        #: True while the single half-open probe is in flight.
+        self._probe_in_flight = False
 
     def allow(self, now_ms: float) -> bool:
         """May a request flow at simulated time ``now_ms``?"""
@@ -146,14 +150,23 @@ class CircuitBreaker:
             assert self.opened_at_ms is not None
             if now_ms - self.opened_at_ms >= self.policy.cooldown_ms:
                 self.state = HALF_OPEN
+                self._probe_in_flight = True
                 return True
             return False
-        return True  # closed, or half-open probe
+        if self.state == HALF_OPEN:
+            # Only one probe tests the source: siblings dispatched while
+            # it is out (e.g. the rest of a wave) fast-fail.
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            return True
+        return True  # closed
 
     def record_success(self) -> None:
         self.consecutive_failures = 0
         self.state = CLOSED
         self.opened_at_ms = None
+        self._probe_in_flight = False
 
     def record_failure(self, now_ms: float) -> bool:
         """Count a failure; returns True when this one tripped the
@@ -163,10 +176,14 @@ class CircuitBreaker:
             self.state == CLOSED
             and self.consecutive_failures >= self.policy.failure_threshold
         ):
+            # A failed half-open probe re-opens with a *fresh* cooldown
+            # (opened_at_ms restarts at now_ms).
             self.state = OPEN
             self.opened_at_ms = now_ms
             self.trips += 1
+            self._probe_in_flight = False
             return True
+        self._probe_in_flight = False
         return False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -174,6 +191,59 @@ class CircuitBreaker:
             f"CircuitBreaker({self.state}, "
             f"failures={self.consecutive_failures}, trips={self.trips})"
         )
+
+
+@dataclass
+class HedgePolicy:
+    """Opt-in hedged submits against replicated sources.
+
+    When a submit's wrapper wait exceeds the hedge delay and the wrapper
+    has a healthy replica, the scheduler launches one backup submit at
+    the next-cheapest replica; the first result wins and the loser is
+    cancelled — its unconsumed wait is never charged to the mediator
+    clock (the work happened on a parallel timeline).
+
+    ``mode="fixed"`` hedges after ``delay_ms``.  ``mode="percentile"``
+    hedges after the ``percentile``-th latency of the wrapper's recent
+    submits (a per-wrapper history window the scheduler maintains),
+    falling back to ``delay_ms`` until ``min_samples`` observations have
+    accumulated.
+    """
+
+    delay_ms: float = 500.0
+    mode: str = "fixed"
+    #: Latency percentile (0..100) used in ``percentile`` mode.
+    percentile: float = 95.0
+    #: Observations needed before the percentile estimate is trusted.
+    min_samples: int = 8
+    #: History window size per wrapper.
+    window: int = 128
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("fixed", "percentile"):
+            raise ValueError(
+                f"hedge mode must be 'fixed' or 'percentile', got {self.mode!r}"
+            )
+        if self.delay_ms < 0:
+            raise ValueError(f"delay_ms must be >= 0, got {self.delay_ms}")
+        if not 0.0 < self.percentile <= 100.0:
+            raise ValueError(
+                f"percentile must be in (0, 100], got {self.percentile}"
+            )
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {self.min_samples}")
+        if self.window < self.min_samples:
+            raise ValueError("window must be >= min_samples")
+
+    def threshold_ms(self, history: "list[float]") -> float:
+        """The hedge trigger given a wrapper's recent latencies."""
+        if self.mode == "fixed" or len(history) < self.min_samples:
+            return self.delay_ms
+        ordered = sorted(history)
+        rank = max(
+            0, min(len(ordered) - 1, int(len(ordered) * self.percentile / 100.0))
+        )
+        return ordered[rank]
 
 
 #: Failure modes of the executor when a submit exhausts its retries.
@@ -200,6 +270,9 @@ class ResilienceOptions:
     mode: str = STRICT
     #: Seed of the scheduler's jitter RNG.
     seed: int = 0
+    #: ``None`` disables hedged submits; only effective when the catalog
+    #: has replica sets (hedging needs a second source to race).
+    hedge: HedgePolicy | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in (STRICT, PARTIAL):
@@ -224,6 +297,9 @@ class SubmitFailure:
     #: True for a bind-join probe batch (the inner side of a dependent
     #: join, fetched per key batch).
     bindjoin_probe: bool = False
+    #: Replica members tried (in dispatch order) before the branch was
+    #: dropped; empty for unreplicated sources.
+    replicas_tried: tuple[str, ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -234,6 +310,7 @@ class SubmitFailure:
             "reason": self.reason,
             "attempts": self.attempts,
             "bindjoin_probe": self.bindjoin_probe,
+            "replicas_tried": list(self.replicas_tried),
         }
 
 
@@ -440,14 +517,89 @@ class ResilienceStats:
         )
 
 
+@dataclass
+class ReplicaStats:
+    """Lifetime replica-dispatch counters of one scheduler, per wrapper.
+
+    Same snapshot/delta protocol as :class:`ResilienceStats`; only
+    attached to results when the catalog actually has replica sets.
+    """
+
+    #: Submits served by each wrapper *as the optimizer's replica
+    #: choice* (counted only for replicated sources).
+    selected: dict[str, int] = field(default_factory=dict)
+    #: Successful mid-query failovers, keyed by the replica that rescued
+    #: the submit.
+    failovers: dict[str, int] = field(default_factory=dict)
+    #: Hedged backups launched, keyed by the backup wrapper.
+    hedges_launched: dict[str, int] = field(default_factory=dict)
+    #: Hedged backups that beat the primary, keyed by the backup wrapper.
+    hedges_won: dict[str, int] = field(default_factory=dict)
+    #: Simulated ms of loser work cancelled (never charged to the
+    #: mediator clock — it happened on the losing parallel timeline).
+    hedge_cancelled_ms: float = 0.0
+
+    _COUNTER_FIELDS = (
+        "selected",
+        "failovers",
+        "hedges_launched",
+        "hedges_won",
+    )
+
+    _inc = staticmethod(ResilienceStats._inc)
+
+    def copy(self) -> "ReplicaStats":
+        return replace(
+            self,
+            **{name: dict(getattr(self, name)) for name in self._COUNTER_FIELDS},
+        )
+
+    def minus(self, before: "ReplicaStats") -> "ReplicaStats":
+        """Per-execution delta: ``self`` (after) minus ``before``."""
+        delta = ReplicaStats(
+            hedge_cancelled_ms=self.hedge_cancelled_ms
+            - before.hedge_cancelled_ms,
+        )
+        for name in self._COUNTER_FIELDS:
+            after_counter: dict[str, int] = getattr(self, name)
+            before_counter: dict[str, int] = getattr(before, name)
+            out: dict[str, int] = getattr(delta, name)
+            for wrapper, value in after_counter.items():
+                diff = value - before_counter.get(wrapper, 0)
+                if diff:
+                    out[wrapper] = diff
+        return delta
+
+    @property
+    def total_failovers(self) -> int:
+        return sum(self.failovers.values())
+
+    @property
+    def total_hedges_launched(self) -> int:
+        return sum(self.hedges_launched.values())
+
+    @property
+    def total_hedges_won(self) -> int:
+        return sum(self.hedges_won.values())
+
+    @property
+    def empty(self) -> bool:
+        return (
+            not any(getattr(self, name) for name in self._COUNTER_FIELDS)
+            and self.hedge_cancelled_ms == 0.0
+        )
+
+
 __all__ = [
     "BreakerPolicy",
     "CircuitBreaker",
     "CLOSED",
     "HALF_OPEN",
+    "HedgePolicy",
     "OPEN",
     "PARTIAL",
     "PartialAnswer",
+    "ReplicaStats",
     "ResilienceOptions",
     "ResilienceStats",
     "RetryPolicy",

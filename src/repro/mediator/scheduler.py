@@ -35,12 +35,31 @@ a *failed* :class:`DispatchOutcome` — the executor decides whether that
 raises (``strict``) or degrades the answer (``partial``).  Failed
 attempts are never stored in the cache and never appear in the submit
 log (history must only learn from real, successful measurements).
+
+When the catalog carries **replica sets**, two further behaviors arm
+(both entirely inert otherwise — the no-replica dispatch path stays byte
+for byte the seed path):
+
+* **failover** — a submit that exhausts its retry budget (or fast-fails
+  on an open breaker) re-dispatches against the next-cheapest healthy
+  replica instead of failing, rebinding the outcome's Submit to the
+  rescuing wrapper so the submit log and drift join record where the
+  rows actually came from; the attempt chain lands in the span tree and
+  in :attr:`SubmitFailure.replicas_tried` when every member fails;
+* **hedged submits** — with an opt-in :class:`~repro.mediator.
+  resilience.HedgePolicy`, a wrapper wait that overruns the hedge
+  threshold launches one backup submit at the cheapest healthy replica;
+  the first result wins and only the winner's duration is charged — the
+  loser's unconsumed remainder is recorded as cancelled hedge work, not
+  mediator time.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
 
 from repro.algebra.logical import PlanNode, Project, Submit
 from repro.core.statistics import StatisticsCatalog
@@ -49,8 +68,10 @@ from repro.mediator.cache import CacheEntry, SubanswerCache
 from repro.mediator.catalog import MediatorCatalog
 from repro.mediator.resilience import (
     CLOSED,
+    HALF_OPEN,
     OPEN,
     CircuitBreaker,
+    ReplicaStats,
     ResilienceOptions,
     ResilienceStats,
     SubmitFailure,
@@ -175,7 +196,21 @@ class SubmitScheduler:
         self.breakers: dict[str, CircuitBreaker] = {}
         #: Lifetime fault-handling counters (executor snapshots deltas).
         self.resilience_stats = ResilienceStats()
-        self._rng = random.Random(resilience.seed if resilience is not None else 0)
+        #: Lifetime replica-dispatch counters (selected/failover/hedge).
+        self.replica_stats = ReplicaStats()
+        #: Cost-based replica ordering, injected by the mediator:
+        #: ``(submit, candidates) -> candidates ordered cheapest first``.
+        #: ``None`` falls back to catalog order (primary first).
+        self.replica_ranker: (
+            Callable[[Submit, tuple[str, ...]], Sequence[str]] | None
+        ) = None
+        #: Recent successful wrapper latencies, kept only while a hedge
+        #: policy is armed (drives the percentile trigger).
+        self._latency_history: dict[str, deque[float]] = {}
+        #: Monotonic resilient-dispatch counter; part of the per-submit
+        #: jitter seed so same-wave retries against one wrapper don't
+        #: thunder-herd on identical backoff schedules.
+        self._dispatch_seq = 0
         #: Telemetry sink; the shared null tracer keeps every span site a
         #: constant-time no-op until the mediator injects a real one.
         self.tracer: SpanTracer = NULL_TRACER
@@ -231,6 +266,46 @@ class SubmitScheduler:
             name for name, breaker in self.breakers.items() if breaker.state != CLOSED
         )
 
+    # -- replicas -----------------------------------------------------------
+
+    def _breaker_blocked(self, wrapper: str) -> bool:
+        """Would a dispatch to this wrapper fast-fail right now?"""
+        breaker = self.breakers.get(wrapper)
+        if breaker is None:
+            return False
+        if breaker.state == OPEN:
+            assert breaker.opened_at_ms is not None
+            return (
+                self.clock.now_ms - breaker.opened_at_ms
+                < breaker.policy.cooldown_ms
+            )
+        if breaker.state == HALF_OPEN:
+            return breaker._probe_in_flight
+        return False
+
+    def _replica_candidates(
+        self, submit: Submit, exclude: Sequence[str]
+    ) -> list[str]:
+        """Healthy replica members to try for a submit, cheapest first
+        (via the injected ranker; catalog order otherwise)."""
+        members = self.catalog.replica_members(submit.wrapper)
+        candidates = [
+            member
+            for member in members
+            if member not in exclude and not self._breaker_blocked(member)
+        ]
+        if len(candidates) > 1 and self.replica_ranker is not None:
+            candidates = list(self.replica_ranker(submit, tuple(candidates)))
+        return candidates
+
+    def _rebound(self, submit: Submit, wrapper: str) -> Submit:
+        """The same submit re-targeted at a replica.  The child subtree is
+        *shared*, not cloned: downstream consumers (drift, profile) join
+        on ``child.node_id``, which must keep naming the planned node."""
+        return Submit(
+            submit.child, wrapper, shard=submit.shard, shard_of=submit.shard_of
+        )
+
     # -- fault-tolerant attempt loop -----------------------------------------
 
     def _failed_outcome(
@@ -259,6 +334,8 @@ class SubmitScheduler:
         tracer = self.tracer
         name = submit.wrapper
         collection = submit.child.primary_collection()
+        self._dispatch_seq += 1
+        dispatch_seq = self._dispatch_seq
         breaker = self._breaker(name)
         if breaker is not None and not breaker.allow(self.clock.now_ms):
             stats._inc(stats.breaker_fast_fails, name)
@@ -318,15 +395,26 @@ class SubmitScheduler:
                     if tracer.enabled:
                         tracer.event("breaker.open", kind="breaker", wrapper=name)
                 break  # the wait budget is gone: no attempt can fit
-            charges.wrapper_wait(wait)
-            waited += wait
             if error_reason is None:
                 assert result is not None
+                hedged = self._maybe_hedge(
+                    submit, wait, result, attempts, charges, breaker
+                )
+                if hedged is not None:
+                    return hedged
+                charges.wrapper_wait(wait)
                 if breaker is not None:
                     breaker.record_success()
+                if attempts > 1:
+                    # Retried submits carry fault latency in their wall
+                    # story; mark the (clean-attempt) result so the
+                    # calibration window can skip it.
+                    result = replace(result, fault_tainted=True)
                 return DispatchOutcome(
                     submit=submit, result=result, attempts=attempts
                 )
+            charges.wrapper_wait(wait)
+            waited += wait
             reason = error_reason
             stats._inc(stats.attempt_errors, name)
             if breaker is not None:
@@ -339,7 +427,9 @@ class SubmitScheduler:
                     # must not burn the remaining retry budget.
                     break
             if attempts < policy.max_attempts:
-                backoff = policy.backoff_ms(attempts, self._rng)
+                backoff = policy.backoff_ms(
+                    attempts, self._jitter_rng(name, dispatch_seq, attempts)
+                )
                 if deadline is not None:
                     backoff = min(backoff, deadline - waited)
                 if backoff > 0:
@@ -369,6 +459,191 @@ class SubmitScheduler:
             ),
         )
 
+    def _jitter_rng(self, wrapper: str, dispatch_seq: int, attempt: int) -> random.Random:
+        """A fresh deterministic RNG per backoff draw, seeded from
+        (options seed, wrapper, submit dispatch sequence, attempt index).
+        String seeds hash stably across processes, and distinct submits
+        retrying against the same wrapper de-synchronize instead of
+        thunder-herding on one shared schedule."""
+        assert self.resilience is not None
+        return random.Random(
+            f"{self.resilience.seed}:{wrapper}:{dispatch_seq}:{attempt}"
+        )
+
+    # -- hedged submits -----------------------------------------------------
+
+    def _maybe_hedge(
+        self,
+        submit: Submit,
+        wait: float,
+        result: ExecutionResult,
+        attempts: int,
+        charges,
+        breaker: CircuitBreaker | None,
+    ) -> DispatchOutcome | None:
+        """Race a straggling (but ultimately successful) primary wait
+        against one backup replica.  Returns the finished outcome when a
+        hedge ran — with only the *winner's* duration charged — or None
+        when hedging is off/inapplicable (the caller then charges the
+        primary wait exactly as before)."""
+        options = self.resilience
+        policy = options.hedge if options is not None else None
+        if policy is None or not self.catalog.has_replicas():
+            return None
+        name = submit.wrapper
+        if len(self.catalog.replica_members(name)) == 1:
+            return None
+        history = self._latency_history.get(name)
+        if history is None:
+            history = self._latency_history[name] = deque(maxlen=policy.window)
+        threshold = policy.threshold_ms(list(history))
+        history.append(wait)
+        if wait <= threshold:
+            return None
+        candidates = self._replica_candidates(submit, exclude=(name,))
+        if not candidates:
+            return None
+        backup_name = candidates[0]
+        rstats = self.replica_stats
+        stats = self.resilience_stats
+        tracer = self.tracer
+        rstats._inc(rstats.hedges_launched, backup_name)
+        charges.message()  # the backup subquery ships too
+        if tracer.enabled:
+            tracer.event(
+                "hedge.launch",
+                kind="hedge",
+                wrapper=name,
+                backup=backup_name,
+                threshold_ms=threshold,
+                primary_ms=wait,
+            )
+        backup_breaker = self._breaker(backup_name)
+        backup_wrapper = self.catalog.wrapper(backup_name)
+        backup_result: ExecutionResult | None
+        try:
+            backup_result = backup_wrapper.execute(submit.child)
+            backup_wait = backup_result.total_time_ms
+        except SourceUnavailableError as fault:
+            backup_result = None
+            backup_wait = fault.elapsed_ms
+        except SourceFaultError as fault:
+            backup_result = None
+            backup_wait = fault.elapsed_ms
+        if backup_result is not None and threshold + backup_wait < wait:
+            # Backup wins: the mediator waited threshold (for the hedge
+            # to fire) plus the backup's service time; the primary's
+            # still-outstanding remainder is cancelled, never charged.
+            winner_ms = threshold + backup_wait
+            charges.wrapper_wait(winner_ms)
+            rstats._inc(rstats.hedges_won, backup_name)
+            rstats.hedge_cancelled_ms += wait - winner_ms
+            if backup_breaker is not None:
+                backup_breaker.record_success()
+            if breaker is not None:
+                breaker.record_success()  # the primary did answer, late
+            if tracer.enabled:
+                tracer.event(
+                    "hedge.won",
+                    kind="hedge",
+                    wrapper=name,
+                    backup=backup_name,
+                    winner_ms=winner_ms,
+                    cancelled_ms=wait - winner_ms,
+                )
+            return DispatchOutcome(
+                submit=self._rebound(submit, backup_name),
+                result=replace(backup_result, fault_tainted=True),
+                attempts=attempts,
+            )
+        # Primary wins (or the backup faulted): charge the primary wait
+        # as usual; all backup work happened on the losing timeline.
+        charges.wrapper_wait(wait)
+        rstats.hedge_cancelled_ms += backup_wait
+        if backup_result is None:
+            if backup_breaker is not None and backup_breaker.record_failure(
+                self.clock.now_ms
+            ):
+                stats._inc(stats.breaker_trips, backup_name)
+        if breaker is not None:
+            breaker.record_success()
+        if attempts > 1:
+            result = replace(result, fault_tainted=True)
+        return DispatchOutcome(submit=submit, result=result, attempts=attempts)
+
+    # -- failover -----------------------------------------------------------
+
+    def _dispatch_with_failover(self, submit: Submit, charges) -> DispatchOutcome:
+        """Resilient dispatch plus replica failover.
+
+        Without replica sets this is exactly :meth:`_resilient_execute`.
+        With them, a failed submit walks the remaining healthy members
+        cheapest-first; a rescue rebinds the outcome's Submit to the
+        serving wrapper (sharing the planned child subtree, so drift and
+        profile joins keep working).  When every member fails, the plan
+        submit's failure is returned with the full attempt chain in
+        ``replicas_tried``.
+        """
+        outcome = self._resilient_execute(submit, charges)
+        if not self.catalog.has_replicas():
+            return outcome
+        if len(self.catalog.replica_members(submit.wrapper)) == 1:
+            return outcome
+        rstats = self.replica_stats
+        if not outcome.failed:
+            rstats._inc(rstats.selected, outcome.submit.wrapper)
+            return outcome
+        tracer = self.tracer
+        tried = [submit.wrapper]
+        assert outcome.failure is not None
+        first_failure = outcome.failure
+        total_attempts = outcome.attempts
+        while True:
+            candidates = self._replica_candidates(submit, exclude=tried)
+            if not candidates:
+                break
+            candidate = candidates[0]
+            if tracer.enabled:
+                tracer.event(
+                    "failover.try",
+                    kind="failover",
+                    wrapper=submit.wrapper,
+                    to=candidate,
+                    reason=first_failure.reason,
+                )
+            alt = self._resilient_execute(self._rebound(submit, candidate), charges)
+            tried.append(candidate)
+            total_attempts += alt.attempts
+            if not alt.failed:
+                rstats._inc(rstats.selected, candidate)
+                rstats._inc(rstats.failovers, candidate)
+                if tracer.enabled:
+                    tracer.event(
+                        "failover.rescued",
+                        kind="failover",
+                        wrapper=submit.wrapper,
+                        to=candidate,
+                        attempts=total_attempts,
+                    )
+                return DispatchOutcome(
+                    submit=alt.submit,
+                    result=replace(alt.result, fault_tainted=True),
+                    attempts=total_attempts,
+                )
+        failure = replace(
+            first_failure,
+            attempts=total_attempts,
+            replicas_tried=tuple(tried),
+        )
+        if tracer.enabled and len(tried) > 1:
+            tracer.event(
+                "failover.exhausted",
+                kind="failover",
+                wrapper=submit.wrapper,
+                replicas_tried=",".join(tried),
+            )
+        return self._failed_outcome(submit, failure)
+
     # -- sequential dispatch ----------------------------------------------------
 
     def dispatch_one(self, submit: Submit) -> DispatchOutcome:
@@ -387,13 +662,15 @@ class SubmitScheduler:
             else None
         )
         if self.resilience is not None:
-            outcome = self._resilient_execute(submit, _SequentialCharges(self.clock))
+            outcome = self._dispatch_with_failover(
+                submit, _SequentialCharges(self.clock)
+            )
             if not outcome.failed:
                 payload = estimate_payload_bytes(
                     self.catalog.statistics, submit.child, len(outcome.result.rows)
                 )
                 self.clock.charge_message(payload_bytes=payload)
-                self._store(submit, outcome.result)
+                self._store(outcome.submit, outcome.result)
             if span is not None:
                 tracer.end(span, **self._span_attrs(outcome))
             return outcome
@@ -443,7 +720,10 @@ class SubmitScheduler:
         if outcome.failed:
             assert outcome.failure is not None
             attrs["reason"] = outcome.failure.reason
+            if outcome.failure.replicas_tried:
+                attrs["replicas_tried"] = ",".join(outcome.failure.replicas_tried)
         else:
+            attrs["served_by"] = outcome.submit.wrapper
             attrs["rows"] = len(outcome.result.rows)
             attrs["wrapper_ms"] = outcome.result.total_time_ms
             if outcome.result.device_stats:
@@ -487,10 +767,10 @@ class SubmitScheduler:
             )
             if self.resilience is not None:
                 charges = _WaveCharges(self.parallel)
-                outcome = self._resilient_execute(submit, charges)
+                outcome = self._dispatch_with_failover(submit, charges)
                 self.parallel.charge_branch(charges.branch_ms)
                 if not outcome.failed:
-                    self._store(submit, outcome.result)
+                    self._store(outcome.submit, outcome.result)
                 if branch_span is not None:
                     tracer.end(branch_span, **self._span_attrs(outcome))
                 outcomes.append(outcome)

@@ -229,6 +229,49 @@ class QueryTelemetry:
             "repro_cancelled_wait_ms_total",
             "Simulated wrapper-wait ms avoided by deadline cancellation",
         ).inc(res.cancelled_wait_ms)
+        self._record_replication_metrics(execution)
+
+    def _record_replication_metrics(
+        self, execution: "ExecutionResult"
+    ) -> None:
+        """Replica-dispatch counters: which member served each submit,
+        failover rescues, hedges launched/won.  Only materialized when
+        the catalog has replica sets."""
+        rep = execution.replication
+        if rep is None:
+            return
+        metrics = self.metrics
+        assert metrics is not None
+        per_wrapper = (
+            (
+                "repro_replica_selected_total",
+                "Submits served per replica-set member",
+                rep.selected,
+            ),
+            (
+                "repro_failover_total",
+                "Submits rescued by re-dispatch to a sibling replica",
+                rep.failovers,
+            ),
+            (
+                "repro_hedge_launched_total",
+                "Backup submits launched for straggling waits",
+                rep.hedges_launched,
+            ),
+            (
+                "repro_hedge_won_total",
+                "Hedged submits where the backup answered first",
+                rep.hedges_won,
+            ),
+        )
+        for name, help_text, values in per_wrapper:
+            counter = metrics.counter(name, help_text, ("wrapper",))
+            for wrapper, amount in values.items():
+                counter.inc(amount, wrapper=wrapper)
+        metrics.counter(
+            "repro_hedge_cancelled_ms_total",
+            "Simulated wrapper-wait ms of cancelled hedge losers",
+        ).inc(rep.hedge_cancelled_ms)
 
     def _record_breaker_states(
         self, breakers: "Mapping[str, CircuitBreaker]"

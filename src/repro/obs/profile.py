@@ -122,6 +122,9 @@ class QueryProfile:
     waves: list[dict[str, Any]] = field(default_factory=list)
     #: Per-(collection, shard, wrapper) summary of scatter submits.
     shards: list[dict[str, Any]] = field(default_factory=list)
+    #: Per-member replica-dispatch summary (selected/failover/hedge
+    #: counts) when the catalog has replica sets; empty otherwise.
+    replication: list[dict[str, Any]] = field(default_factory=list)
     #: Per-(scope, rule, variable) q-errors of this query, worst mean
     #: first — the blame ranking.
     blame: list[dict[str, Any]] = field(default_factory=list)
@@ -163,6 +166,7 @@ class QueryProfile:
             "operators": [row.to_dict() for row in self.operators],
             "waves": [dict(w) for w in self.waves],
             "shards": [dict(s) for s in self.shards],
+            "replication": [dict(r) for r in self.replication],
             "blame": [dict(b) for b in self.blame],
             "timeline": [dict(t) for t in self.timeline],
             "unmatched_submits": self.unmatched_submits,
@@ -182,6 +186,7 @@ class QueryProfile:
             ],
             waves=[dict(w) for w in record.get("waves", ())],
             shards=[dict(s) for s in record.get("shards", ())],
+            replication=[dict(r) for r in record.get("replication", ())],
             blame=[dict(b) for b in record.get("blame", ())],
             timeline=[dict(t) for t in record.get("timeline", ())],
             unmatched_submits=record.get("unmatched_submits", 0),
@@ -271,6 +276,24 @@ class QueryProfile:
                             f"{s.get('wrapper_ms', 0.0):.1f}",
                         )
                         for s in self.shards
+                    ],
+                ),
+            ]
+        if self.replication:
+            lines += [
+                "",
+                "replication:",
+                _table(
+                    ("member", "selected", "failovers", "hedges", "hedge wins"),
+                    [
+                        (
+                            str(r.get("wrapper")),
+                            str(r.get("selected", 0)),
+                            str(r.get("failovers", 0)),
+                            str(r.get("hedges_launched", 0)),
+                            str(r.get("hedges_won", 0)),
+                        )
+                        for r in self.replication
                     ],
                 ),
             ]
@@ -364,8 +387,32 @@ def build_query_profile(
 
     visit(root, None)
     profile.shards = _shard_summary(profile.operators)
+    profile.replication = _replication_summary(execution)
     profile.blame, profile.unmatched_submits = _blame_ranking(result, execution)
     return profile
+
+
+def _replication_summary(execution: "ExecutionResult") -> list[dict[str, Any]]:
+    """Per-member replica-dispatch rows from the execution's counters."""
+    rep = getattr(execution, "replication", None)
+    if rep is None:
+        return []
+    members = sorted(
+        set(rep.selected)
+        | set(rep.failovers)
+        | set(rep.hedges_launched)
+        | set(rep.hedges_won)
+    )
+    return [
+        {
+            "wrapper": member,
+            "selected": rep.selected.get(member, 0),
+            "failovers": rep.failovers.get(member, 0),
+            "hedges_launched": rep.hedges_launched.get(member, 0),
+            "hedges_won": rep.hedges_won.get(member, 0),
+        }
+        for member in members
+    ]
 
 
 def _row_for(

@@ -164,7 +164,22 @@ class AdmissionController:
         if not open_wrappers:
             return None
         needed = plan_wrappers(plan)
-        if needed and needed <= open_wrappers:
+        if not needed:
+            return None
+        catalog = getattr(scheduler, "catalog", None)
+
+        def source_down(wrapper: str) -> bool:
+            # A replicated source is only truly down when EVERY member
+            # of its set has an open breaker — the scheduler fails over
+            # to healthy siblings, so one open breaker is not fatal.
+            if catalog is None:
+                return wrapper in open_wrappers
+            return all(
+                member in open_wrappers
+                for member in catalog.replica_members(wrapper)
+            )
+
+        if all(source_down(wrapper) for wrapper in needed):
             return (
                 "degraded: every wrapper of the plan has an open breaker "
                 f"({', '.join(sorted(needed))})"

@@ -92,18 +92,34 @@ class CalibrationManager:
 
         Returns the fit when one ran, else None.
         """
-        self.window.observe_plan(result.estimate, execution.submit_log)
+        submit_log = self._clean_submit_log(execution)
+        self.window.observe_plan(result.estimate, submit_log)
         if self.options.per_tenant:
             window = self._tenant_windows.get(tenant)
             if window is None:
                 window = self._tenant_windows.setdefault(
                     tenant, self._fresh_window()
                 )
-            window.observe_plan(result.estimate, execution.submit_log)
+            window.observe_plan(result.estimate, submit_log)
         self.window_queries += 1
         if self.window_queries >= self.options.cadence_queries:
             return self.run_fit()
         return None
+
+    @staticmethod
+    def _clean_submit_log(execution: "ExecutionResult") -> list:
+        """The submit log minus fault-tainted measurements.
+
+        A retried, failed-over, or hedged submit's wall time includes
+        backoff waits or another replica's service time; fitting the
+        cost model on those actuals would fold transient fault handling
+        into permanent coefficients.
+        """
+        return [
+            (submit, measured)
+            for submit, measured in execution.submit_log
+            if not getattr(measured, "fault_tainted", False)
+        ]
 
     # -- fitting ---------------------------------------------------------------
 

@@ -101,6 +101,10 @@ class TaskDispatchProxy:
         return self._shared.resilience_stats
 
     @property
+    def replica_stats(self):
+        return self._shared.replica_stats
+
+    @property
     def breakers(self):
         return self._shared.breakers
 

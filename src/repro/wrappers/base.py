@@ -29,7 +29,11 @@ from repro.sources.storage_engine import StorageEngine
 from repro.wrappers.interpreter import EngineExecutor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
-    from repro.mediator.resilience import PartialAnswer, ResilienceStats
+    from repro.mediator.resilience import (
+        PartialAnswer,
+        ReplicaStats,
+        ResilienceStats,
+    )
 
 #: The full mediator algebra; wrappers with fewer capabilities list a subset.
 ALL_OPERATIONS = frozenset(
@@ -68,6 +72,14 @@ class ExecutionResult:
     #: Per-execution fault-handling counters (retries, timeouts, breaker
     #: activity); ``None`` when no resilience layer is configured.
     resilience: "ResilienceStats | None" = None
+    #: True when this measurement's wall story involved fault handling
+    #: (a retried attempt, a failover rescue, or a won hedge).  The
+    #: calibration window skips tainted rows — fitting on fault-inflated
+    #: or cross-replica actuals would corrupt the coefficients.
+    fault_tainted: bool = False
+    #: Per-execution replica-dispatch counters (selection, failover,
+    #: hedging); ``None`` unless the catalog has replica sets.
+    replication: "ReplicaStats | None" = None
 
     @property
     def count(self) -> int:

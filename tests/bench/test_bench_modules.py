@@ -298,6 +298,37 @@ class TestHotpathModule:
         assert "plans/s" in experiment.summary()
 
 
+class TestReplicationModule:
+    def test_e15_small_run(self):
+        import json
+
+        from repro.bench.replication import run_replication_experiment
+
+        experiment = run_replication_experiment(
+            rounds=20, hedge_delays=(300.0, 1_200.0)
+        )
+        doc = json.loads(json.dumps(experiment.to_json_dict()))
+        assert doc["experiment"] == "E15"
+        arms = {arm["label"]: arm for arm in doc["availability"]}
+        # The mid-run kill degrades the control but not the replica set.
+        assert arms["control"]["complete_rate"] <= 0.5
+        assert arms["control"]["failovers"] == 0
+        assert arms["replicated"]["complete_rate"] >= 0.99
+        assert arms["replicated"]["failovers"] >= 1
+        assert arms["replicated"]["replica_served"] > 0
+        # Hedging sweep: the control is first, each hedged cell records
+        # extra work relative to it.
+        cells = doc["hedging"]
+        assert cells[0]["delay_ms"] is None
+        assert all(cell["hedges_launched"] > 0 for cell in cells[1:])
+        assert all(cell["extra_work"] >= 0.0 for cell in cells[1:])
+        # The headline claim: some in-budget delay beats the unhedged
+        # p99 by >= 20% with <= 10% extra wrapper work.
+        assert doc["best_delay_ms"] is not None
+        assert doc["p99_improvement"] >= 0.20
+        assert "hedge delay" in experiment.table()
+
+
 class TestBenchJsonOutput:
     def test_out_dir_writer(self, tmp_path):
         import json

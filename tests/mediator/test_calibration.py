@@ -21,7 +21,9 @@ from repro.mediator.calibration import (
     CoefficientKey,
     render_calibration_state,
 )
+from repro.errors import TransientSourceError
 from repro.mediator.mediator import Mediator
+from repro.wrappers.base import Wrapper
 from tests.federation_fixtures import build_sales_wrapper
 
 K_TT = CoefficientKey("sales", None, "TotalTime")
@@ -358,3 +360,117 @@ class TestEstimatorApplication:
         assert mediator.estimator.calibration is mediator.catalog.calibration
         payload = json.loads(mediator.catalog.calibration.to_json())
         assert payload["active_version"] == 1
+
+
+class TestFaultTaintedExclusion:
+    """Satellite: fault-inflated actuals must not poison the fit window.
+
+    A retried, failed-over, or hedged submit's measured wall time folds
+    backoff sleeps or another replica's service time into the actual;
+    :class:`~repro.service.calibration.CalibrationManager` drops those
+    rows before feeding the window tracker."""
+
+    SQL = "SELECT * FROM Suppliers WHERE sid < 25"
+
+    def build(self):
+        from repro.mediator.executor import ExecutorOptions
+        from repro.mediator.resilience import ResilienceOptions, RetryPolicy
+        from repro.obs.metrics import MetricsRegistry
+        from repro.service.calibration import (
+            CalibrationManager,
+            CalibrationOptions,
+        )
+
+        class FailsOnDemand(Wrapper):
+            def __init__(self, inner):
+                super().__init__(inner.name, inner.capabilities)
+                self.inner = inner
+                self.remaining_failures = 0
+
+            def export_cost_info(self):
+                return self.inner.export_cost_info()
+
+            def execute(self, plan):
+                if self.remaining_failures > 0:
+                    self.remaining_failures -= 1
+                    raise TransientSourceError("induced", elapsed_ms=30.0)
+                return self.inner.execute(plan)
+
+        mediator = Mediator(
+            executor_options=ExecutorOptions(
+                resilience=ResilienceOptions(
+                    retry=RetryPolicy(max_attempts=3, backoff_base_ms=0.0)
+                )
+            )
+        )
+        wrapper = FailsOnDemand(build_sales_wrapper())
+        mediator.register(wrapper)
+        manager = CalibrationManager(
+            mediator,
+            CalibrationOptions(cadence_queries=10**6),
+            MetricsRegistry(),
+        )
+        return mediator, wrapper, manager
+
+    def record_one(self, mediator, manager):
+        from types import SimpleNamespace
+
+        planned = mediator.plan(self.SQL)
+        execution = mediator.executor.execute(planned.plan)
+        manager.record(
+            "t0", SimpleNamespace(estimate=planned.estimate), execution
+        )
+        return execution
+
+    def window_count(self, manager):
+        return sum(
+            row["count"] for row in manager.window.snapshot()["rules"]
+        )
+
+    def test_clean_submit_log_drops_only_tainted_rows(self):
+        from dataclasses import replace
+
+        from repro.service.calibration import CalibrationManager
+
+        mediator, _, _ = self.build()
+        execution = mediator.executor.execute(
+            mediator.plan(self.SQL).plan
+        )
+        submit, measured = execution.submit_log[0]
+        assert not measured.fault_tainted
+        tainted = replace(
+            execution,
+            submit_log=[
+                (submit, measured),
+                (submit, replace(measured, fault_tainted=True)),
+            ],
+        )
+        cleaned = CalibrationManager._clean_submit_log(tainted)
+        assert cleaned == [(submit, measured)]
+
+    def test_retried_submits_stay_out_of_the_window(self):
+        mediator, wrapper, manager = self.build()
+        wrapper.remaining_failures = 1  # the submit retries once
+        execution = self.record_one(mediator, manager)
+        assert execution.submit_log[0][1].fault_tainted
+        assert manager.window_queries == 1
+        # The tainted measurement never reached the window tracker.
+        assert self.window_count(manager) == 0
+
+    def test_clean_submits_still_feed_the_window(self):
+        mediator, _, manager = self.build()
+        self.record_one(mediator, manager)
+        assert self.window_count(manager) > 0
+
+    def test_mixed_history_fits_only_on_clean_actuals(self):
+        mediator, wrapper, manager = self.build()
+        before = 0
+        for fail in (True, False, True, False):
+            wrapper.remaining_failures = 1 if fail else 0
+            self.record_one(mediator, manager)
+            count = self.window_count(manager)
+            if fail:
+                assert count == before  # unchanged by the tainted query
+            else:
+                assert count > before
+            before = count

@@ -375,6 +375,126 @@ class TestBreakerDispatch:
         assert scheduler.resilience_stats.breaker_fast_fails == fast_fails_before
 
 
+class TestHalfOpenProbeGating:
+    """Satellite: only one half-open probe may be in flight; a failed
+    probe re-opens with a fresh cooldown."""
+
+    def build(self, cooldown=100.0):
+        return CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, cooldown_ms=cooldown)
+        )
+
+    def test_second_caller_is_blocked_while_probe_is_out(self):
+        breaker = self.build()
+        breaker.record_failure(now_ms=0.0)
+        assert breaker.allow(now_ms=150.0)  # the probe
+        assert breaker.state == HALF_OPEN
+        # Siblings arriving while the probe is in flight fast-fail, even
+        # arbitrarily later — HALF_OPEN admits exactly one request.
+        assert not breaker.allow(now_ms=150.0)
+        assert not breaker.allow(now_ms=9_999.0)
+
+    def test_probe_success_reopens_the_gate(self):
+        breaker = self.build()
+        breaker.record_failure(now_ms=0.0)
+        assert breaker.allow(now_ms=150.0)
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow(now_ms=150.0)
+        assert breaker.allow(now_ms=150.0)  # no single-probe gate when closed
+
+    def test_failed_probe_restarts_cooldown_and_clears_the_gate(self):
+        breaker = self.build(cooldown=100.0)
+        breaker.record_failure(now_ms=0.0)
+        assert breaker.allow(now_ms=150.0)
+        assert breaker.record_failure(now_ms=150.0)  # probe failed: re-trip
+        assert breaker.state == OPEN
+        assert not breaker.allow(now_ms=200.0)  # fresh cooldown from 150
+        assert breaker.allow(now_ms=250.0)  # ...and the next probe may fly
+
+    def test_parallel_wave_sends_exactly_one_probe(self):
+        injector = FaultInjector(
+            build_sales_wrapper(), FaultProfile(unavailable=True)
+        )
+        mediator = Mediator(
+            executor_options=ExecutorOptions(
+                resilience=ResilienceOptions(
+                    retry=RetryPolicy(max_attempts=1, backoff_base_ms=0.0),
+                    breaker=BreakerPolicy(
+                        failure_threshold=1, cooldown_ms=500.0
+                    ),
+                    mode="partial",
+                ),
+                parallel_submits=True,
+            )
+        )
+        mediator.register(injector)
+        scheduler = mediator.executor.scheduler
+        assert scheduler.dispatch_one(suppliers_plan()).failed  # trips
+        mediator.executor.clock.advance(500.0)
+        executions_before = injector.log.executions
+        fast_fails_before = scheduler.resilience_stats.breaker_fast_fails.get(
+            "sales", 0
+        )
+        outcomes = scheduler.dispatch_wave([suppliers_plan() for _ in range(3)])
+        assert all(outcome.failed for outcome in outcomes)
+        # The still-dead source saw exactly one probe; its wave siblings
+        # fast-failed on the in-flight gate.
+        assert injector.log.executions == executions_before + 1
+        assert scheduler.resilience_stats.breaker_fast_fails["sales"] == (
+            fast_fails_before + 2
+        )
+        # The failed probe re-opened with a fresh cooldown.
+        probe_failed_at = mediator.executor.clock.now_ms
+        assert scheduler.breakers["sales"].state == OPEN
+        assert not scheduler.breakers["sales"].allow(probe_failed_at + 499.0)
+        assert scheduler.breakers["sales"].allow(probe_failed_at + 500.0)
+
+
+class TestBackoffDesynchronization:
+    """Satellite: jitter is seeded per (wrapper, dispatch, attempt), so
+    concurrent retries against one wrapper draw distinct backoffs."""
+
+    JITTERED = ResilienceOptions(
+        retry=RetryPolicy(
+            max_attempts=2, backoff_base_ms=100.0, jitter_ratio=0.5
+        )
+    )
+
+    def test_rng_is_deterministic_per_draw_and_distinct_across_draws(self):
+        mediator = build_mediator(build_sales_wrapper(), self.JITTERED)
+        scheduler = mediator.executor.scheduler
+        draws = {
+            (wrapper, seq, attempt): scheduler._jitter_rng(
+                wrapper, seq, attempt
+            ).random()
+            for wrapper in ("sales", "oo7")
+            for seq in (1, 2)
+            for attempt in (1, 2)
+        }
+        # Same coordinates, same draw — replayable.
+        for (wrapper, seq, attempt), value in draws.items():
+            assert (
+                scheduler._jitter_rng(wrapper, seq, attempt).random() == value
+            )
+        # Distinct coordinates, distinct draws — no thundering herd.
+        assert len(set(draws.values())) == len(draws)
+
+    def test_consecutive_dispatches_draw_distinct_backoffs(self):
+        flaky = FlakyWrapper(build_sales_wrapper(), failures=0)
+        mediator = build_mediator(flaky, self.JITTERED)
+        scheduler = mediator.executor.scheduler
+        stats = scheduler.resilience_stats
+        backoffs = []
+        for _ in range(4):
+            flaky.remaining_failures = 1  # each dispatch retries once
+            before = stats.backoff_ms
+            assert not scheduler.dispatch_one(suppliers_plan()).failed
+            backoffs.append(stats.backoff_ms - before)
+        assert all(50.0 <= backoff <= 150.0 for backoff in backoffs)
+        assert len(set(backoffs)) == len(backoffs)
+
+
 class TestResilienceStats:
     def test_copy_is_independent(self):
         stats = ResilienceStats()

@@ -303,3 +303,133 @@ class TestScatterAlgebra:
         )
         with pytest.raises(PlanError, match="scatter inside a submit"):
             validate_plan(Submit(scatter, "outer"))
+
+
+class TestResilienceUnderScatter:
+    """Satellite: a scatter wave where one shard dies outright while a
+    sibling shard retries through a transient fault — partial-answer
+    bookkeeping, breaker counters, and wave makespan accounting all stay
+    coherent."""
+
+    def build(self):
+        from repro.errors import TransientSourceError
+        from repro.mediator.resilience import (
+            BreakerPolicy,
+            RetryPolicy,
+        )
+        from repro.wrappers.base import Wrapper
+
+        class FailsOnce(Wrapper):
+            def __init__(self, inner):
+                super().__init__(inner.name, inner.capabilities)
+                self.inner = inner
+                self.remaining_failures = 1
+
+            def export_cost_info(self):
+                return self.inner.export_cost_info()
+
+            def execute(self, plan):
+                if self.remaining_failures > 0:
+                    self.remaining_failures -= 1
+                    raise TransientSourceError("blip", elapsed_ms=20.0)
+                return self.inner.execute(plan)
+
+        scheme = scheme_for(4)
+        mediator = Mediator(
+            executor_options=ExecutorOptions(
+                resilience=ResilienceOptions(
+                    retry=RetryPolicy(max_attempts=2, backoff_base_ms=10.0),
+                    breaker=BreakerPolicy(
+                        failure_threshold=2, cooldown_ms=1e9
+                    ),
+                    mode="partial",
+                ),
+                parallel_submits=True,
+            )
+        )
+        for index in range(4):
+            db = RelationalDatabase()
+            db.create_table(
+                f"Orders#{index}",
+                [
+                    row
+                    for row in order_rows()
+                    if scheme.shard_index(row["oid"]) == index
+                ],
+                row_size=32,
+                indexed_columns=["oid"],
+            )
+            wrapper = RelationalWrapper(f"node{index}", db)
+            if index == 2:  # this shard is dead for the whole wave
+                wrapper = FaultInjector(
+                    wrapper, FaultProfile(unavailable=True)
+                )
+            elif index == 1:  # this sibling blips once, then recovers
+                wrapper = FailsOnce(wrapper)
+            mediator.register(wrapper)
+        mediator.register_partitioned(scheme)
+        return mediator
+
+    def run(self):
+        mediator = self.build()
+        result = mediator.query("SELECT * FROM Orders WHERE qty >= 0")
+        return mediator, result
+
+    def test_partial_answer_books_only_the_dead_shard(self):
+        mediator, result = self.run()
+        scheme = scheme_for(4)
+        partial = result.partial
+        assert partial is not None
+        assert partial.missing_wrappers == ["node2"]
+        assert partial.missing_collections == ["Orders#2"]
+        assert partial.dropped_union_branches == 1
+        assert partial.failures[0].attempts == 2  # full budget burned
+        # The retried sibling's rows made it: the answer is every row
+        # except shard 2's, nothing more and nothing less.
+        expected = sorted(
+            (
+                row
+                for row in order_rows()
+                if scheme.shard_index(row["oid"]) != 2
+            ),
+            key=sort_key,
+        )
+        assert sorted(result.rows, key=sort_key) == expected
+
+    def test_breaker_and_retry_counters_split_by_wrapper(self):
+        mediator, _ = self.run()
+        stats = mediator.executor.scheduler.resilience_stats
+        assert stats.retries == {"node1": 1, "node2": 1}
+        assert stats.attempt_errors == {"node1": 1, "node2": 2}
+        assert stats.breaker_trips == {"node2": 1}
+        assert stats.failed_submits == {"node2": 1}
+        assert stats.backoff_ms == 20.0  # one backoff sleep per retry
+        breakers = mediator.executor.scheduler.breakers
+        assert breakers["node2"].state == "open"
+        assert breakers["node1"].state == "closed"
+
+    def test_retried_branch_is_fault_tainted_dead_branch_absent(self):
+        mediator = self.build()
+        planned = mediator.plan("SELECT * FROM Orders WHERE qty >= 0")
+        execution = mediator.executor.execute(planned.plan)
+        by_wrapper = {
+            submit.wrapper: measured
+            for submit, measured in execution.submit_log
+        }
+        assert "node2" not in by_wrapper  # failed branches ship no rows
+        assert by_wrapper["node1"].fault_tainted
+        assert not by_wrapper["node0"].fault_tainted
+        assert not by_wrapper["node3"].fault_tainted
+
+    def test_wave_makespan_accounts_fault_latency(self):
+        mediator, result = self.run()
+        wave = mediator.executor.scheduler.last_wave
+        assert wave is not None
+        assert wave.branches == 4  # the dead branch still occupied a slot
+        # Makespan is list-scheduled: at least the slowest branch, at
+        # most the sequential sum, and the saving is their difference.
+        assert 0.0 < wave.makespan_ms <= wave.sequential_ms
+        assert wave.saved_ms == pytest.approx(
+            wave.sequential_ms - wave.makespan_ms
+        )
+        assert result.parallel_saved_ms == pytest.approx(wave.saved_ms)
