@@ -6,7 +6,8 @@ Options:
                       ``BENCH_E8.json``, ``BENCH_E9.json``,
                       ``BENCH_E10.json``, ``BENCH_E11.json``,
                       ``BENCH_E12.json``, ``BENCH_E13.json``,
-                      ``BENCH_E14.json`` and ``BENCH_E15.json``) into DIR
+                      ``BENCH_E14.json``, ``BENCH_E15.json`` and
+                      ``BENCH_E16.json``) into DIR
 """
 
 from __future__ import annotations
@@ -25,6 +26,7 @@ from repro.bench.hotpath import run_hotpath_experiment
 from repro.bench.overhead import run_overhead
 from repro.bench.parallel import run_parallel_experiment
 from repro.bench.plan_quality import run_plan_quality
+from repro.bench.realtime import run_realtime
 from repro.bench.replication import HEDGE_DELAYS, run_replication_experiment
 from repro.bench.resilience import PROBABILITIES, run_fault_experiment
 from repro.bench.serving import run_serving_experiment
@@ -191,6 +193,11 @@ def main() -> None:
     )
     print(replication.table())
     write_json(out_dir, "BENCH_E15.json", replication.to_json_dict())
+
+    banner("E16 — real-time backend: predicted cost vs measured wall time")
+    realtime = run_realtime(fast=fast)
+    print(realtime.table())
+    write_json(out_dir, "BENCH_E16.json", realtime.to_json_dict())
 
 
 if __name__ == "__main__":

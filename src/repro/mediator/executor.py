@@ -38,6 +38,11 @@ from repro.algebra.logical import (
     Union,
 )
 from repro.errors import PlanError, SubmitFailedError
+from repro.mediator.backend import (
+    MEDIATOR_PROFILE as MEDIATOR_PROFILE,  # historic home; re-exported
+    ExecutionBackend,
+    SimBackend,
+)
 from repro.mediator.cache import SubanswerCache
 from repro.mediator.catalog import MediatorCatalog
 from repro.mediator.resilience import (
@@ -54,21 +59,10 @@ from repro.mediator.scheduler import (
     estimate_payload_bytes,
 )
 from repro.obs.trace import NULL_TRACER, SpanTracer
-from repro.sources.clock import CostProfile, SimClock
+from repro.sources.clock import SimClock
 from repro.sources.pages import Row
 from repro.wrappers.base import ExecutionResult
 from repro.wrappers.interpreter import _aggregate_value, _merge_rows
-
-#: Mediator device: pure in-memory processing plus the uniform
-#: communication cost of §2.3 (150 ms per message, 0.002 ms per byte —
-#: matching the generic model's MEDIATOR_COEFFICIENTS).
-MEDIATOR_PROFILE = CostProfile(
-    io_ms=0.0,
-    cpu_ms_per_object=0.02,
-    cpu_ms_per_eval=0.02,
-    net_ms_per_message=150.0,
-    net_ms_per_byte=0.002,
-)
 
 
 @dataclass
@@ -94,6 +88,12 @@ class ExecutorOptions:
     #: breakers, strict-vs-partial failure mode).  ``None`` disables the
     #: layer entirely — dispatch follows the seed code path.
     resilience: ResilienceOptions | None = None
+    #: Execution backend the engine runs on.  ``None`` builds the
+    #: default simulated stack (:class:`~repro.mediator.backend.
+    #: SimBackend`); pass a :class:`~repro.rt.backend.RealTimeBackend`
+    #: for wall-clock thread-pool dispatch against real sources.
+    #: Overrides any explicit ``clock`` handed to the executor.
+    backend: ExecutionBackend | None = None
 
 
 class MediatorExecutor:
@@ -105,19 +105,27 @@ class MediatorExecutor:
         clock: SimClock | None = None,
         options: ExecutorOptions | None = None,
         cache: SubanswerCache | None = None,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         self.catalog = catalog
-        self.clock = clock if clock is not None else SimClock(MEDIATOR_PROFILE)
         self.options = options if options is not None else ExecutorOptions()
+        if backend is None:
+            backend = self.options.backend
+        if backend is None:
+            # The seed stack: a simulated clock (the given one, or a
+            # fresh mediator-profile clock) charged explicitly.
+            backend = SimBackend(clock)
+        self.backend = backend
+        self.clock = backend.clock
         if cache is None and self.options.cache_subanswers:
             cache = SubanswerCache(max_entries=self.options.cache_max_entries)
         self.cache = cache
         self.scheduler = SubmitScheduler(
             catalog,
-            self.clock,
             max_concurrency=self.options.max_concurrency,
             cache=self.cache,
             resilience=self.options.resilience,
+            backend=backend,
         )
         self._submit_log: list[tuple[Submit, ExecutionResult]] = []
         self._prefetched: dict[int, DispatchOutcome] = {}

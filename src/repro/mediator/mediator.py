@@ -256,7 +256,9 @@ class Mediator:
         tracer = self._tracer
         with tracer.span("query", kind="query", sql=sql) as root:
             optimized = self.plan(query)
-            with tracer.span("execute", kind="phase") as execute_span:
+            with self._hotpath.phase("execute"), tracer.span(
+                "execute", kind="phase"
+            ) as execute_span:
                 execution = self.executor.execute(optimized.plan)
                 if tracer.enabled:
                     execute_span.set(
@@ -299,7 +301,9 @@ class Mediator:
         tracer = self._tracer
         with tracer.span("query", kind="query", entry="execute_plan") as root:
             estimate = self.estimator.estimate(plan)
-            with tracer.span("execute", kind="phase"):
+            with self._hotpath.phase("execute"), tracer.span(
+                "execute", kind="phase"
+            ):
                 execution = self.executor.execute(plan)
         if self.history is not None:
             self.history.record_plan(plan, execution, self.catalog)

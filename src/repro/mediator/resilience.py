@@ -36,6 +36,7 @@ holds everything the scheduler and executor need to degrade gracefully:
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -132,6 +133,12 @@ class CircuitBreaker:
       requests in the same wave fast-fail while the probe is out);
       success closes the breaker, failure re-opens it with a fresh
       cooldown.
+
+    State transitions are lock-guarded: on the real-time backend,
+    branches of one wave record successes and failures for the same
+    wrapper from concurrent pool threads, and the single-probe guarantee
+    of the half-open state only holds if the check-and-set in
+    :meth:`allow` is atomic.
     """
 
     def __init__(self, policy: BreakerPolicy) -> None:
@@ -143,48 +150,52 @@ class CircuitBreaker:
         self.trips = 0
         #: True while the single half-open probe is in flight.
         self._probe_in_flight = False
+        self._lock = threading.Lock()
 
     def allow(self, now_ms: float) -> bool:
         """May a request flow at simulated time ``now_ms``?"""
-        if self.state == OPEN:
-            assert self.opened_at_ms is not None
-            if now_ms - self.opened_at_ms >= self.policy.cooldown_ms:
-                self.state = HALF_OPEN
+        with self._lock:
+            if self.state == OPEN:
+                assert self.opened_at_ms is not None
+                if now_ms - self.opened_at_ms >= self.policy.cooldown_ms:
+                    self.state = HALF_OPEN
+                    self._probe_in_flight = True
+                    return True
+                return False
+            if self.state == HALF_OPEN:
+                # Only one probe tests the source: siblings dispatched while
+                # it is out (e.g. the rest of a wave) fast-fail.
+                if self._probe_in_flight:
+                    return False
                 self._probe_in_flight = True
                 return True
-            return False
-        if self.state == HALF_OPEN:
-            # Only one probe tests the source: siblings dispatched while
-            # it is out (e.g. the rest of a wave) fast-fail.
-            if self._probe_in_flight:
-                return False
-            self._probe_in_flight = True
-            return True
-        return True  # closed
+            return True  # closed
 
     def record_success(self) -> None:
-        self.consecutive_failures = 0
-        self.state = CLOSED
-        self.opened_at_ms = None
-        self._probe_in_flight = False
+        with self._lock:
+            self.consecutive_failures = 0
+            self.state = CLOSED
+            self.opened_at_ms = None
+            self._probe_in_flight = False
 
     def record_failure(self, now_ms: float) -> bool:
         """Count a failure; returns True when this one tripped the
         breaker open (from closed *or* from a failed half-open probe)."""
-        self.consecutive_failures += 1
-        if self.state == HALF_OPEN or (
-            self.state == CLOSED
-            and self.consecutive_failures >= self.policy.failure_threshold
-        ):
-            # A failed half-open probe re-opens with a *fresh* cooldown
-            # (opened_at_ms restarts at now_ms).
-            self.state = OPEN
-            self.opened_at_ms = now_ms
-            self.trips += 1
+        with self._lock:
+            self.consecutive_failures += 1
+            if self.state == HALF_OPEN or (
+                self.state == CLOSED
+                and self.consecutive_failures >= self.policy.failure_threshold
+            ):
+                # A failed half-open probe re-opens with a *fresh* cooldown
+                # (opened_at_ms restarts at now_ms).
+                self.state = OPEN
+                self.opened_at_ms = now_ms
+                self.trips += 1
+                self._probe_in_flight = False
+                return True
             self._probe_in_flight = False
-            return True
-        self._probe_in_flight = False
-        return False
+            return False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

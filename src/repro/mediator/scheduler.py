@@ -9,8 +9,9 @@ mediator that dispatches them concurrently waits only for the slowest
 branch per concurrency slot (FedQPL's explicit *multiway* operators over
 federation members model exactly this).
 
-:class:`SubmitScheduler` implements both modes over the mediator's
-simulated clock:
+:class:`SubmitScheduler` implements both modes over an
+:class:`~repro.mediator.backend.ExecutionBackend` (the simulated seed
+stack by default; wall-clock thread-pool dispatch with ``repro.rt``):
 
 * :meth:`dispatch_one` — the sequential model: request message + full
   wrapper wait + response message, per subquery;
@@ -63,7 +64,7 @@ from typing import Callable, Sequence
 
 from repro.algebra.logical import PlanNode, Project, Submit
 from repro.core.statistics import StatisticsCatalog
-from repro.errors import SourceFaultError, SourceUnavailableError
+from repro.mediator.backend import ExecutionBackend, SimBackend
 from repro.mediator.cache import CacheEntry, SubanswerCache
 from repro.mediator.catalog import MediatorCatalog
 from repro.mediator.resilience import (
@@ -77,7 +78,7 @@ from repro.mediator.resilience import (
     SubmitFailure,
 )
 from repro.obs.trace import NULL_TRACER, SpanTracer
-from repro.sources.clock import ParallelClock, SimClock, WaveStats
+from repro.sources.clock import SimClock, WaveStats
 from repro.wrappers.base import ExecutionResult
 
 
@@ -131,63 +132,25 @@ class DispatchOutcome:
         return self.failure is not None
 
 
-class _SequentialCharges:
-    """Charge strategy of :meth:`SubmitScheduler.dispatch_one`: every
-    cost lands on the mediator clock immediately."""
-
-    __slots__ = ("clock",)
-
-    def __init__(self, clock: SimClock) -> None:
-        self.clock = clock
-
-    def message(self, payload_bytes: int = 0) -> None:
-        self.clock.charge_message(payload_bytes=payload_bytes)
-
-    def wrapper_wait(self, ms: float) -> None:
-        self.clock.advance(ms)
-
-    def idle_wait(self, ms: float) -> None:
-        # Backoff sleeps and cancelled waits go through charge_wait so
-        # the clock's wait_ms counter separates them from device time.
-        self.clock.charge_wait(ms)
-
-
-class _WaveCharges:
-    """Charge strategy inside a wave: messages stay serialized, waits
-    (wrapper time, backoff, cancelled remainders) accumulate into the
-    branch duration committed as part of the wave makespan."""
-
-    __slots__ = ("parallel", "branch_ms")
-
-    def __init__(self, parallel: ParallelClock) -> None:
-        self.parallel = parallel
-        self.branch_ms = 0.0
-
-    def message(self, payload_bytes: int = 0) -> None:
-        self.parallel.charge_message(payload_bytes=payload_bytes)
-
-    def wrapper_wait(self, ms: float) -> None:
-        self.branch_ms += ms
-
-    def idle_wait(self, ms: float) -> None:
-        self.branch_ms += ms
-
-
 class SubmitScheduler:
-    """Dispatches Submit nodes to wrappers on the mediator's clock."""
+    """Dispatches Submit nodes to wrappers on the backend's clock."""
 
     def __init__(
         self,
         catalog: MediatorCatalog,
-        clock: SimClock,
+        clock: SimClock | None = None,
         max_concurrency: int | None = None,
         cache: SubanswerCache | None = None,
         resilience: ResilienceOptions | None = None,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         self.catalog = catalog
-        self.clock = clock
+        #: The time-and-dispatch seam.  ``backend`` wins when given;
+        #: otherwise the seed sim stack is built around ``clock``.
+        self.backend = backend if backend is not None else SimBackend(clock)
+        self.clock = self.backend.clock
         self.cache = cache
-        self.parallel = ParallelClock(clock, max_concurrency)
+        self.parallel = self.backend.attach_waves(max_concurrency)
         self.last_wave: WaveStats | None = None
         #: Fault-tolerance policies; ``None`` keeps the seed dispatch
         #: path byte for byte.
@@ -360,19 +323,16 @@ class SubmitScheduler:
         while attempts < policy.max_attempts:
             attempts += 1
             charges.message()  # ship the subquery (again, on a retry)
-            result: ExecutionResult | None
-            try:
-                result = wrapper.execute(submit.child)
-                wait = result.total_time_ms
-                error_reason = None
-            except SourceUnavailableError as fault:
-                result = None
-                wait = fault.elapsed_ms
-                error_reason = "unavailable"
-            except SourceFaultError as fault:
-                result = None
-                wait = fault.elapsed_ms
-                error_reason = "transient"
+            attempt = self.backend.measured_execute(
+                wrapper,
+                submit.child,
+                budget_ms=(
+                    None if deadline is None else max(0.0, deadline - waited)
+                ),
+            )
+            result = attempt.result
+            wait = attempt.duration_ms
+            error_reason = attempt.error
             if deadline is not None and waited + wait > deadline:
                 # The deadline fires mid-wait: cancel the wrapper wait,
                 # charge only the remaining budget, discard any rows.
@@ -520,16 +480,9 @@ class SubmitScheduler:
             )
         backup_breaker = self._breaker(backup_name)
         backup_wrapper = self.catalog.wrapper(backup_name)
-        backup_result: ExecutionResult | None
-        try:
-            backup_result = backup_wrapper.execute(submit.child)
-            backup_wait = backup_result.total_time_ms
-        except SourceUnavailableError as fault:
-            backup_result = None
-            backup_wait = fault.elapsed_ms
-        except SourceFaultError as fault:
-            backup_result = None
-            backup_wait = fault.elapsed_ms
+        backup = self.backend.measured_execute(backup_wrapper, submit.child)
+        backup_result = backup.result
+        backup_wait = backup.duration_ms
         if backup_result is not None and threshold + backup_wait < wait:
             # Backup wins: the mediator waited threshold (for the hedge
             # to fire) plus the backup's service time; the primary's
@@ -661,27 +614,27 @@ class SubmitScheduler:
             if tracer.enabled
             else None
         )
+        charges = self.backend.sequential_charges()
         if self.resilience is not None:
-            outcome = self._dispatch_with_failover(
-                submit, _SequentialCharges(self.clock)
-            )
+            outcome = self._dispatch_with_failover(submit, charges)
             if not outcome.failed:
                 payload = estimate_payload_bytes(
                     self.catalog.statistics, submit.child, len(outcome.result.rows)
                 )
-                self.clock.charge_message(payload_bytes=payload)
+                charges.message(payload_bytes=payload)
                 self._store(outcome.submit, outcome.result)
             if span is not None:
                 tracer.end(span, **self._span_attrs(outcome))
             return outcome
         wrapper = self.catalog.wrapper(submit.wrapper)
-        self.clock.charge_message()  # ship the subquery
-        result: ExecutionResult = wrapper.execute(submit.child)
-        self.clock.advance(result.total_time_ms)
+        charges.message()  # ship the subquery
+        attempt = self.backend.measured_execute(wrapper, submit.child)
+        result: ExecutionResult = attempt.reraise()
+        charges.wrapper_wait(attempt.duration_ms)
         payload = estimate_payload_bytes(
             self.catalog.statistics, submit.child, len(result.rows)
         )
-        self.clock.charge_message(payload_bytes=payload)
+        charges.message(payload_bytes=payload)
         self._store(submit, result)
         if span is not None:
             attrs = {
@@ -737,9 +690,11 @@ class SubmitScheduler:
 
         Wrapper waits are charged as the wave's makespan (max over
         branches, under the concurrency cap); request and response
-        messages remain serialized per-branch charges.  Branches execute
-        in input order, so results — and the wrapper engines' own clocks —
-        stay deterministic.
+        messages remain serialized per-branch charges.  The backend runs
+        the branches: the sim backend executes them in input order (so
+        results — and the wrapper engines' own clocks — stay
+        deterministic), the real backend fans them out on its thread
+        pool; either way outcomes return in input order.
         """
         tracer = self.tracer
         wave_span = (
@@ -747,48 +702,10 @@ class SubmitScheduler:
             if tracer.enabled
             else None
         )
-        outcomes: list[DispatchOutcome] = []
         self.parallel.begin_wave()
-        for submit in submits:
-            # Within-wave duplicates hit the cache too: earlier branches
-            # store their subanswer before later ones look it up.
-            cached = self._cached_outcome(submit)
-            if cached is not None:
-                outcomes.append(cached)
-                continue
-            branch_span = (
-                tracer.start(
-                    f"submit:{submit.wrapper}",
-                    kind="submit",
-                    **self._submit_open_attrs(submit),
-                )
-                if tracer.enabled
-                else None
-            )
-            if self.resilience is not None:
-                charges = _WaveCharges(self.parallel)
-                outcome = self._dispatch_with_failover(submit, charges)
-                self.parallel.charge_branch(charges.branch_ms)
-                if not outcome.failed:
-                    self._store(outcome.submit, outcome.result)
-                if branch_span is not None:
-                    tracer.end(branch_span, **self._span_attrs(outcome))
-                outcomes.append(outcome)
-                continue
-            wrapper = self.catalog.wrapper(submit.wrapper)
-            self.parallel.charge_message()  # ship the subquery
-            result = wrapper.execute(submit.child)
-            self.parallel.charge_branch(result.total_time_ms)
-            self._store(submit, result)
-            if branch_span is not None:
-                # The branch overlaps its siblings: the mediator clock only
-                # advances at commit, so wrapper_ms carries the wait that a
-                # zero-length simulated span cannot show.
-                attrs = {"rows": len(result.rows), "wrapper_ms": result.total_time_ms}
-                if result.device_stats:
-                    attrs.update(result.device_stats)
-                tracer.end(branch_span, **attrs)
-            outcomes.append(DispatchOutcome(submit=submit, result=result))
+        outcomes: list[DispatchOutcome] = self.backend.run_wave(
+            [self._wave_branch(submit) for submit in submits]
+        )
         self.last_wave = self.parallel.commit_wave()
         for outcome in outcomes:
             if outcome.cached or outcome.failed:
@@ -811,3 +728,52 @@ class SubmitScheduler:
                 failed_branches=sum(1 for o in outcomes if o.failed),
             )
         return outcomes
+
+    def _wave_branch(self, submit: Submit) -> Callable[[], DispatchOutcome]:
+        """One wave branch as a thunk the backend can run in-order (sim)
+        or on a pool thread (real)."""
+
+        def branch() -> DispatchOutcome:
+            tracer = self.tracer
+            # Within-wave duplicates hit the cache too: on the sim
+            # backend earlier branches store their subanswer before
+            # later ones look it up (in-order execution); on the real
+            # backend concurrent duplicates race and may both execute.
+            cached = self._cached_outcome(submit)
+            if cached is not None:
+                return cached
+            branch_span = (
+                tracer.start(
+                    f"submit:{submit.wrapper}",
+                    kind="submit",
+                    **self._submit_open_attrs(submit),
+                )
+                if tracer.enabled
+                else None
+            )
+            if self.resilience is not None:
+                charges = self.backend.wave_charges(self.parallel)
+                outcome = self._dispatch_with_failover(submit, charges)
+                self.parallel.charge_branch(charges.branch_ms)
+                if not outcome.failed:
+                    self._store(outcome.submit, outcome.result)
+                if branch_span is not None:
+                    tracer.end(branch_span, **self._span_attrs(outcome))
+                return outcome
+            wrapper = self.catalog.wrapper(submit.wrapper)
+            self.parallel.charge_message()  # ship the subquery
+            attempt = self.backend.measured_execute(wrapper, submit.child)
+            result = attempt.reraise()
+            self.parallel.charge_branch(attempt.duration_ms)
+            self._store(submit, result)
+            if branch_span is not None:
+                # The branch overlaps its siblings: the mediator clock only
+                # advances at commit, so wrapper_ms carries the wait that a
+                # zero-length simulated span cannot show.
+                attrs = {"rows": len(result.rows), "wrapper_ms": result.total_time_ms}
+                if result.device_stats:
+                    attrs.update(result.device_stats)
+                tracer.end(branch_span, **attrs)
+            return DispatchOutcome(submit=submit, result=result)
+
+        return branch

@@ -168,8 +168,11 @@ class QueryTelemetry:
         ).inc(stats.variables_computed)
         metrics.counter(
             "repro_parallel_saved_ms_total",
-            "Simulated ms saved by concurrent waves",
-        ).inc(result.parallel_saved_ms)
+            "Milliseconds saved by concurrent waves",
+            # On the real-time backend the makespan is measured, so a
+            # wave whose pool overhead beats its overlap win reports a
+            # negative saving; a counter only accumulates the wins.
+        ).inc(max(0.0, result.parallel_saved_ms))
         self._record_resilience_metrics(result, execution)
 
     def _record_resilience_metrics(
@@ -315,6 +318,14 @@ class QueryTelemetry:
         for name, seconds in hotpath.wall_s.items():
             wall.set(seconds, phase=name)
             calls.set(float(hotpath.calls.get(name, 0)), phase=name)
+        # The execute phase gets a dedicated millisecond gauge: on the
+        # real-time backend this is genuine dispatch wall time (the
+        # number E16 validates against), and before the phase existed
+        # real-backend runs reported zero on the hotpath dashboard.
+        metrics.gauge(
+            "repro_hotpath_execute_ms",
+            "Cumulative wall milliseconds spent executing plans",
+        ).set(hotpath.wall_s.get("execute", 0.0) * 1000.0)
 
 
 __all__ = [

@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 import math
 import re
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
@@ -153,6 +154,9 @@ class DriftTracker:
 
     def __init__(self) -> None:
         self._aggregates: dict[tuple[str, str, str, str, str], RuleDrift] = {}
+        #: Guards aggregate lookup-and-fold and the observation counters:
+        #: real-backend executions can report drift from pool threads.
+        self._lock = threading.Lock()
         #: Submits executed but absent from the estimated plan (runtime-
         #: built bind-join probes): counted, never silently dropped.
         self.unmatched_submits = 0
@@ -189,7 +193,8 @@ class DriftTracker:
         if node_estimate is None:
             # Bind-join probe batches are constructed at run time; the
             # estimated plan holds the BindJoin node, not these Submits.
-            self.unmatched_submits += 1
+            with self._lock:
+                self.unmatched_submits += 1
             return []
         actuals = {
             "TotalTime": float(result.total_time_ms),
@@ -215,18 +220,19 @@ class DriftTracker:
                 wrapper=submit.wrapper,
             )
             key = (scope, source, rule, variable, submit.wrapper)
-            aggregate = self._aggregates.get(key)
-            if aggregate is None:
-                aggregate = RuleDrift(
-                    scope=scope,
-                    source=source,
-                    rule=rule,
-                    variable=variable,
-                    wrapper=submit.wrapper,
-                )
-                self._aggregates[key] = aggregate
-            aggregate.fold(observation)
-            self.observations += 1
+            with self._lock:
+                aggregate = self._aggregates.get(key)
+                if aggregate is None:
+                    aggregate = RuleDrift(
+                        scope=scope,
+                        source=source,
+                        rule=rule,
+                        variable=variable,
+                        wrapper=submit.wrapper,
+                    )
+                    self._aggregates[key] = aggregate
+                aggregate.fold(observation)
+                self.observations += 1
             observations.append(observation)
         return observations
 

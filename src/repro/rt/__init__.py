@@ -1,0 +1,35 @@
+"""Real-time execution: wall clocks, thread-pool dispatch, real sources.
+
+``repro.rt`` is the second implementation of the
+:class:`~repro.mediator.backend.ExecutionBackend` seam.  Where the
+default sim stack charges a deterministic
+:class:`~repro.sources.clock.SimClock`, this package measures and
+*spends* real time:
+
+* :class:`RealTimeBackend` — submit waves run on a thread pool, retry
+  backoffs genuinely sleep, deadlines bound actual waits, and the
+  breaker cooldowns tick on the wall clock;
+* :class:`SQLiteWrapper` — a relational source backed by an actual
+  SQLite database file (the oo7 dataset loaded into tables, pushed-down
+  subqueries translated to SQL, cost rules calibrated from timed
+  probes);
+* :class:`WebLatencyWrapper` — a local "webish" source whose round-trip
+  latency is a genuine ``time.sleep``.
+
+See ``docs/backends.md`` for the seam and the E16 validation benchmark
+(``repro.bench.realtime``) that regresses these wrappers' predicted
+costs against measured wall-clock time.
+"""
+
+from repro.rt.backend import RealTimeBackend, WallClock, WallWaveAccounting
+from repro.rt.sqlite import SQLiteWrapper, load_oo7_sqlite
+from repro.rt.webish import WebLatencyWrapper
+
+__all__ = [
+    "RealTimeBackend",
+    "SQLiteWrapper",
+    "WallClock",
+    "WallWaveAccounting",
+    "WebLatencyWrapper",
+    "load_oo7_sqlite",
+]

@@ -1,0 +1,65 @@
+"""Backend seam equivalence: the refactored sim path IS the seed path.
+
+Two guarantees, both parametrized over every executor shape (sequential,
+concurrent waves, armed resilience, sharded overlay, idle replicas with
+a hedge-armed policy):
+
+* **golden** — the current tree reproduces, byte for byte, transcripts
+  captured from the pre-refactor seed tree (rows, submit subtrees,
+  simulated latencies, estimates, clock counters; see
+  ``seed_workload.py`` for the capture procedure);
+* **explicit-backend identity** — constructing the executor with an
+  explicit :class:`~repro.mediator.backend.SimBackend` produces exactly
+  what the default (backend-less) construction produces, so the seam's
+  default wiring adds nothing.
+"""
+
+import json
+
+import pytest
+
+from repro.mediator.executor import MediatorExecutor
+from tests.rt.seed_workload import (
+    CONFIGS,
+    GOLDEN_PATH,
+    build_mediator,
+    run_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+def test_sim_backend_matches_seed_transcripts(config, golden):
+    transcript = run_workload(build_mediator(**CONFIGS[config]))
+    assert json.loads(json.dumps(transcript)) == golden[config]
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+def test_explicit_sim_backend_is_default(config):
+    from repro.mediator.backend import SimBackend
+
+    explicit = build_mediator(**CONFIGS[config])
+    executor = explicit.executor
+    rebuilt = MediatorExecutor(
+        executor.catalog,
+        options=executor.options,
+        backend=SimBackend(),
+    )
+    explicit.executor = rebuilt
+    rebuilt.scheduler.replica_ranker = explicit.optimizer.rank_replicas
+    explicit.optimizer.health_view = rebuilt.scheduler.open_breaker_wrappers
+    assert run_workload(explicit) == run_workload(
+        build_mediator(**CONFIGS[config])
+    )
+
+
+def test_answers_are_complete(golden):
+    # Sanity: "byte-identical" must not mean "identically empty".
+    for config, transcript in golden.items():
+        assert all(len(entry["rows"]) > 0 for entry in transcript[:-1]), config
+        assert all(not entry["degraded"] for entry in transcript[:-1]), config

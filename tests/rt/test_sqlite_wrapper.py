@@ -1,0 +1,189 @@
+"""SQLite wrapper: oo7 schema round-trip, SQL translation, exports.
+
+The CI smoke requirement: the rows loaded into the real database file
+must be exactly the rows the oo7 generator produced, and pushed-down
+subplans must return what the in-memory engine would.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.algebra.expressions import And, Comparison, attr, lit
+from repro.algebra.logical import (
+    Aggregate,
+    AggregateSpec,
+    Distinct,
+    Join,
+    Project,
+    Scan,
+    Select,
+    Sort,
+    Submit,
+)
+from repro.mediator.executor import ExecutorOptions
+from repro.mediator.mediator import Mediator
+from repro.oo7 import generator, schema
+from repro.rt import RealTimeBackend, SQLiteWrapper
+from repro.wrappers.base import CapabilityError
+
+EXTENTS = ("AtomicParts", "Connections")
+
+
+@pytest.fixture(scope="module")
+def wrapper():
+    w = SQLiteWrapper("oo7_db", config=schema.TINY, seed=7, extents=EXTENTS)
+    yield w
+    w.close()
+
+
+@pytest.fixture(scope="module")
+def generated():
+    return generator.generate(schema.TINY, seed=7).extent_rows()
+
+
+def _row_set(rows):
+    return {tuple(sorted(row.items())) for row in rows}
+
+
+class TestRoundTrip:
+    def test_every_extent_round_trips(self, wrapper, generated):
+        for extent in EXTENTS:
+            result = wrapper.execute(Scan(extent))
+            assert len(result.rows) == len(generated[extent])
+            assert _row_set(result.rows) == _row_set(generated[extent])
+
+    def test_statistics_match_the_data(self, wrapper, generated):
+        stats = wrapper._statistics["AtomicParts"]
+        rows = generated["AtomicParts"]
+        assert stats.count_object == len(rows)
+        object_size, indexed = generator.EXTENT_LAYOUT["AtomicParts"]
+        assert stats.object_size == object_size
+        id_stats = stats.attribute("Id")
+        assert id_stats.indexed
+        assert id_stats.min_value.as_number() == min(r["Id"] for r in rows)
+        assert id_stats.max_value.as_number() == max(r["Id"] for r in rows)
+        assert id_stats.count_distinct == len({r["Id"] for r in rows})
+
+    def test_execution_is_wall_measured(self, wrapper):
+        result = wrapper.execute(Scan("AtomicParts"))
+        assert result.total_time_ms > 0.0
+        assert 0.0 < result.time_first_ms <= result.total_time_ms
+        assert result.device_stats == {"sql_rows": len(result.rows)}
+
+
+class TestTranslation:
+    def test_select_matches_python_filter(self, wrapper, generated):
+        plan = Select(Scan("AtomicParts"), Comparison("<=", attr("Id"), lit(40)))
+        result = wrapper.execute(plan)
+        expected = [r for r in generated["AtomicParts"] if r["Id"] <= 40]
+        assert _row_set(result.rows) == _row_set(expected)
+
+    def test_conjunction_and_inequality(self, wrapper, generated):
+        plan = Select(
+            Scan("AtomicParts"),
+            And(
+                Comparison(">", attr("Id"), lit(10)),
+                Comparison("!=", attr("Id"), lit(20)),
+            ),
+        )
+        result = wrapper.execute(plan)
+        expected = [
+            r for r in generated["AtomicParts"] if r["Id"] > 10 and r["Id"] != 20
+        ]
+        assert _row_set(result.rows) == _row_set(expected)
+
+    def test_project_restricts_columns(self, wrapper):
+        plan = Project(Scan("AtomicParts"), ("Id", "buildDate"))
+        result = wrapper.execute(plan)
+        assert all(set(row.keys()) == {"Id", "buildDate"} for row in result.rows)
+
+    def test_sort_orders_rows(self, wrapper):
+        plan = Sort(Scan("AtomicParts"), ("buildDate",))
+        result = wrapper.execute(plan)
+        dates = [row["buildDate"] for row in result.rows]
+        assert dates == sorted(dates)
+
+    def test_distinct_deduplicates(self, wrapper, generated):
+        plan = Distinct(Project(Scan("Connections"), ("type",)))
+        result = wrapper.execute(plan)
+        expected = {r["type"] for r in generated["Connections"]}
+        assert {row["type"] for row in result.rows} == expected
+        assert len(result.rows) == len(expected)
+
+    def test_aggregate_count(self, wrapper, generated):
+        plan = Aggregate(
+            Scan("AtomicParts"),
+            (),
+            (AggregateSpec("count", None, "n"),),
+        )
+        result = wrapper.execute(plan)
+        assert result.rows == [{"n": len(generated["AtomicParts"])}]
+
+    def test_submit_nodes_are_stripped(self, wrapper, generated):
+        plan = Submit(Scan("AtomicParts"), "oo7_db")
+        result = wrapper.execute(plan)
+        assert len(result.rows) == len(generated["AtomicParts"])
+
+    def test_join_is_rejected(self, wrapper):
+        plan = Join(
+            Scan("AtomicParts"),
+            Scan("Connections"),
+            Comparison("=", attr("Id"), attr("fromId")),
+        )
+        with pytest.raises(CapabilityError):
+            wrapper.execute(plan)
+
+
+class TestExports:
+    def test_calibration_fits_nonnegative_wall_coefficients(self, wrapper):
+        for table in EXTENTS:
+            fixed, per_row = wrapper.coefficients[table]
+            assert fixed >= 0.0
+            assert per_row >= 0.0
+            assert fixed + per_row > 0.0
+
+    def test_cost_rules_cover_indexed_attributes(self, wrapper):
+        cdl = wrapper.cost_rules_cdl()
+        assert "costrule scan(AtomicParts)" in cdl
+        for column in ("Id", "buildDate"):
+            assert f"select(AtomicParts, {column} <= V)" in cdl
+
+    def test_registration_compiles_into_a_mediator(self, generated):
+        wrapper = SQLiteWrapper(
+            "oo7_db", config=schema.TINY, seed=7, extents=EXTENTS
+        )
+        backend = RealTimeBackend()
+        try:
+            mediator = Mediator(
+                executor_options=ExecutorOptions(backend=backend)
+            )
+            rules = mediator.register(wrapper)
+            assert rules > 0
+            answer = mediator.query(
+                "SELECT * FROM AtomicParts WHERE Id <= 40"
+            )
+            expected = [r for r in generated["AtomicParts"] if r["Id"] <= 40]
+            assert len(answer.rows) == len(expected)
+            assert answer.elapsed_ms > 0.0
+        finally:
+            wrapper.close()
+            backend.close()
+
+
+class TestThreadAffinity:
+    def test_concurrent_executions_use_per_thread_connections(
+        self, wrapper, generated
+    ):
+        plan = Select(Scan("AtomicParts"), Comparison("<=", attr("Id"), lit(40)))
+        expected = _row_set(
+            [r for r in generated["AtomicParts"] if r["Id"] <= 40]
+        )
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            futures = [
+                pool.submit(lambda: wrapper.execute(plan)) for _ in range(24)
+            ]
+            for future in futures:
+                assert _row_set(future.result().rows) == expected
